@@ -1,0 +1,320 @@
+// Benchmarks regenerating each table and figure of the paper's evaluation
+// (Section 6). Go benchmarks are used as the harness: each runs a scaled
+// experiment and reports the headline numbers via b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the whole evaluation. cmd/pboxbench renders the same
+// experiments as full text tables.
+package pbox_test
+
+import (
+	"testing"
+	"time"
+
+	"pbox/internal/cases"
+	"pbox/internal/experiments"
+	"pbox/internal/stats"
+)
+
+// quickCfg keeps individual benches in the hundreds of milliseconds.
+var quickCfg = experiments.Config{Duration: 200 * time.Millisecond}
+
+// BenchmarkFig01UndoLogMotivation regenerates Figure 1's time series (client
+// B's latency before/after the long transaction) and reports the
+// before/after latency ratio.
+func BenchmarkFig01UndoLogMotivation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := cases.Fig1Series(1500 * time.Millisecond)
+		before, after := splitSeries(pts, 2.0/3.0)
+		if before > 0 {
+			b.ReportMetric(after/before, "latency-ratio")
+		}
+	}
+}
+
+// BenchmarkFig02BufferPoolMotivation regenerates Figure 2 (OLTP throughput
+// collapse when the dump task starts) and reports the throughput ratio.
+func BenchmarkFig02BufferPoolMotivation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := cases.Fig2Series(1500 * time.Millisecond)
+		before, after := splitThroughput(pts, 1.0/3.0)
+		if after > 0 {
+			b.ReportMetric(before/after, "throughput-drop-x")
+		}
+	}
+}
+
+// BenchmarkFig03TicketsMotivation regenerates Figure 3 (reader latency jump
+// when the fifth client connects) and reports the latency ratio.
+func BenchmarkFig03TicketsMotivation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := cases.Fig3Series(1500 * time.Millisecond)
+		before, after := splitSeries(pts, 2.0/3.0)
+		if before > 0 {
+			b.ReportMetric(after/before, "latency-ratio")
+		}
+	}
+}
+
+// BenchmarkFig10MicroOps measures the pBox operation latencies of Figure 10.
+func BenchmarkFig10MicroOps(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, row := range experiments.Fig10Micro(20_000) {
+			b.ReportMetric(float64(row.Latency.Nanoseconds()), row.Op+"-ns")
+		}
+	}
+}
+
+// BenchmarkTable3InterferenceLevels measures every case's vanilla
+// interference level (Table 3's last column).
+func BenchmarkTable3InterferenceLevels(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table3(quickCfg)
+		var sum float64
+		for _, r := range rows {
+			b.ReportMetric(r.Level, r.Case.ID+"-level")
+			sum += r.Level
+		}
+		b.ReportMetric(sum/float64(len(rows)), "avg-level")
+	}
+}
+
+// BenchmarkFig11Mitigation runs the headline comparison: every case under
+// pBox (the full five-solution matrix is in cmd/pboxbench -exp fig11) and
+// reports pBox's per-case reduction ratio plus the aggregate.
+func BenchmarkFig11Mitigation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Mitigation(quickCfg, nil, []cases.Solution{cases.SolutionPBox})
+		helped := 0
+		var sum float64
+		for _, row := range rows {
+			r := row.Solutions[cases.SolutionPBox].Reduction
+			b.ReportMetric(r*100, row.Case.ID+"-reduction-pct")
+			if r > 0 {
+				helped++
+				sum += r
+			}
+		}
+		b.ReportMetric(float64(helped), "cases-helped")
+		if helped > 0 {
+			b.ReportMetric(sum/float64(helped)*100, "avg-reduction-pct")
+		}
+	}
+}
+
+// BenchmarkFig11Baselines runs the four baseline solutions on a
+// representative case subset and reports their reduction ratios.
+func BenchmarkFig11Baselines(b *testing.B) {
+	ids := []string{"c1", "c5", "c11", "c16"}
+	sols := []cases.Solution{cases.SolutionCgroup, cases.SolutionParties, cases.SolutionDarc, cases.SolutionRetro}
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Mitigation(quickCfg, ids, sols)
+		for _, row := range rows {
+			for _, sol := range sols {
+				b.ReportMetric(row.Solutions[sol].Reduction*100, row.Case.ID+"-"+string(sol)+"-pct")
+			}
+		}
+	}
+}
+
+// BenchmarkFig12TailLatency reports pBox's p95 tail-latency reduction per
+// case (Figure 12).
+func BenchmarkFig12TailLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Mitigation(quickCfg, nil, []cases.Solution{cases.SolutionPBox})
+		reducedTail := 0
+		for _, row := range rows {
+			sr := row.Solutions[cases.SolutionPBox]
+			b.ReportMetric(sr.NormP95, row.Case.ID+"-p95-norm")
+			if sr.NormP95 < 1 {
+				reducedTail++
+			}
+		}
+		b.ReportMetric(float64(reducedTail), "tail-reduced-cases")
+	}
+}
+
+// BenchmarkFig13PenaltyActions reports the number of penalty actions and
+// convergence steps for the eight Figure 13 cases.
+func BenchmarkFig13PenaltyActions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, r := range experiments.PenaltyInternals(quickCfg, nil) {
+			b.ReportMetric(float64(r.Actions), r.CaseID+"-actions")
+			b.ReportMetric(r.ConvergenceSteps, r.CaseID+"-conv-steps")
+		}
+	}
+}
+
+// BenchmarkFig14PenaltyLengths reports the penalty length distribution per
+// case (Figure 14).
+func BenchmarkFig14PenaltyLengths(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, r := range experiments.PenaltyInternals(quickCfg, nil) {
+			b.ReportMetric(float64(r.PenaltyP50.Microseconds()), r.CaseID+"-p50-us")
+			b.ReportMetric(float64(r.PenaltyMax.Microseconds()), r.CaseID+"-max-us")
+		}
+	}
+}
+
+// BenchmarkTable4FixedVsAdaptive compares fixed penalties against the
+// adaptive design on the Table 4 cases.
+func BenchmarkTable4FixedVsAdaptive(b *testing.B) {
+	ids := []string{"c1", "c5", "c7", "c9"}
+	for i := 0; i < b.N; i++ {
+		adaptiveBest := 0
+		rows := experiments.Table4(quickCfg, ids)
+		for _, r := range rows {
+			b.ReportMetric(float64(r.LatAdaptive.Microseconds()), r.CaseID+"-adaptive-us")
+			b.ReportMetric(float64(r.LatShort.Microseconds()), r.CaseID+"-fixed1ms-us")
+			b.ReportMetric(float64(r.LatLong.Microseconds()), r.CaseID+"-fixed10ms-us")
+			if r.AdaptiveBeatsFixedShort && r.AdaptiveBeatsFixedLong {
+				adaptiveBest++
+			}
+		}
+		b.ReportMetric(float64(adaptiveBest), "adaptive-best-cases")
+	}
+}
+
+// BenchmarkFig15RuleSensitivity sweeps the isolation rule from 25% to 125%
+// on a case subset and reports the reduction ratio per level.
+func BenchmarkFig15RuleSensitivity(b *testing.B) {
+	ids := []string{"c1", "c5", "c12"}
+	for i := 0; i < b.N; i++ {
+		for _, row := range experiments.RuleSensitivity(quickCfg, ids, nil) {
+			for j, lvl := range row.Levels {
+				b.ReportMetric(row.Reductions[j]*100, row.CaseID+"-rule"+levelLabel(lvl)+"-pct")
+			}
+		}
+	}
+}
+
+// BenchmarkFig16Overhead measures pBox's overhead under normal workloads
+// for every app (Figure 16).
+func BenchmarkFig16Overhead(b *testing.B) {
+	cfg := experiments.Config{Duration: 150 * time.Millisecond}
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Overhead(cfg, nil, []int{1, 16})
+		perApp := map[string][]float64{}
+		for _, r := range rows {
+			perApp[r.Setting.App] = append(perApp[r.Setting.App], r.OverheadMean)
+		}
+		for app, ovs := range perApp {
+			b.ReportMetric(stats.Mean(ovs)*100, app+"-overhead-pct")
+		}
+	}
+}
+
+// BenchmarkTable5Analyzer runs the static analyzer over the instrumented
+// packages (Table 5).
+func BenchmarkTable5Analyzer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table5(".")
+		if err != nil {
+			b.Fatal(err)
+		}
+		manual, detected := 0, 0
+		for _, r := range rows {
+			manual += r.ManualEvents
+			detected += r.Detected
+		}
+		b.ReportMetric(float64(manual), "manual-event-sites")
+		b.ReportMetric(float64(detected), "detected-locations")
+	}
+}
+
+// BenchmarkMistakeTolerance reruns MySQL cases with 10% of update sites
+// dropped (Section 6.8).
+func BenchmarkMistakeTolerance(b *testing.B) {
+	ids := []string{"c1", "c5"}
+	for i := 0; i < b.N; i++ {
+		for _, r := range experiments.MistakeTolerance(quickCfg, ids, 2) {
+			b.ReportMetric(r.CorrectReduction*100, r.CaseID+"-correct-pct")
+			b.ReportMetric(r.AvgDroppedReduction*100, r.CaseID+"-dropped-pct")
+		}
+	}
+}
+
+// splitSeries returns the mean of bucket means before and after the cut
+// fraction.
+func splitSeries(pts []stats.Point, cut float64) (before, after float64) {
+	n := len(pts)
+	if n == 0 {
+		return 0, 0
+	}
+	k := int(float64(n) * cut)
+	var bs, as float64
+	var bn, an int
+	for i, p := range pts {
+		if p.Count == 0 {
+			continue
+		}
+		if i < k {
+			bs += p.Mean
+			bn++
+		} else {
+			as += p.Mean
+			an++
+		}
+	}
+	if bn > 0 {
+		before = bs / float64(bn)
+	}
+	if an > 0 {
+		after = as / float64(an)
+	}
+	return before, after
+}
+
+// splitThroughput returns mean bucket counts before and after the cut.
+func splitThroughput(pts []stats.Point, cut float64) (before, after float64) {
+	n := len(pts)
+	if n == 0 {
+		return 0, 0
+	}
+	k := int(float64(n) * cut)
+	var bs, as float64
+	var bn, an int
+	for i, p := range pts {
+		if i < k {
+			bs += float64(p.Count)
+			bn++
+		} else if i < n-1 { // drop the truncated final bucket
+			as += float64(p.Count)
+			an++
+		}
+	}
+	if bn > 0 {
+		before = bs / float64(bn)
+	}
+	if an > 0 {
+		after = as / float64(an)
+	}
+	return before, after
+}
+
+func levelLabel(l float64) string {
+	switch {
+	case l < 0.3:
+		return "25"
+	case l < 0.6:
+		return "50"
+	case l < 0.8:
+		return "75"
+	case l < 1.1:
+		return "100"
+	default:
+		return "125"
+	}
+}
+
+// BenchmarkAblations compares pBox design variants (full, no freeze-time
+// monitor, sub-poll minimum penalty, detection off) on the UNDO-log case —
+// the ablation study DESIGN.md calls for.
+func BenchmarkAblations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, r := range experiments.Ablations(quickCfg, "c5") {
+			b.ReportMetric(r.Reduction*100, r.Variant+"-reduction-pct")
+		}
+	}
+}

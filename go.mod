@@ -1,0 +1,3 @@
+module pbox
+
+go 1.22

@@ -1,0 +1,255 @@
+package minidb
+
+import (
+	"time"
+
+	"pbox/internal/exec"
+	"pbox/internal/isolation"
+	"pbox/internal/vres"
+)
+
+// IsolationLevel selects the transaction isolation behaviour of a
+// connection.
+type IsolationLevel int
+
+const (
+	// RepeatableRead is InnoDB's default: the first read in a transaction
+	// establishes a snapshot, pinning UNDO history until commit (the
+	// trigger of case c5 / Figure 1).
+	RepeatableRead IsolationLevel = iota
+	// Serializable makes every read take a shared table lock (case c4).
+	Serializable
+)
+
+// Conn is one client connection, handled by one goroutine (the
+// do_handle_one_connection model of Figure 8).
+type Conn struct {
+	db  *DB
+	act isolation.Activity
+	iso IsolationLevel
+
+	ts vres.TicketState
+
+	inTxn      bool
+	snapPinned bool
+	// heldLocks tracks table locks taken FOR UPDATE, released at commit.
+	heldLocks []*Table
+}
+
+// Connect opens a connection under controller ctrl. name labels the
+// connection for group-based policies.
+func (db *DB) Connect(ctrl isolation.Controller, name string) *Conn {
+	return &Conn{db: db, act: ctrl.ConnStart(name, isolation.KindForeground)}
+}
+
+// ConnectBackground opens a background-task connection (mysqldump, backup).
+func (db *DB) ConnectBackground(ctrl isolation.Controller, name string) *Conn {
+	return &Conn{db: db, act: ctrl.ConnStart(name, isolation.KindBackground)}
+}
+
+// SetIsolation selects the connection's isolation level.
+func (c *Conn) SetIsolation(l IsolationLevel) { c.iso = l }
+
+// Activity exposes the connection's activity handle (tests).
+func (c *Conn) Activity() isolation.Activity { return c.act }
+
+// Close releases the connection. An open transaction is committed first so
+// pins and locks never leak, and any concurrency slot still held through
+// ticket credit is force-released (srv_conc_force_exit_innodb on
+// connection teardown).
+func (c *Conn) Close() {
+	if c.inTxn {
+		c.Commit()
+	}
+	if c.db.tickets != nil {
+		c.db.tickets.ForceExit(c.act, &c.ts)
+	}
+	c.act.Close()
+}
+
+// request brackets one statement: admission gate, activate/freeze, and
+// InnoDB ticket regulation around the body.
+func (c *Conn) request(reqType string, body func()) time.Duration {
+	if g := c.act.Gate(); g > 0 {
+		exec.SleepPrecise(g)
+	}
+	t0 := time.Now()
+	c.act.Begin(reqType)
+	if c.db.tickets != nil {
+		c.db.tickets.Enter(c.act, &c.ts)
+	}
+	c.act.Work(c.db.cfg.ParseWork)
+	body()
+	if c.db.tickets != nil {
+		c.db.tickets.Exit(c.act, &c.ts)
+	}
+	lat := time.Since(t0)
+	c.act.End(lat)
+	return lat
+}
+
+// Begin starts a transaction.
+func (c *Conn) Begin() {
+	c.inTxn = true
+}
+
+// Commit ends the transaction: snapshot pins and FOR UPDATE locks are
+// released, and the InnoDB concurrency slot is force-released regardless of
+// remaining ticket credit (srv_conc_force_exit_innodb runs at transaction
+// end). COMMIT is a statement, so it runs as an activity of its own — in
+// particular the lock releases emit their UNHOLD events inside an active
+// window where the manager traces them.
+func (c *Conn) Commit() time.Duration {
+	return c.request("commit", func() {
+		if c.snapPinned {
+			c.db.undo.Unpin()
+			c.snapPinned = false
+		}
+		for _, t := range c.heldLocks {
+			t.lock.UnlockExclusive(c.act)
+		}
+		c.heldLocks = nil
+		c.inTxn = false
+		if c.db.tickets != nil {
+			c.db.tickets.ForceExit(c.act, &c.ts)
+		}
+	})
+}
+
+// Read executes a SELECT of nRows starting at key. Under RepeatableRead the
+// first read of a transaction pins the UNDO history (snapshot); the read
+// walks history proportional to the backlog (MVCC version chains). Under
+// Serializable it additionally takes the table lock in shared mode.
+func (c *Conn) Read(table string, key, nRows int) time.Duration {
+	t := c.db.Table(table)
+	if t == nil {
+		panic(errNoTable(table))
+	}
+	return c.request("read", func() {
+		if c.iso == Serializable {
+			t.lock.LockShared(c.act)
+			defer t.lock.UnlockShared(c.act)
+		}
+		if c.inTxn && !c.snapPinned {
+			c.db.undo.Pin()
+			c.snapPinned = true
+		}
+		for _, id := range pagesFor(t, key, nRows) {
+			c.db.pool.Get(c.act, id, false)
+		}
+		c.act.Work(time.Duration(nRows) * c.db.cfg.RowWork)
+		// MVCC visibility: walk undo history for recently-modified rows.
+		c.db.undo.Scan(c.act, int64(nRows)*4)
+	})
+}
+
+// Write executes an UPDATE of nRows starting at key: dirty page access plus
+// UNDO entries, and under Serializable an exclusive table lock for the
+// statement.
+func (c *Conn) Write(table string, key, nRows int) time.Duration {
+	t := c.db.Table(table)
+	if t == nil {
+		panic(errNoTable(table))
+	}
+	return c.request("write", func() {
+		if c.iso == Serializable {
+			t.lock.LockExclusive(c.act)
+			defer t.lock.UnlockExclusive(c.act)
+		}
+		for _, id := range pagesFor(t, key, nRows) {
+			c.db.pool.Get(c.act, id, true)
+		}
+		c.act.Work(time.Duration(nRows) * c.db.cfg.RowWork)
+		c.db.undo.Append(c.act, nRows)
+	})
+}
+
+// Insert executes an INSERT of nRows. Tables without a primary key
+// serialize on the global dict mutex while the engine maintains the hidden
+// row-id (case c2's custom mutex), holding it across the row work.
+func (c *Conn) Insert(table string, nRows int) time.Duration {
+	t := c.db.Table(table)
+	if t == nil {
+		panic(errNoTable(table))
+	}
+	return c.request("insert", func() {
+		if t.NoPrimaryKey {
+			c.db.dictMutex.Lock(c.act)
+			c.act.Work(time.Duration(nRows) * c.db.cfg.RowWork)
+			c.db.dictMutex.Unlock(c.act)
+		} else {
+			c.act.Work(time.Duration(nRows) * c.db.cfg.RowWork)
+		}
+		c.db.pool.Get(c.act, pageOf(t, t.Rows), true)
+		c.db.undo.Append(c.act, nRows)
+	})
+}
+
+// SelectForUpdate takes the table's exclusive lock (the "custom lock" of
+// case c1), performs queryWork while holding it, and keeps the lock until
+// Commit if a transaction is open.
+func (c *Conn) SelectForUpdate(table string, queryWork time.Duration) time.Duration {
+	t := c.db.Table(table)
+	if t == nil {
+		panic(errNoTable(table))
+	}
+	return c.request("read", func() {
+		t.lock.LockExclusive(c.act)
+		c.act.Work(queryWork)
+		if c.inTxn {
+			c.heldLocks = append(c.heldLocks, t)
+		} else {
+			t.lock.UnlockExclusive(c.act)
+		}
+	})
+}
+
+// InsertBlocking executes an INSERT that must wait for the table lock
+// (victim side of case c1).
+func (c *Conn) InsertBlocking(table string, nRows int) time.Duration {
+	t := c.db.Table(table)
+	if t == nil {
+		panic(errNoTable(table))
+	}
+	return c.request("insert", func() {
+		t.lock.LockExclusive(c.act)
+		c.act.Work(time.Duration(nRows) * c.db.cfg.RowWork)
+		c.db.pool.Get(c.act, pageOf(t, t.Rows), true)
+		c.db.undo.Append(c.act, nRows)
+		t.lock.UnlockExclusive(c.act)
+	})
+}
+
+// SlowQuery executes a statement that holds a concurrency slot for work
+// duration (the long-running query of case c3).
+func (c *Conn) SlowQuery(table string, work time.Duration) time.Duration {
+	t := c.db.Table(table)
+	if t == nil {
+		panic(errNoTable(table))
+	}
+	return c.request("write", func() {
+		for i := 0; i < 4; i++ {
+			c.db.pool.Get(c.act, pageOf(t, i), true)
+		}
+		c.act.Work(work)
+		c.db.undo.Append(c.act, 4)
+	})
+}
+
+// Dump performs one backup sweep over nPages pages of the table starting at
+// page offset — the mysqldump access pattern of case c2 of the motivation
+// (Figure 2), flooding the buffer pool via a batch get.
+func (c *Conn) Dump(table string, offset, nPages int) time.Duration {
+	t := c.db.Table(table)
+	if t == nil {
+		panic(errNoTable(table))
+	}
+	return c.request("dump", func() {
+		ids := make([]vres.PageID, 0, nPages)
+		for i := 0; i < nPages; i++ {
+			ids = append(ids, vres.PageID{Table: t.Name, Page: (offset + i) % t.Pages})
+		}
+		c.db.pool.GetBatch(c.act, ids)
+		c.act.Work(time.Duration(nPages) * c.db.cfg.RowWork)
+	})
+}

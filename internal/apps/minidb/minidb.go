@@ -1,0 +1,260 @@
+// Package minidb is the MySQL/InnoDB substrate of the pBox reproduction: a
+// multi-threaded MVCC storage engine exposing exactly the virtual resources
+// behind the paper's MySQL interference cases (Table 3, c1–c5, and the three
+// motivation cases of Section 2.1):
+//
+//   - a buffer pool with an LRU free-block list (case c2 of the motivation /
+//     Figure 2: a dump task floods the pool and evicts the OLTP working set);
+//   - an UNDO log with a background purge task (case c5 / Figure 1: a long
+//     transaction pins history, writes grow the backlog, and the purge pass
+//     blocks clients);
+//   - InnoDB-style thread-concurrency tickets (case c3 / Figure 3: a fifth
+//     client exhausts the concurrency slots and starves a reader);
+//   - table-level locks (case c1: SELECT FOR UPDATE blocks inserts) and
+//     shared locking for SERIALIZABLE reads (case c4);
+//   - a global "custom mutex" taken by inserts into tables without a
+//     primary key (case c2 of Table 3).
+//
+// Every connection runs as one goroutine (the thread-per-connection model of
+// Figure 6a) and reports activity boundaries and state events through its
+// isolation.Activity, so the same engine runs vanilla, under pBox, or under
+// any baseline controller.
+package minidb
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"pbox/internal/exec"
+	"pbox/internal/isolation"
+	"pbox/internal/vres"
+)
+
+// Config sizes the engine. Durations are scaled to the µs–ms world of the
+// reproduction (the paper's testbed runs seconds-long workloads; shapes, not
+// absolute numbers, are the target).
+type Config struct {
+	// BufferPoolFrames is the number of page frames in the buffer pool.
+	BufferPoolFrames int
+	// TicketLimit is innodb_thread_concurrency (0 disables regulation).
+	TicketLimit int
+	// TicketsPerEnter is the ticket grant per successful entry
+	// (innodb_concurrency_tickets, scaled down).
+	TicketsPerEnter int
+	// PoolCosts is the buffer-pool cost model.
+	PoolCosts vres.BufferPoolCosts
+	// UndoCosts is the UNDO log cost model.
+	UndoCosts vres.LogCosts
+	// RowWork is the CPU cost of processing one row.
+	RowWork time.Duration
+	// ParseWork is the per-statement parse/plan CPU cost.
+	ParseWork time.Duration
+	// PurgeChunk is the number of UNDO entries one purge pass cleans.
+	PurgeChunk int64
+}
+
+// DefaultConfig returns the configuration used by the evaluation cases.
+func DefaultConfig() Config {
+	return Config{
+		BufferPoolFrames: 128,
+		TicketLimit:      0,
+		TicketsPerEnter:  4,
+		PoolCosts:        vres.DefaultBufferPoolCosts(),
+		UndoCosts:        vres.DefaultLogCosts(),
+		RowWork:          2 * time.Microsecond,
+		ParseWork:        5 * time.Microsecond,
+		PurgeChunk:       2000,
+	}
+}
+
+// DB is one database server instance.
+type DB struct {
+	cfg     Config
+	pool    *vres.BufferPool
+	undo    *vres.AppendLog
+	tickets *vres.Tickets // nil when TicketLimit == 0
+	// dictMutex is the global custom mutex contended by inserts into
+	// tables without a primary key (case c2: InnoDB's dict/autoinc-style
+	// global mutex).
+	dictMutex *vres.Mutex
+
+	mu     sync.Mutex
+	tables map[string]*Table
+}
+
+// Table is one table's metadata and locks.
+type Table struct {
+	Name        string
+	Rows        int
+	Pages       int
+	RowsPerPage int
+	// NoPrimaryKey marks tables whose inserts serialize on the global
+	// dict mutex (case c2).
+	NoPrimaryKey bool
+	// lock is the table-level lock: exclusive for SELECT FOR UPDATE and
+	// DDL, shared for SERIALIZABLE reads.
+	lock *vres.RWLock
+}
+
+// New creates a database.
+func New(cfg Config) *DB {
+	db := &DB{
+		cfg:       cfg,
+		pool:      vres.NewBufferPool(cfg.BufferPoolFrames, cfg.PoolCosts),
+		undo:      vres.NewAppendLog(cfg.UndoCosts),
+		dictMutex: vres.NewMutex(),
+		tables:    make(map[string]*Table),
+	}
+	if cfg.TicketLimit > 0 {
+		db.tickets = vres.NewTickets(cfg.TicketLimit, cfg.TicketsPerEnter)
+	}
+	return db
+}
+
+// CreateTable registers a table with the given row count; rowsPerPage
+// controls how many pages back it.
+func (db *DB) CreateTable(name string, rows, rowsPerPage int, noPK bool) *Table {
+	if rowsPerPage < 1 {
+		rowsPerPage = 1
+	}
+	pages := (rows + rowsPerPage - 1) / rowsPerPage
+	if pages < 1 {
+		pages = 1
+	}
+	t := &Table{
+		Name:         name,
+		Rows:         rows,
+		Pages:        pages,
+		RowsPerPage:  rowsPerPage,
+		NoPrimaryKey: noPK,
+		lock:         vres.NewRWLock(),
+	}
+	db.mu.Lock()
+	db.tables[name] = t
+	db.mu.Unlock()
+	return t
+}
+
+// Table looks up a table.
+func (db *DB) Table(name string) *Table {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.tables[name]
+}
+
+// Pool exposes the buffer pool (diagnostics and tests).
+func (db *DB) Pool() *vres.BufferPool { return db.pool }
+
+// Undo exposes the UNDO log (diagnostics and tests).
+func (db *DB) Undo() *vres.AppendLog { return db.undo }
+
+// Tickets exposes the concurrency regulator (nil when disabled).
+func (db *DB) Tickets() *vres.Tickets { return db.tickets }
+
+// DictMutex exposes the global custom mutex (diagnostics and tests).
+func (db *DB) DictMutex() *vres.Mutex { return db.dictMutex }
+
+// pageOf maps a row key of table t to its page.
+func pageOf(t *Table, key int) vres.PageID {
+	page := 0
+	if t.Pages > 0 {
+		page = (key / t.RowsPerPage) % t.Pages
+	}
+	return vres.PageID{Table: t.Name, Page: page}
+}
+
+// pagesFor returns the pages covering nRows starting at row key.
+func pagesFor(t *Table, key, nRows int) []vres.PageID {
+	if nRows < 1 {
+		nRows = 1
+	}
+	n := (nRows + t.RowsPerPage - 1) / t.RowsPerPage
+	if n > t.Pages {
+		n = t.Pages
+	}
+	start := (key / t.RowsPerPage) % t.Pages
+	ids := make([]vres.PageID, 0, n)
+	for i := 0; i < n; i++ {
+		ids = append(ids, vres.PageID{Table: t.Name, Page: (start + i) % t.Pages})
+	}
+	return ids
+}
+
+// errNoTable reports an access to an unknown table (programming error in a
+// case definition).
+func errNoTable(name string) error {
+	return fmt.Errorf("minidb: unknown table %q", name)
+}
+
+// PurgeRunner drives the background UNDO purge task, the noisy background
+// activity of case c5 / Figure 1. It runs on its own goroutine with its own
+// activity domain (the paper: "developers also create pBoxes for other
+// activities, e.g., one pBox for each background thread").
+type PurgeRunner struct {
+	db   *DB
+	act  isolation.Activity
+	stop chan struct{}
+	done chan struct{}
+	// Idle is the pause between purge passes when the backlog is empty.
+	Idle time.Duration
+	// Threshold makes the purge batch: it stays idle until the backlog
+	// reaches this many entries (real purge coordinators wake on batch
+	// boundaries rather than per entry).
+	Threshold int64
+	// ChunkPause inserts a scheduling gap between consecutive purge
+	// chunks (real purge rounds yield between batches).
+	ChunkPause time.Duration
+}
+
+// StartPurge launches the purge thread under controller ctrl.
+func (db *DB) StartPurge(ctrl isolation.Controller) *PurgeRunner {
+	pr := &PurgeRunner{
+		db:   db,
+		act:  ctrl.ConnStart("purge", isolation.KindBackground),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+		Idle: 2 * time.Millisecond,
+	}
+	go pr.run()
+	return pr
+}
+
+func (pr *PurgeRunner) run() {
+	defer close(pr.done)
+	// The background thread is one long-running activity (the paper: "one
+	// pBox for each background thread"): a single activate for the thread's
+	// lifetime, so its own interference ratio is computed over its full
+	// runtime rather than per purge pass.
+	t0 := time.Now()
+	pr.act.Begin("purge")
+	defer func() { pr.act.End(time.Since(t0)) }()
+	for {
+		select {
+		case <-pr.stop:
+			return
+		default:
+		}
+		if g := pr.act.Gate(); g > 0 {
+			exec.SleepPrecise(g)
+			continue
+		}
+		if pr.Threshold > 0 && pr.db.undo.Len() < pr.Threshold {
+			exec.SleepPrecise(pr.Idle)
+			continue
+		}
+		purged := pr.db.undo.PurgeChunk(pr.act, pr.db.cfg.PurgeChunk)
+		if purged == 0 {
+			exec.SleepPrecise(pr.Idle)
+		} else if pr.ChunkPause > 0 {
+			exec.SleepPrecise(pr.ChunkPause)
+		}
+	}
+}
+
+// Stop terminates the purge thread and releases its activity domain.
+func (pr *PurgeRunner) Stop() {
+	close(pr.stop)
+	<-pr.done
+	pr.act.Close()
+}

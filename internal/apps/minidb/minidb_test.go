@@ -1,0 +1,334 @@
+package minidb
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"pbox/internal/core"
+	"pbox/internal/isolation"
+	"pbox/internal/stats"
+)
+
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.BufferPoolFrames = 64
+	return cfg
+}
+
+func TestCreateAndLookupTable(t *testing.T) {
+	db := New(testConfig())
+	tab := db.CreateTable("t1", 1000, 10, false)
+	if tab.Pages != 100 {
+		t.Fatalf("pages = %d, want 100", tab.Pages)
+	}
+	if db.Table("t1") != tab {
+		t.Fatal("lookup returned wrong table")
+	}
+	if db.Table("nope") != nil {
+		t.Fatal("unknown table should be nil")
+	}
+}
+
+func TestPageOfStaysInRange(t *testing.T) {
+	db := New(testConfig())
+	tab := db.CreateTable("t", 100, 10, false)
+	for key := 0; key < 1000; key++ {
+		p := pageOf(tab, key)
+		if p.Page < 0 || p.Page >= tab.Pages {
+			t.Fatalf("page %d out of range for key %d", p.Page, key)
+		}
+	}
+}
+
+func TestReadWriteBasics(t *testing.T) {
+	db := New(testConfig())
+	db.CreateTable("t", 100, 10, false)
+	ctrl := isolation.NewNull()
+	c := db.Connect(ctrl, "client-1")
+	defer c.Close()
+
+	if lat := c.Read("t", 0, 4); lat <= 0 {
+		t.Fatalf("read latency = %v", lat)
+	}
+	if lat := c.Write("t", 0, 4); lat <= 0 {
+		t.Fatalf("write latency = %v", lat)
+	}
+	if db.Undo().Len() != 4 {
+		t.Fatalf("undo backlog = %d, want 4", db.Undo().Len())
+	}
+}
+
+func TestTxnSnapshotPinsUndo(t *testing.T) {
+	db := New(testConfig())
+	db.CreateTable("t", 100, 10, false)
+	ctrl := isolation.NewNull()
+	c := db.Connect(ctrl, "client-1")
+	defer c.Close()
+
+	c.Begin()
+	c.Read("t", 0, 1)
+	if db.Undo().Pinned() != 1 {
+		t.Fatalf("pins = %d, want 1 after first txn read", db.Undo().Pinned())
+	}
+	c.Read("t", 1, 1) // second read must not pin again
+	if db.Undo().Pinned() != 1 {
+		t.Fatalf("pins = %d, want 1 after second read", db.Undo().Pinned())
+	}
+	c.Commit()
+	if db.Undo().Pinned() != 0 {
+		t.Fatalf("pins = %d, want 0 after commit", db.Undo().Pinned())
+	}
+}
+
+func TestPurgeDrainsBacklogOnlyWhenUnpinned(t *testing.T) {
+	db := New(testConfig())
+	db.CreateTable("t", 100, 10, false)
+	ctrl := isolation.NewNull()
+	w := db.Connect(ctrl, "writer-1")
+	defer w.Close()
+
+	w.Write("t", 0, 50)
+	db.Undo().Pin()
+	act := ctrl.ConnStart("purge", isolation.KindBackground)
+	if n := db.Undo().PurgeChunk(act, 1000); n != 0 {
+		t.Fatalf("purged %d entries while pinned, want 0", n)
+	}
+	db.Undo().Unpin()
+	if n := db.Undo().PurgeChunk(act, 1000); n != 50 {
+		t.Fatalf("purged %d entries, want 50", n)
+	}
+	if db.Undo().Len() != 0 {
+		t.Fatalf("backlog = %d after purge, want 0", db.Undo().Len())
+	}
+}
+
+func TestSelectForUpdateBlocksInsertUntilCommit(t *testing.T) {
+	db := New(testConfig())
+	db.CreateTable("t", 100, 10, false)
+	ctrl := isolation.NewNull()
+	locker := db.Connect(ctrl, "locker-1")
+	inserter := db.Connect(ctrl, "inserter-1")
+	defer locker.Close()
+	defer inserter.Close()
+
+	locker.Begin()
+	locker.SelectForUpdate("t", 100*time.Microsecond)
+
+	done := make(chan time.Duration, 1)
+	go func() {
+		done <- inserter.InsertBlocking("t", 1)
+	}()
+	select {
+	case lat := <-done:
+		t.Fatalf("insert completed in %v while table locked", lat)
+	case <-time.After(5 * time.Millisecond):
+	}
+	locker.Commit()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("insert never completed after commit")
+	}
+}
+
+func TestSerializableReadBlocksWriter(t *testing.T) {
+	db := New(testConfig())
+	tab := db.CreateTable("t", 100, 10, false)
+	ctrl := isolation.NewNull()
+	reader := db.Connect(ctrl, "reader-1")
+	reader.SetIsolation(Serializable)
+	defer reader.Close()
+
+	// Hold the table shared by acquiring directly (simulating mid-read).
+	tab.lock.LockShared(reader.act)
+	writer := db.Connect(ctrl, "writer-1")
+	writer.SetIsolation(Serializable)
+	defer writer.Close()
+
+	done := make(chan struct{})
+	go func() {
+		writer.Write("t", 0, 1)
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("serializable write completed while shared lock held")
+	case <-time.After(3 * time.Millisecond):
+	}
+	tab.lock.UnlockShared(reader.act)
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("write never completed")
+	}
+}
+
+func TestTicketsLimitConcurrency(t *testing.T) {
+	cfg := testConfig()
+	cfg.TicketLimit = 2
+	cfg.TicketsPerEnter = 1
+	db := New(cfg)
+	db.CreateTable("t", 100, 10, false)
+	ctrl := isolation.NewNull()
+
+	var wg sync.WaitGroup
+	maxSeen := 0
+	var mu sync.Mutex
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := db.Connect(ctrl, "client")
+			defer c.Close()
+			for j := 0; j < 5; j++ {
+				c.SlowQuery("t", 200*time.Microsecond)
+				mu.Lock()
+				if a := db.Tickets().Active(); a > maxSeen {
+					maxSeen = a
+				}
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if maxSeen > 2 {
+		t.Fatalf("observed %d active threads, limit 2", maxSeen)
+	}
+}
+
+func TestDumpFloodsBufferPool(t *testing.T) {
+	db := New(testConfig())                 // 64 frames
+	db.CreateTable("small", 200, 10, false) // 20 pages, fits
+	db.CreateTable("big", 20000, 10, false) // 2000 pages, does not fit
+	ctrl := isolation.NewNull()
+	oltp := db.Connect(ctrl, "oltp-1")
+	defer oltp.Close()
+
+	// Warm the small table.
+	for k := 0; k < 200; k++ {
+		oltp.Read("small", k, 1)
+	}
+	warmHits := 0
+	for k := 0; k < 20; k++ {
+		if db.Pool().Cached(pageOf(db.Table("small"), k)) {
+			warmHits++
+		}
+	}
+	if warmHits != 20 {
+		t.Fatalf("small table resident pages = %d, want 20", warmHits)
+	}
+
+	dump := db.ConnectBackground(ctrl, "backup")
+	defer dump.Close()
+	dump.Dump("big", 0, 200) // far more pages than the pool holds
+
+	coldHits := 0
+	for k := 0; k < 20; k++ {
+		if db.Pool().Cached(pageOf(db.Table("small"), k)) {
+			coldHits++
+		}
+	}
+	if coldHits >= warmHits {
+		t.Fatalf("dump did not evict the OLTP working set: %d resident", coldHits)
+	}
+}
+
+// TestUndoPurgeInterferenceMitigated is the end-to-end check of the whole
+// stack: reproduce case c5 (Figure 1) — a backlog of UNDO history built
+// behind a long transaction, a background purge thread churning through it
+// in chunked passes, and a victim writer deferred on the log — under the
+// Null controller and under pBox, and require pBox to reduce the victim's
+// mean latency substantially.
+func TestUndoPurgeInterferenceMitigated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive end-to-end test")
+	}
+	run := func(ctrl isolation.Controller) stats.Summary {
+		cfg := testConfig()
+		cfg.PurgeChunk = 125
+		cfg.UndoCosts.PurgePerEntry = 8 * time.Microsecond
+		db := New(cfg)
+		db.CreateTable("t", 1000, 10, false)
+		// History accumulated behind a long transaction that just
+		// committed (the client-A pattern of Figure 1).
+		db.Undo().Append(nil, 20000)
+		pr := db.StartPurge(ctrl)
+		defer pr.Stop()
+
+		rec := stats.NewRecorder(4096)
+		victim := db.Connect(ctrl, "writer-victim")
+		deadline := time.Now().Add(300 * time.Millisecond)
+		for time.Now().Before(deadline) {
+			rec.Record(victim.Write("t", 1, 20))
+			time.Sleep(100 * time.Microsecond)
+		}
+		victim.Close()
+		return rec.Summary()
+	}
+
+	vanilla := run(isolation.NewNull())
+
+	mgr := core.NewManager(core.Options{})
+	withPBox := run(isolation.NewPBox(mgr, core.DefaultRule()))
+
+	t.Logf("victim mean: vanilla=%v pbox=%v p99: vanilla=%v pbox=%v actions=%d",
+		vanilla.Mean, withPBox.Mean, vanilla.P99, withPBox.P99, mgr.TotalActions())
+	if mgr.TotalActions() == 0 {
+		t.Fatal("pBox took no actions; detection failed")
+	}
+	if withPBox.Mean >= vanilla.Mean {
+		t.Fatalf("pBox did not reduce interference: vanilla=%v pbox=%v", vanilla.Mean, withPBox.Mean)
+	}
+}
+
+// TestTicketSlotReleasedOnCloseAndCommit is the regression test for a
+// deadlock: a connection that stopped issuing statements while still
+// holding a concurrency slot through ticket credit would starve every other
+// client. Commit and Close must force-release the slot
+// (srv_conc_force_exit_innodb semantics).
+func TestTicketSlotReleasedOnCloseAndCommit(t *testing.T) {
+	cfg := testConfig()
+	cfg.TicketLimit = 1
+	cfg.TicketsPerEnter = 5 // plenty of credit left after one statement
+	db := New(cfg)
+	db.CreateTable("t", 100, 10, false)
+	ctrl := isolation.NewNull()
+
+	holder := db.Connect(ctrl, "holder-1")
+	holder.Read("t", 0, 1) // enters the engine, keeps the slot via credit
+	if db.Tickets().Active() != 1 {
+		t.Fatalf("active = %d, want 1 (slot kept via tickets)", db.Tickets().Active())
+	}
+	holder.Close()
+	if db.Tickets().Active() != 0 {
+		t.Fatalf("active after close = %d, want 0", db.Tickets().Active())
+	}
+
+	// The freed slot must be usable by another client promptly.
+	other := db.Connect(ctrl, "other-1")
+	done := make(chan struct{})
+	go func() {
+		other.Read("t", 0, 1)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("slot leaked: second client starved")
+	}
+	other.Close() // release the slot its ticket credit keeps
+
+	// Commit releases the slot too.
+	txn := db.Connect(ctrl, "txn-1")
+	defer txn.Close()
+	txn.Begin()
+	txn.Read("t", 0, 1)
+	if db.Tickets().Active() != 1 {
+		t.Fatalf("active during txn = %d, want 1", db.Tickets().Active())
+	}
+	txn.Commit()
+	if db.Tickets().Active() != 0 {
+		t.Fatalf("active after commit = %d, want 0", db.Tickets().Active())
+	}
+}

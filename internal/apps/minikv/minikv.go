@@ -1,0 +1,180 @@
+// Package minikv is the Memcached substrate of the pBox reproduction: an
+// in-memory key-value store whose LRU cache lock — taken by the replacement
+// algorithm — is the contended virtual resource of case c16 ("lock
+// contention in the cache replacement algorithm").
+//
+// The paper's result for this case is instructive: pBox does *not* achieve
+// effective mitigation, because the contention is light and the system is
+// so fast that even a couple of additional manager crossings outweigh the
+// gain. The substrate is tuned to preserve that property: holds are a few
+// microseconds, requests complete in tens of microseconds.
+package minikv
+
+import (
+	"container/list"
+	"sync"
+	"time"
+
+	"pbox/internal/exec"
+	"pbox/internal/isolation"
+	"pbox/internal/vres"
+)
+
+// Config sizes the store.
+type Config struct {
+	// Capacity is the maximum number of resident items.
+	Capacity int
+	// GetWork is the CPU cost of serving a hit.
+	GetWork time.Duration
+	// SetWork is the CPU cost of storing an item.
+	SetWork time.Duration
+	// EvictScanPerItem is the CPU cost per item inspected by the LRU
+	// replacement scan, performed under the cache lock.
+	EvictScanPerItem time.Duration
+	// EvictScanItems is how many LRU entries one eviction inspects
+	// (modern-LRU style second-chance scanning).
+	EvictScanItems int
+}
+
+// DefaultConfig returns the configuration used by the evaluation cases.
+func DefaultConfig() Config {
+	return Config{
+		Capacity:         1024,
+		GetWork:          3 * time.Microsecond,
+		SetWork:          4 * time.Microsecond,
+		EvictScanPerItem: 1 * time.Microsecond,
+		EvictScanItems:   16,
+	}
+}
+
+// KV is one memcached instance.
+type KV struct {
+	cfg Config
+	// cacheLock is the global lock guarding the hash table and LRU list;
+	// the replacement path holds it for the whole eviction scan.
+	cacheLock *vres.Mutex
+
+	mu    sync.Mutex // guards items/lru data (the real memory operations)
+	items map[int]*list.Element
+	lru   *list.List
+}
+
+type kvItem struct {
+	key int
+}
+
+// New creates a store.
+func New(cfg Config) *KV {
+	if cfg.Capacity < 1 {
+		cfg.Capacity = 1
+	}
+	return &KV{
+		cfg:       cfg,
+		cacheLock: vres.NewMutex(),
+		items:     make(map[int]*list.Element),
+		lru:       list.New(),
+	}
+}
+
+// CacheLock exposes the global cache lock (tests/diagnostics).
+func (kv *KV) CacheLock() *vres.Mutex { return kv.cacheLock }
+
+// Len returns the resident item count.
+func (kv *KV) Len() int {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	return len(kv.items)
+}
+
+// Client is one client connection.
+type Client struct {
+	kv  *KV
+	act isolation.Activity
+}
+
+// Connect opens a client connection under ctrl.
+func (kv *KV) Connect(ctrl isolation.Controller, name string) *Client {
+	return &Client{kv: kv, act: ctrl.ConnStart(name, isolation.KindForeground)}
+}
+
+// Activity exposes the connection's activity handle (tests).
+func (c *Client) Activity() isolation.Activity { return c.act }
+
+// Close closes the connection.
+func (c *Client) Close() { c.act.Close() }
+
+// request brackets one command.
+func (c *Client) request(reqType string, body func()) time.Duration {
+	if g := c.act.Gate(); g > 0 {
+		exec.SleepPrecise(g)
+	}
+	t0 := time.Now()
+	c.act.Begin(reqType)
+	body()
+	lat := time.Since(t0)
+	c.act.End(lat)
+	return lat
+}
+
+// Get reads a key; the cache lock is held briefly for the lookup and LRU
+// touch.
+func (c *Client) Get(key int) (hit bool) {
+	c.request("get", func() {
+		c.kv.cacheLock.Lock(c.act)
+		c.kv.mu.Lock()
+		e, ok := c.kv.items[key]
+		if ok {
+			c.kv.lru.MoveToFront(e)
+		}
+		c.kv.mu.Unlock()
+		c.act.Work(c.kv.cfg.GetWork)
+		c.kv.cacheLock.Unlock(c.act)
+		hit = ok
+	})
+	return hit
+}
+
+// GetLatency is Get returning the request latency instead of hit status.
+func (c *Client) GetLatency(key int) time.Duration {
+	return c.request("get", func() {
+		c.kv.cacheLock.Lock(c.act)
+		c.kv.mu.Lock()
+		if e, ok := c.kv.items[key]; ok {
+			c.kv.lru.MoveToFront(e)
+		}
+		c.kv.mu.Unlock()
+		c.act.Work(c.kv.cfg.GetWork)
+		c.kv.cacheLock.Unlock(c.act)
+	})
+}
+
+// Set stores a key. When the cache is full the replacement algorithm scans
+// the LRU tail under the cache lock (the c16 contention).
+func (c *Client) Set(key int) time.Duration {
+	return c.request("set", func() {
+		c.kv.cacheLock.Lock(c.act)
+		c.kv.mu.Lock()
+		if e, ok := c.kv.items[key]; ok {
+			c.kv.lru.MoveToFront(e)
+			c.kv.mu.Unlock()
+			c.act.Work(c.kv.cfg.SetWork)
+			c.kv.cacheLock.Unlock(c.act)
+			return
+		}
+		needEvict := len(c.kv.items) >= c.kv.cfg.Capacity
+		if needEvict {
+			if back := c.kv.lru.Back(); back != nil {
+				delete(c.kv.items, back.Value.(*kvItem).key)
+				c.kv.lru.Remove(back)
+			}
+		}
+		c.kv.items[key] = c.kv.lru.PushFront(&kvItem{key: key})
+		c.kv.mu.Unlock()
+		if needEvict {
+			// Second-chance scan cost, under the cache lock.
+			c.act.Work(time.Duration(c.kv.cfg.EvictScanItems) * c.kv.cfg.EvictScanPerItem)
+		}
+		c.act.Work(c.kv.cfg.SetWork)
+		c.kv.cacheLock.Unlock(c.act)
+	})
+}

@@ -1,0 +1,116 @@
+package minikv
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"pbox/internal/isolation"
+)
+
+func testConfig() Config {
+	return Config{
+		Capacity:         8,
+		GetWork:          time.Microsecond,
+		SetWork:          time.Microsecond,
+		EvictScanPerItem: time.Microsecond,
+		EvictScanItems:   4,
+	}
+}
+
+func TestGetSetBasics(t *testing.T) {
+	kv := New(testConfig())
+	ctrl := isolation.NewNull()
+	c := kv.Connect(ctrl, "c-1")
+	defer c.Close()
+
+	if c.Get(1) {
+		t.Fatal("hit on empty cache")
+	}
+	c.Set(1)
+	if !c.Get(1) {
+		t.Fatal("miss after set")
+	}
+	if kv.Len() != 1 {
+		t.Fatalf("len = %d, want 1", kv.Len())
+	}
+}
+
+func TestCapacityEviction(t *testing.T) {
+	kv := New(testConfig()) // capacity 8
+	ctrl := isolation.NewNull()
+	c := kv.Connect(ctrl, "c-1")
+	defer c.Close()
+	for k := 0; k < 20; k++ {
+		c.Set(k)
+	}
+	if kv.Len() != 8 {
+		t.Fatalf("len = %d, want capacity 8", kv.Len())
+	}
+	// The most recent key must be resident.
+	if !c.Get(19) {
+		t.Fatal("most recent key evicted")
+	}
+}
+
+func TestSetExistingRefreshes(t *testing.T) {
+	kv := New(testConfig())
+	ctrl := isolation.NewNull()
+	c := kv.Connect(ctrl, "c-1")
+	defer c.Close()
+	for k := 0; k < 8; k++ {
+		c.Set(k)
+	}
+	c.Set(0) // refresh, no eviction
+	if kv.Len() != 8 {
+		t.Fatalf("len = %d after refresh, want 8", kv.Len())
+	}
+	if !c.Get(0) {
+		t.Fatal("refreshed key missing")
+	}
+}
+
+func TestEvictionScanCostOnFullCache(t *testing.T) {
+	cfg := testConfig()
+	cfg.EvictScanItems = 64
+	cfg.EvictScanPerItem = 50 * time.Microsecond // 3.2ms scan
+	kv := New(cfg)
+	ctrl := isolation.NewNull()
+	c := kv.Connect(ctrl, "c-1")
+	defer c.Close()
+	for k := 0; k < 8; k++ {
+		c.Set(k)
+	}
+	lat := c.Set(100) // forces an eviction scan
+	if lat < 3*time.Millisecond {
+		t.Fatalf("eviction set latency = %v, want >= scan cost", lat)
+	}
+}
+
+func TestConcurrentClientsConsistency(t *testing.T) {
+	kv := New(Config{
+		Capacity: 128, GetWork: time.Microsecond, SetWork: time.Microsecond,
+		EvictScanPerItem: time.Microsecond, EvictScanItems: 2,
+	})
+	ctrl := isolation.NewNull()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(base int) {
+			defer wg.Done()
+			c := kv.Connect(ctrl, "c")
+			defer c.Close()
+			for k := 0; k < 100; k++ {
+				c.Set(base*1000 + k)
+				c.Get(base*1000 + k)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if kv.Len() > 128 {
+		t.Fatalf("len = %d exceeds capacity", kv.Len())
+	}
+	if kv.CacheLock().Locked() {
+		t.Fatal("cache lock leaked")
+	}
+}

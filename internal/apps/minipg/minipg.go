@@ -1,0 +1,326 @@
+// Package minipg is the PostgreSQL substrate of the pBox reproduction: a
+// multi-process (one goroutine per backend) MVCC database exposing the
+// virtual resources behind the paper's PostgreSQL interference cases
+// (Table 3, c6–c10):
+//
+//   - table indexes whose in-progress insertions force other queries into
+//     MVCC visibility work while the inserter holds the index (c6);
+//   - a partitioned lock manager where SELECT FOR UPDATE on one table can
+//     block requests on other tables hashing to the same partition (c7);
+//   - LWLocks with shared/exclusive modes where exclusive waiters are
+//     starved by streams of shared holders (c8);
+//   - VACUUM FULL passes that hold a table exclusively while scanning dead
+//     rows (c9);
+//   - a write-ahead log whose group-insert lock serializes commits behind
+//     large WAL writes (c10).
+package minipg
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pbox/internal/exec"
+	"pbox/internal/isolation"
+	"pbox/internal/vres"
+)
+
+// Config sizes the engine.
+type Config struct {
+	// LockPartitions is the number of lock-manager partitions
+	// (NUM_LOCK_PARTITIONS in PostgreSQL; 1 maximizes cross-table
+	// blocking for case c7).
+	LockPartitions int
+	// RowWork is the CPU cost of processing one row.
+	RowWork time.Duration
+	// ParseWork is the per-statement parse/plan cost.
+	ParseWork time.Duration
+	// VisibilityWork is the CPU cost of one MVCC visibility check against
+	// an in-progress tuple (case c6).
+	VisibilityWork time.Duration
+	// WALCosts is the WAL append cost model.
+	WALCosts vres.LogCosts
+	// VacuumRowWork is the CPU cost per dead row in a VACUUM FULL pass.
+	VacuumRowWork time.Duration
+	// VacuumChunk is the number of dead rows one vacuum pass reclaims.
+	VacuumChunk int
+}
+
+// DefaultConfig returns the configuration used by the evaluation cases.
+func DefaultConfig() Config {
+	return Config{
+		LockPartitions: 4,
+		RowWork:        2 * time.Microsecond,
+		ParseWork:      5 * time.Microsecond,
+		VisibilityWork: 3 * time.Microsecond,
+		WALCosts: vres.LogCosts{
+			Append:        1 * time.Microsecond,
+			ScanPerEntry:  200 * time.Nanosecond,
+			PurgePerEntry: 500 * time.Nanosecond,
+		},
+		VacuumRowWork: 4 * time.Microsecond,
+		VacuumChunk:   250,
+	}
+}
+
+// DB is one database cluster instance.
+type DB struct {
+	cfg Config
+
+	mu     sync.Mutex
+	tables map[string]*Table
+
+	// lockParts is the partitioned lock manager: a table's heavyweight
+	// lock lives in the partition its name hashes to, so exclusive locks
+	// on one table can defer requests on unrelated tables (case c7).
+	lockParts []*vres.RWLock
+	// wal is the write-ahead log; commit records serialize on its
+	// internal lock (WALInsertLock, case c10).
+	wal *vres.AppendLog
+}
+
+// Table is one table's metadata.
+type Table struct {
+	Name string
+	Rows int
+	// index guards the table's index; batch inserts hold it while adding
+	// in-progress entries (case c6).
+	index *vres.Mutex
+	// inProgress counts index entries from uncommitted transactions;
+	// every reader pays a visibility check per entry.
+	inProgress atomic.Int64
+	// deadRows counts dead tuples awaiting vacuum (case c9).
+	deadRows atomic.Int64
+}
+
+// New creates a cluster.
+func New(cfg Config) *DB {
+	if cfg.LockPartitions < 1 {
+		cfg.LockPartitions = 1
+	}
+	db := &DB{
+		cfg:    cfg,
+		tables: make(map[string]*Table),
+		wal:    vres.NewAppendLog(cfg.WALCosts),
+	}
+	for i := 0; i < cfg.LockPartitions; i++ {
+		db.lockParts = append(db.lockParts, vres.NewRWLock())
+	}
+	return db
+}
+
+// CreateTable registers a table.
+func (db *DB) CreateTable(name string, rows int) *Table {
+	t := &Table{Name: name, Rows: rows, index: vres.NewMutex()}
+	db.mu.Lock()
+	db.tables[name] = t
+	db.mu.Unlock()
+	return t
+}
+
+// Table looks up a table.
+func (db *DB) Table(name string) *Table {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.tables[name]
+}
+
+// WAL exposes the write-ahead log (tests/diagnostics).
+func (db *DB) WAL() *vres.AppendLog { return db.wal }
+
+// partitionOf returns the lock-manager partition for a table name.
+func (db *DB) partitionOf(name string) *vres.RWLock {
+	h := uint32(2166136261)
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint32(name[i])) * 16777619
+	}
+	return db.lockParts[h%uint32(len(db.lockParts))]
+}
+
+// InProgress returns the table's current in-progress entry count.
+func (t *Table) InProgress() int64 { return t.inProgress.Load() }
+
+// DeadRows returns the table's current dead-tuple count.
+func (t *Table) DeadRows() int64 { return t.deadRows.Load() }
+
+// Backend is one client backend process (one goroutine), the multi-process
+// architecture of Figure 6c.
+type Backend struct {
+	db  *DB
+	act isolation.Activity
+
+	inTxn bool
+	// myInProgress counts this transaction's uncommitted index entries.
+	myInProgress map[*Table]int64
+	// heldParts are lock partitions held FOR UPDATE until commit.
+	heldParts []*vres.RWLock
+}
+
+// Connect forks a backend for a new client connection.
+func (db *DB) Connect(ctrl isolation.Controller, name string) *Backend {
+	return &Backend{
+		db:           db,
+		act:          ctrl.ConnStart(name, isolation.KindForeground),
+		myInProgress: make(map[*Table]int64),
+	}
+}
+
+// Activity exposes the backend's activity handle (tests).
+func (b *Backend) Activity() isolation.Activity { return b.act }
+
+// Close terminates the backend, committing any open transaction.
+func (b *Backend) Close() {
+	if b.inTxn {
+		b.Commit()
+	}
+	b.act.Close()
+}
+
+// request brackets one statement.
+func (b *Backend) request(reqType string, body func()) time.Duration {
+	if g := b.act.Gate(); g > 0 {
+		exec.SleepPrecise(g)
+	}
+	t0 := time.Now()
+	b.act.Begin(reqType)
+	b.act.Work(b.db.cfg.ParseWork)
+	body()
+	lat := time.Since(t0)
+	b.act.End(lat)
+	return lat
+}
+
+// Begin starts a transaction.
+func (b *Backend) Begin() { b.inTxn = true }
+
+// Commit ends the transaction: in-progress index entries become visible
+// (and generate dead rows for the superseded versions), held partition
+// locks release, and a commit record serializes on the WAL lock.
+func (b *Backend) Commit() time.Duration {
+	return b.request("commit", func() {
+		for t, n := range b.myInProgress {
+			t.inProgress.Add(-n)
+			t.deadRows.Add(n)
+			delete(b.myInProgress, t)
+		}
+		for _, p := range b.heldParts {
+			p.UnlockExclusive(b.act)
+		}
+		b.heldParts = nil
+		b.inTxn = false
+		b.db.wal.Append(b.act, 1)
+	})
+}
+
+// Read executes a SELECT of nRows: a shared heavyweight lock on the table's
+// partition, row work, and one MVCC visibility check per in-progress index
+// entry (the c6 cost: "In-progress INSERT causes other queries to spend
+// time on MVCC").
+func (b *Backend) Read(table string, nRows int) time.Duration {
+	t := b.db.Table(table)
+	if t == nil {
+		panic(fmt.Errorf("minipg: unknown table %q", table))
+	}
+	part := b.db.partitionOf(table)
+	return b.request("read", func() {
+		part.LockShared(b.act)
+		defer part.UnlockShared(b.act)
+		// Index lookup: deferred while an inserter holds the index.
+		t.index.Lock(b.act)
+		inProg := t.inProgress.Load()
+		t.index.Unlock(b.act)
+		b.act.Work(time.Duration(nRows) * b.db.cfg.RowWork)
+		if inProg > 0 {
+			b.act.Work(time.Duration(inProg) * b.db.cfg.VisibilityWork)
+		}
+	})
+}
+
+// Insert executes a batch INSERT of nRows inside the current transaction:
+// the index is held while the in-progress entries are added, and the rows
+// stay in-progress (imposing visibility work on every reader) until commit.
+func (b *Backend) Insert(table string, nRows int) time.Duration {
+	t := b.db.Table(table)
+	if t == nil {
+		panic(fmt.Errorf("minipg: unknown table %q", table))
+	}
+	part := b.db.partitionOf(table)
+	return b.request("insert", func() {
+		part.LockShared(b.act)
+		defer part.UnlockShared(b.act)
+		t.index.Lock(b.act)
+		b.act.Work(time.Duration(nRows) * b.db.cfg.RowWork)
+		t.inProgress.Add(int64(nRows))
+		t.index.Unlock(b.act)
+		if b.inTxn {
+			b.myInProgress[t] += int64(nRows)
+		} else {
+			t.inProgress.Add(-int64(nRows))
+			t.deadRows.Add(int64(nRows))
+		}
+		b.db.wal.Append(b.act, (nRows+9)/10)
+	})
+}
+
+// Update executes an UPDATE of nRows: shared partition lock, row work, dead
+// row creation (old versions), and WAL records — a large update writes a
+// large WAL entry under the group-insert lock (case c10).
+func (b *Backend) Update(table string, nRows int) time.Duration {
+	t := b.db.Table(table)
+	if t == nil {
+		panic(fmt.Errorf("minipg: unknown table %q", table))
+	}
+	part := b.db.partitionOf(table)
+	return b.request("write", func() {
+		part.LockShared(b.act)
+		defer part.UnlockShared(b.act)
+		b.act.Work(time.Duration(nRows) * b.db.cfg.RowWork)
+		t.deadRows.Add(int64(nRows))
+		b.db.wal.Append(b.act, nRows)
+	})
+}
+
+// SelectForUpdate takes the table's partition lock exclusively for
+// queryWork, keeping it until commit when a transaction is open (case c7:
+// the exclusive partition lock blocks requests on other tables in the same
+// partition).
+func (b *Backend) SelectForUpdate(table string, queryWork time.Duration) time.Duration {
+	t := b.db.Table(table)
+	if t == nil {
+		panic(fmt.Errorf("minipg: unknown table %q", table))
+	}
+	part := b.db.partitionOf(table)
+	return b.request("read", func() {
+		part.LockExclusive(b.act)
+		b.act.Work(queryWork)
+		if b.inTxn {
+			b.heldParts = append(b.heldParts, part)
+		} else {
+			part.UnlockExclusive(b.act)
+		}
+	})
+}
+
+// AcquireExclusive executes a statement needing the partition lock in
+// exclusive mode (the LWLock exclusive waiter of case c8), holding it only
+// for the statement.
+func (b *Backend) AcquireExclusive(table string, work time.Duration) time.Duration {
+	return b.request("write", func() {
+		part := b.db.partitionOf(table)
+		part.LockExclusive(b.act)
+		b.act.Work(work)
+		part.UnlockExclusive(b.act)
+	})
+}
+
+// SharedScan executes a statement holding the partition lock in shared mode
+// for work (the shared-mode lockers that starve exclusive waiters, c8).
+func (b *Backend) SharedScan(table string, work time.Duration) time.Duration {
+	return b.request("read", func() {
+		part := b.db.partitionOf(table)
+		part.LockShared(b.act)
+		b.act.Work(work)
+		part.UnlockShared(b.act)
+	})
+}

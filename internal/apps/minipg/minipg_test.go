@@ -1,0 +1,232 @@
+package minipg
+
+import (
+	"testing"
+	"time"
+
+	"pbox/internal/isolation"
+)
+
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.RowWork = time.Microsecond
+	cfg.ParseWork = time.Microsecond
+	return cfg
+}
+
+func TestCreateAndLookupTable(t *testing.T) {
+	db := New(testConfig())
+	tab := db.CreateTable("t", 100)
+	if db.Table("t") != tab {
+		t.Fatal("lookup returned wrong table")
+	}
+	if db.Table("missing") != nil {
+		t.Fatal("missing table not nil")
+	}
+}
+
+func TestPartitionCountClamped(t *testing.T) {
+	cfg := testConfig()
+	cfg.LockPartitions = 0
+	db := New(cfg)
+	if len(db.lockParts) != 1 {
+		t.Fatalf("partitions = %d, want 1", len(db.lockParts))
+	}
+}
+
+func TestPartitionOfIsStable(t *testing.T) {
+	db := New(testConfig())
+	a := db.partitionOf("orders")
+	b := db.partitionOf("orders")
+	if a != b {
+		t.Fatal("partition hash not stable")
+	}
+}
+
+func TestInsertTracksInProgressUntilCommit(t *testing.T) {
+	db := New(testConfig())
+	tab := db.CreateTable("t", 100)
+	ctrl := isolation.NewNull()
+	b := db.Connect(ctrl, "ins-1")
+	defer b.Close()
+
+	b.Begin()
+	b.Insert("t", 10)
+	if got := tab.InProgress(); got != 10 {
+		t.Fatalf("in-progress = %d, want 10", got)
+	}
+	b.Insert("t", 5)
+	if got := tab.InProgress(); got != 15 {
+		t.Fatalf("in-progress = %d, want 15", got)
+	}
+	b.Commit()
+	if got := tab.InProgress(); got != 0 {
+		t.Fatalf("in-progress after commit = %d, want 0", got)
+	}
+	if got := tab.DeadRows(); got != 15 {
+		t.Fatalf("dead rows after commit = %d, want 15", got)
+	}
+}
+
+func TestAutocommitInsertLeavesNoInProgress(t *testing.T) {
+	db := New(testConfig())
+	tab := db.CreateTable("t", 100)
+	ctrl := isolation.NewNull()
+	b := db.Connect(ctrl, "ins-1")
+	defer b.Close()
+	b.Insert("t", 7) // no explicit transaction
+	if got := tab.InProgress(); got != 0 {
+		t.Fatalf("in-progress = %d, want 0", got)
+	}
+	if got := tab.DeadRows(); got != 7 {
+		t.Fatalf("dead rows = %d, want 7", got)
+	}
+}
+
+func TestUpdateCreatesDeadRowsAndWAL(t *testing.T) {
+	db := New(testConfig())
+	tab := db.CreateTable("t", 100)
+	ctrl := isolation.NewNull()
+	b := db.Connect(ctrl, "w-1")
+	defer b.Close()
+	b.Update("t", 20)
+	if got := tab.DeadRows(); got != 20 {
+		t.Fatalf("dead rows = %d, want 20", got)
+	}
+	if got := db.WAL().Len(); got != 20 {
+		t.Fatalf("wal entries = %d, want 20", got)
+	}
+}
+
+func TestSelectForUpdateHoldsPartitionAcrossTables(t *testing.T) {
+	cfg := testConfig()
+	cfg.LockPartitions = 1
+	db := New(cfg)
+	db.CreateTable("ta", 100)
+	db.CreateTable("tb", 100)
+	ctrl := isolation.NewNull()
+	locker := db.Connect(ctrl, "locker-1")
+	reader := db.Connect(ctrl, "reader-1")
+	defer locker.Close()
+	defer reader.Close()
+
+	locker.Begin()
+	locker.SelectForUpdate("ta", 10*time.Microsecond)
+
+	done := make(chan struct{})
+	go func() {
+		reader.Read("tb", 1) // different table, same partition
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("cross-table read completed while partition locked")
+	case <-time.After(3 * time.Millisecond):
+	}
+	locker.Commit()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("read never completed after commit")
+	}
+}
+
+func TestCloseCommitsOpenTransaction(t *testing.T) {
+	cfg := testConfig()
+	cfg.LockPartitions = 1
+	db := New(cfg)
+	tab := db.CreateTable("t", 100)
+	ctrl := isolation.NewNull()
+	b := db.Connect(ctrl, "b-1")
+	b.Begin()
+	b.Insert("t", 3)
+	b.Close()
+	if got := tab.InProgress(); got != 0 {
+		t.Fatalf("in-progress after close = %d", got)
+	}
+}
+
+func TestVacuumReclaimsDeadRows(t *testing.T) {
+	cfg := testConfig()
+	cfg.VacuumChunk = 50
+	cfg.VacuumRowWork = time.Microsecond
+	db := New(cfg)
+	tab := db.CreateTable("t", 100)
+	ctrl := isolation.NewNull()
+	seed := db.Connect(ctrl, "seed-1")
+	seed.Update("t", 200)
+	seed.Close()
+
+	vr := db.StartVacuum(ctrl, "t")
+	deadline := time.Now().Add(2 * time.Second)
+	for tab.DeadRows() > 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	vr.Stop()
+	if got := tab.DeadRows(); got != 0 {
+		t.Fatalf("dead rows = %d after vacuum, want 0", got)
+	}
+}
+
+func TestVacuumBlocksReadersWhileCompacting(t *testing.T) {
+	cfg := testConfig()
+	cfg.LockPartitions = 1
+	cfg.VacuumChunk = 100000
+	cfg.VacuumRowWork = time.Microsecond // one long 40ms pass
+	db := New(cfg)
+	db.CreateTable("t", 100)
+	ctrl := isolation.NewNull()
+	seed := db.Connect(ctrl, "seed-1")
+	seed.Update("t", 40000)
+	seed.Close()
+
+	vr := db.StartVacuum(ctrl, "t")
+	defer vr.Stop()
+	time.Sleep(3 * time.Millisecond) // let the pass start
+
+	reader := db.Connect(ctrl, "r-1")
+	defer reader.Close()
+	lat := reader.Read("t", 1)
+	if lat < 5*time.Millisecond {
+		t.Fatalf("read latency = %v, want blocked behind vacuum pass", lat)
+	}
+}
+
+func TestSharedScanAndExclusiveInterlock(t *testing.T) {
+	cfg := testConfig()
+	cfg.LockPartitions = 1
+	db := New(cfg)
+	db.CreateTable("t", 100)
+	ctrl := isolation.NewNull()
+	sc := db.Connect(ctrl, "s-1")
+	w := db.Connect(ctrl, "w-1")
+	defer sc.Close()
+	defer w.Close()
+
+	done := make(chan struct{})
+	go func() {
+		sc.SharedScan("t", 10*time.Millisecond)
+		close(done)
+	}()
+	time.Sleep(2 * time.Millisecond)
+	t0 := time.Now()
+	w.AcquireExclusive("t", 10*time.Microsecond)
+	if wait := time.Since(t0); wait < 5*time.Millisecond {
+		t.Fatalf("exclusive acquired in %v while shared scan running", wait)
+	}
+	<-done
+}
+
+func TestCommitWritesWAL(t *testing.T) {
+	db := New(testConfig())
+	db.CreateTable("t", 100)
+	ctrl := isolation.NewNull()
+	b := db.Connect(ctrl, "c-1")
+	defer b.Close()
+	before := db.WAL().Len()
+	b.Begin()
+	b.Commit()
+	if got := db.WAL().Len(); got != before+1 {
+		t.Fatalf("wal after commit = %d, want %d", got, before+1)
+	}
+}

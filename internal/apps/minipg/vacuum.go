@@ -1,0 +1,81 @@
+package minipg
+
+import (
+	"time"
+
+	"pbox/internal/exec"
+	"pbox/internal/isolation"
+)
+
+// VacuumRunner drives a VACUUM FULL background process over one table (the
+// noisy background activity of case c9): each pass takes the table's
+// partition lock exclusively and reclaims a chunk of dead rows, holding the
+// lock for work proportional to the chunk.
+type VacuumRunner struct {
+	db    *DB
+	table *Table
+	act   isolation.Activity
+	stop  chan struct{}
+	done  chan struct{}
+	// Idle is the pause between passes when there is nothing to reclaim.
+	Idle time.Duration
+}
+
+// StartVacuum launches a vacuum process for the table under ctrl.
+func (db *DB) StartVacuum(ctrl isolation.Controller, table string) *VacuumRunner {
+	t := db.Table(table)
+	if t == nil {
+		panic("minipg: vacuum on unknown table " + table)
+	}
+	vr := &VacuumRunner{
+		db:    db,
+		table: t,
+		act:   ctrl.ConnStart("vacuum", isolation.KindBackground),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+		Idle:  2 * time.Millisecond,
+	}
+	go vr.run()
+	return vr
+}
+
+func (vr *VacuumRunner) run() {
+	defer close(vr.done)
+	// One long-running activity for the background process's lifetime.
+	t0 := time.Now()
+	vr.act.Begin("vacuum")
+	defer func() { vr.act.End(time.Since(t0)) }()
+	part := vr.db.partitionOf(vr.table.Name)
+	for {
+		select {
+		case <-vr.stop:
+			return
+		default:
+		}
+		if g := vr.act.Gate(); g > 0 {
+			exec.SleepPrecise(g)
+			continue
+		}
+		dead := vr.table.deadRows.Load()
+		if dead <= 0 {
+			exec.SleepPrecise(vr.Idle)
+			continue
+		}
+		chunk := int64(vr.db.cfg.VacuumChunk)
+		if dead < chunk {
+			chunk = dead
+		}
+		// VACUUM FULL holds the table exclusively while compacting.
+		part.LockExclusive(vr.act)
+		vr.act.Work(time.Duration(chunk) * vr.db.cfg.VacuumRowWork)
+		vr.table.deadRows.Add(-chunk)
+		part.UnlockExclusive(vr.act)
+	}
+}
+
+// Stop terminates the vacuum process.
+func (vr *VacuumRunner) Stop() {
+	close(vr.stop)
+	<-vr.done
+	vr.act.Close()
+}

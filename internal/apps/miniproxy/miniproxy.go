@@ -1,0 +1,245 @@
+// Package miniproxy is the Varnish substrate of the pBox reproduction: an
+// event-driven caching proxy with an acceptor queue and a fixed worker
+// thread pool, exposing the virtual resources behind the paper's Varnish
+// interference cases (Table 3, c14–c15):
+//
+//   - c14: slow requests for big objects occupy worker threads and the
+//     requests for small objects queue behind them;
+//   - c15: the WRK_SumStat global lock, taken on request completion to fold
+//     per-worker statistics, becomes contended; a stats aggregation pass
+//     holding it stalls request completions.
+//
+// The proxy exercises the event-driven pBox model (Figure 6b): activities
+// of many client pBoxes share the worker threads, so penalties surface as
+// requeue deadlines (Activity.Gate) rather than thread delays — the
+// userspace equivalent of the paper's kernel task-queue manipulation
+// (Section 5).
+package miniproxy
+
+import (
+	"sync"
+	"time"
+
+	"pbox/internal/core"
+	"pbox/internal/exec"
+	"pbox/internal/isolation"
+	"pbox/internal/vres"
+)
+
+// Config sizes the proxy.
+type Config struct {
+	// Workers is the worker thread pool size.
+	Workers int
+	// AcceptWork is the per-request accept/parse overhead.
+	AcceptWork time.Duration
+	// SumStatWork is the per-completion statistics work under the global
+	// SumStat lock.
+	SumStatWork time.Duration
+}
+
+// DefaultConfig returns the configuration used by the evaluation cases.
+func DefaultConfig() Config {
+	return Config{
+		Workers:     4,
+		AcceptWork:  5 * time.Microsecond,
+		SumStatWork: 2 * time.Microsecond,
+	}
+}
+
+// task is one queued request.
+type task struct {
+	act     isolation.Activity
+	reqType string
+	work    time.Duration // CPU part (object delivery)
+	fetchIO time.Duration // backend fetch IO (big objects)
+	done    chan struct{}
+}
+
+// Proxy is one Varnish instance.
+type Proxy struct {
+	cfg   Config
+	queue *vres.Queue[*task]
+	// poolKey is the worker-pool virtual resource: tasks PREPARE on it at
+	// enqueue and their processing HOLDs one unit.
+	poolKey core.ResourceKey
+	sumStat *vres.Mutex
+
+	wg      sync.WaitGroup
+	stopped chan struct{}
+}
+
+// New creates a proxy and starts its worker threads.
+func New(cfg Config) *Proxy {
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	p := &Proxy{
+		cfg:     cfg,
+		queue:   vres.NewQueuePoll[*task](0, 20*time.Microsecond),
+		poolKey: vres.NewKey(),
+		sumStat: vres.NewMutex(),
+		stopped: make(chan struct{}),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+// Stop drains and terminates the worker threads.
+func (p *Proxy) Stop() {
+	p.queue.Close()
+	p.wg.Wait()
+	close(p.stopped)
+}
+
+// SumStat exposes the global statistics lock (tests/diagnostics).
+func (p *Proxy) SumStat() *vres.Mutex { return p.sumStat }
+
+// PoolKey exposes the worker-pool resource key (tests/diagnostics).
+func (p *Proxy) PoolKey() core.ResourceKey { return p.poolKey }
+
+// QueueLen returns the number of queued tasks (tests/diagnostics).
+func (p *Proxy) QueueLen() int { return p.queue.Len() }
+
+// worker is one worker thread: it pops tasks, honours penalty requeue
+// deadlines, and processes requests on behalf of the owning pBox.
+func (p *Proxy) worker() {
+	defer p.wg.Done()
+	for {
+		t, ok := p.queue.Pop(nil)
+		if !ok {
+			return
+		}
+		// Shared-thread penalty: a task whose pBox is under penalty goes
+		// back to the task queue until the deadline (Section 5).
+		if g := t.act.Gate(); g > 0 {
+			p.queue.PushDelayed(t, g)
+			continue
+		}
+		p.process(t)
+	}
+}
+
+// process runs one request on the worker thread. The task's activity owns
+// the thread for the duration (bind), and the worker-pool unit it occupies
+// is reported as HOLD/UNHOLD. The activity itself was begun by the client
+// at submission so the queue wait is part of it.
+func (p *Proxy) process(t *task) {
+	t.act.Event(p.poolKey, core.Enter)
+	t.act.Event(p.poolKey, core.Hold)
+	t.act.Work(p.cfg.AcceptWork)
+	if t.fetchIO > 0 {
+		t.act.IO(t.fetchIO)
+	}
+	t.act.Work(t.work)
+	t.act.Event(p.poolKey, core.Unhold)
+	// Completion statistics under the global SumStat lock (case c15).
+	p.sumStat.Lock(t.act)
+	t.act.Work(p.cfg.SumStatWork)
+	p.sumStat.Unlock(t.act)
+	close(t.done)
+}
+
+// Client is one proxy client connection.
+type Client struct {
+	proxy *Proxy
+	act   isolation.Activity
+}
+
+// Connect opens a client connection under ctrl.
+func (p *Proxy) Connect(ctrl isolation.Controller, name string) *Client {
+	return &Client{proxy: p, act: ctrl.ConnStart(name, isolation.KindForeground)}
+}
+
+// Activity exposes the connection's activity handle (tests).
+func (c *Client) Activity() isolation.Activity { return c.act }
+
+// Close closes the connection.
+func (c *Client) Close() { c.act.Close() }
+
+// do submits a request and waits for its completion; the latency is queue
+// wait plus processing, as a real client would observe. The activity spans
+// submission to completion: the client begins it, the worker thread runs
+// its middle on behalf of the owning pBox, and the client ends it.
+func (c *Client) do(reqType string, work, fetchIO time.Duration) time.Duration {
+	t0 := time.Now()
+	c.act.Begin(reqType)
+	t := &task{act: c.act, reqType: reqType, work: work, fetchIO: fetchIO, done: make(chan struct{})}
+	// The task waits in the accept queue for a worker: it is deferred on
+	// the worker pool from enqueue until a worker picks it up.
+	c.act.Event(c.proxy.poolKey, core.Prepare)
+	c.proxy.queue.TryPush(t)
+	<-t.done
+	lat := time.Since(t0)
+	c.act.End(lat)
+	return lat
+}
+
+// Small requests a small cached object.
+func (c *Client) Small(work time.Duration) time.Duration {
+	return c.do("get", work, 0)
+}
+
+// Big requests a large object requiring a backend fetch that occupies the
+// worker for fetchIO (case c14).
+func (c *Client) Big(work, fetchIO time.Duration) time.Duration {
+	return c.do("get", work, fetchIO)
+}
+
+// StatsFlusher is a background task that periodically aggregates statistics
+// holding the SumStat lock for holdWork (the noisy side of case c15).
+type StatsFlusher struct {
+	proxy *Proxy
+	act   isolation.Activity
+	stop  chan struct{}
+	done  chan struct{}
+	// Interval between aggregation passes.
+	Interval time.Duration
+	// HoldWork is the work performed under the SumStat lock per pass.
+	HoldWork time.Duration
+}
+
+// StartStatsFlusher launches the aggregation task.
+func (p *Proxy) StartStatsFlusher(ctrl isolation.Controller, interval, holdWork time.Duration) *StatsFlusher {
+	f := &StatsFlusher{
+		proxy:    p,
+		act:      ctrl.ConnStart("statsflush", isolation.KindBackground),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+		Interval: interval,
+		HoldWork: holdWork,
+	}
+	go f.run()
+	return f
+}
+
+func (f *StatsFlusher) run() {
+	defer close(f.done)
+	t0 := time.Now()
+	f.act.Begin("stats")
+	defer func() { f.act.End(time.Since(t0)) }()
+	for {
+		select {
+		case <-f.stop:
+			return
+		default:
+		}
+		if g := f.act.Gate(); g > 0 {
+			exec.SleepPrecise(g)
+			continue
+		}
+		f.proxy.sumStat.Lock(f.act)
+		f.act.Work(f.HoldWork)
+		f.proxy.sumStat.Unlock(f.act)
+		exec.SleepPrecise(f.Interval)
+	}
+}
+
+// Stop terminates the flusher.
+func (f *StatsFlusher) Stop() {
+	close(f.stop)
+	<-f.done
+	f.act.Close()
+}

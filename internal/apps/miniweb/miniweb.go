@@ -1,0 +1,142 @@
+// Package miniweb is the Apache httpd substrate of the pBox reproduction: a
+// multi-threaded web server whose worker pool, mod_fcgid backend slots, and
+// php-fpm children are the bounded virtual resources behind the paper's
+// Apache interference cases (Table 3, c11–c13):
+//
+//   - c11: a slow request in mod_fcgid occupies backend slots and blocks
+//     other, fast connections;
+//   - c12: the server "locks up" when MaxClients is reached — slow requests
+//     hold worker slots and every other connection defers on them;
+//   - c13: PHP scripts suddenly slow down when the connection count reaches
+//     pm.max_children.
+package miniweb
+
+import (
+	"time"
+
+	"pbox/internal/exec"
+	"pbox/internal/isolation"
+	"pbox/internal/vres"
+)
+
+// Config sizes the server.
+type Config struct {
+	// MaxClients bounds concurrently served requests (the Apache worker
+	// pool).
+	MaxClients int
+	// FcgidSlots bounds concurrent mod_fcgid backend requests.
+	FcgidSlots int
+	// PHPChildren bounds concurrent php-fpm workers.
+	PHPChildren int
+	// HandlerWork is the fixed per-request server overhead.
+	HandlerWork time.Duration
+}
+
+// DefaultConfig returns the configuration used by the evaluation cases.
+func DefaultConfig() Config {
+	return Config{
+		MaxClients:  8,
+		FcgidSlots:  4,
+		PHPChildren: 4,
+		HandlerWork: 10 * time.Microsecond,
+	}
+}
+
+// Server is one httpd instance.
+type Server struct {
+	cfg     Config
+	workers *vres.Slots
+	fcgid   *vres.Slots
+	php     *vres.Slots
+}
+
+// New creates a server.
+func New(cfg Config) *Server {
+	return &Server{
+		cfg:     cfg,
+		workers: vres.NewSlots(cfg.MaxClients),
+		fcgid:   vres.NewSlots(cfg.FcgidSlots),
+		php:     vres.NewSlots(cfg.PHPChildren),
+	}
+}
+
+// Workers exposes the worker pool (tests/diagnostics).
+func (s *Server) Workers() *vres.Slots { return s.workers }
+
+// Fcgid exposes the fcgid slot pool (tests/diagnostics).
+func (s *Server) Fcgid() *vres.Slots { return s.fcgid }
+
+// PHP exposes the php-fpm children pool (tests/diagnostics).
+func (s *Server) PHP() *vres.Slots { return s.php }
+
+// Client is one HTTP client connection (keep-alive), handled by one server
+// thread per request.
+type Client struct {
+	srv *Server
+	act isolation.Activity
+}
+
+// Connect opens a client connection under ctrl.
+func (s *Server) Connect(ctrl isolation.Controller, name string) *Client {
+	return &Client{srv: s, act: ctrl.ConnStart(name, isolation.KindForeground)}
+}
+
+// Activity exposes the connection's activity handle (tests).
+func (c *Client) Activity() isolation.Activity { return c.act }
+
+// Close closes the connection.
+func (c *Client) Close() { c.act.Close() }
+
+// request brackets one HTTP request: admission gate, activate/freeze, and
+// the worker-slot acquisition every request needs.
+func (c *Client) request(reqType string, body func()) time.Duration {
+	if g := c.act.Gate(); g > 0 {
+		exec.SleepPrecise(g)
+	}
+	t0 := time.Now()
+	c.act.Begin(reqType)
+	c.srv.workers.Acquire(c.act)
+	c.act.Work(c.srv.cfg.HandlerWork)
+	body()
+	c.srv.workers.Release(c.act)
+	lat := time.Since(t0)
+	c.act.End(lat)
+	return lat
+}
+
+// Static serves a static file: worker slot plus file work.
+func (c *Client) Static(work time.Duration) time.Duration {
+	return c.request("get", func() {
+		c.act.Work(work)
+	})
+}
+
+// CGI serves a request through mod_fcgid: worker slot plus an fcgid backend
+// slot held for the script's duration (case c11: a slow script starves the
+// slot pool).
+func (c *Client) CGI(scriptWork time.Duration) time.Duration {
+	return c.request("post", func() {
+		c.srv.fcgid.Acquire(c.act)
+		c.act.Work(scriptWork)
+		c.srv.fcgid.Release(c.act)
+	})
+}
+
+// PHP serves a request through php-fpm: worker slot plus a php child held
+// for the script's duration (case c13).
+func (c *Client) PHP(scriptWork time.Duration) time.Duration {
+	return c.request("post", func() {
+		c.srv.php.Acquire(c.act)
+		c.act.Work(scriptWork)
+		c.srv.php.Release(c.act)
+	})
+}
+
+// SlowRequest serves a request whose handler holds a worker slot for the
+// whole duration (the MaxClients exhaustion of case c12: long polls, slow
+// upstreams).
+func (c *Client) SlowRequest(work time.Duration) time.Duration {
+	return c.request("post", func() {
+		c.act.Work(work)
+	})
+}

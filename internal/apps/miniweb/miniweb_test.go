@@ -1,0 +1,137 @@
+package miniweb
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"pbox/internal/isolation"
+)
+
+func testConfig() Config {
+	return Config{
+		MaxClients:  4,
+		FcgidSlots:  2,
+		PHPChildren: 2,
+		HandlerWork: time.Microsecond,
+	}
+}
+
+func TestStaticRequestCompletes(t *testing.T) {
+	srv := New(testConfig())
+	ctrl := isolation.NewNull()
+	c := srv.Connect(ctrl, "c-1")
+	defer c.Close()
+	if lat := c.Static(10 * time.Microsecond); lat <= 0 {
+		t.Fatalf("latency = %v", lat)
+	}
+	if srv.Workers().InUse() != 0 {
+		t.Fatalf("worker slots leaked: %d", srv.Workers().InUse())
+	}
+}
+
+func TestWorkerPoolBoundsConcurrency(t *testing.T) {
+	srv := New(testConfig()) // MaxClients 4
+	ctrl := isolation.NewNull()
+	var wg sync.WaitGroup
+	maxSeen := 0
+	var mu sync.Mutex
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := srv.Connect(ctrl, "c")
+			defer c.Close()
+			for j := 0; j < 5; j++ {
+				c.SlowRequest(200 * time.Microsecond)
+				mu.Lock()
+				if u := srv.Workers().InUse(); u > maxSeen {
+					maxSeen = u
+				}
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if maxSeen > 4 {
+		t.Fatalf("observed %d concurrent workers, MaxClients 4", maxSeen)
+	}
+}
+
+func TestFcgidSlotExhaustionBlocksFastRequests(t *testing.T) {
+	srv := New(testConfig()) // FcgidSlots 2
+	ctrl := isolation.NewNull()
+	slow1 := srv.Connect(ctrl, "s-1")
+	slow2 := srv.Connect(ctrl, "s-2")
+	fast := srv.Connect(ctrl, "f-1")
+	defer slow1.Close()
+	defer slow2.Close()
+	defer fast.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); slow1.CGI(20 * time.Millisecond) }()
+	go func() { defer wg.Done(); slow2.CGI(20 * time.Millisecond) }()
+	time.Sleep(3 * time.Millisecond) // both slots taken
+
+	lat := fast.CGI(10 * time.Microsecond)
+	wg.Wait()
+	if lat < 5*time.Millisecond {
+		t.Fatalf("fast CGI latency = %v, want blocked behind slot holders", lat)
+	}
+	if srv.Fcgid().InUse() != 0 {
+		t.Fatalf("fcgid slots leaked: %d", srv.Fcgid().InUse())
+	}
+}
+
+func TestPHPChildrenLimit(t *testing.T) {
+	srv := New(testConfig()) // PHPChildren 2
+	ctrl := isolation.NewNull()
+	var wg sync.WaitGroup
+	maxSeen := 0
+	var mu sync.Mutex
+	for i := 0; i < 5; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := srv.Connect(ctrl, "p")
+			defer c.Close()
+			for j := 0; j < 4; j++ {
+				c.PHP(100 * time.Microsecond)
+				mu.Lock()
+				if u := srv.PHP().InUse(); u > maxSeen {
+					maxSeen = u
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if maxSeen > 2 {
+		t.Fatalf("observed %d php children, limit 2", maxSeen)
+	}
+}
+
+func TestStaticUnaffectedByFcgidExhaustion(t *testing.T) {
+	srv := New(testConfig())
+	ctrl := isolation.NewNull()
+	slow1 := srv.Connect(ctrl, "s-1")
+	slow2 := srv.Connect(ctrl, "s-2")
+	static := srv.Connect(ctrl, "st-1")
+	defer slow1.Close()
+	defer slow2.Close()
+	defer static.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); slow1.CGI(10 * time.Millisecond) }()
+	go func() { defer wg.Done(); slow2.CGI(10 * time.Millisecond) }()
+	time.Sleep(2 * time.Millisecond)
+
+	// Static requests need only a worker slot (4 total, 2 busy).
+	lat := static.Static(10 * time.Microsecond)
+	wg.Wait()
+	if lat > 5*time.Millisecond {
+		t.Fatalf("static latency = %v, should not block on fcgid", lat)
+	}
+}

@@ -1,0 +1,119 @@
+// Package baseline implements the four state-of-the-art comparison systems
+// of Section 6.3 as isolation.Controller policies over the simulated
+// applications:
+//
+//   - cgroup: even CPU-quota partitioning across workload groups
+//     (Linux control groups driven by the paper's classification script).
+//   - PARTIES: per-client QoS monitoring with incremental resource
+//     (CPU-share) shifting upon violations.
+//   - Retro: per-workflow resource usage tracing (CPU + lock hold time)
+//     with BFAIR throttling of the heaviest workflows.
+//   - DARC: request-type profiling with reserved capacity for short
+//     requests.
+//
+// Each reproduces the control policy of the original system; none of them
+// understands application virtual resources, which is exactly the gap the
+// paper demonstrates (they throttle hardware resources, so when the victim
+// is waiting for a virtual resource held by the noisy activity, throttling
+// the noisy activity's CPU makes the victim wait longer).
+package baseline
+
+import (
+	"sync"
+	"time"
+
+	"pbox/internal/exec"
+)
+
+// tokenBucket enforces a CPU-time rate: Consume(d) debits d of CPU time and
+// returns how long the caller must sleep to stay within rate.
+type tokenBucket struct {
+	mu       sync.Mutex
+	rate     float64 // CPU-ns earned per wall-ns
+	capacity int64   // max accumulated CPU-ns
+	tokens   int64
+	last     int64
+}
+
+func newTokenBucket(rate float64, burst time.Duration) *tokenBucket {
+	return &tokenBucket{
+		rate:     rate,
+		capacity: int64(burst),
+		tokens:   int64(burst),
+		last:     exec.Now(),
+	}
+}
+
+// consume debits d and returns the required sleep (0 if within budget).
+func (b *tokenBucket) consume(d time.Duration) time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := exec.Now()
+	b.tokens += int64(float64(now-b.last) * b.rate)
+	if b.tokens > b.capacity {
+		b.tokens = b.capacity
+	}
+	b.last = now
+	b.tokens -= int64(d)
+	if b.tokens >= 0 {
+		return 0
+	}
+	// Sleep until the deficit is earned back.
+	return time.Duration(float64(-b.tokens) / b.rate)
+}
+
+// setRate changes the refill rate.
+func (b *tokenBucket) setRate(rate float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if rate < 0.01 {
+		rate = 0.01
+	}
+	b.rate = rate
+}
+
+// ewma is a simple exponentially weighted moving average.
+type ewma struct {
+	alpha float64
+	value float64
+	init  bool
+}
+
+func (e *ewma) add(v float64) {
+	if !e.init {
+		e.value, e.init = v, true
+		return
+	}
+	e.value = e.alpha*v + (1-e.alpha)*e.value
+}
+
+func (e *ewma) get() float64 { return e.value }
+
+// monitor runs fn every interval until stopped.
+type monitor struct {
+	stop chan struct{}
+	done chan struct{}
+}
+
+func startMonitor(interval time.Duration, fn func()) *monitor {
+	m := &monitor{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(m.done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-m.stop:
+				return
+			case <-t.C:
+				fn()
+			}
+		}
+	}()
+	return m
+}
+
+func (m *monitor) Stop() {
+	close(m.stop)
+	<-m.done
+}

@@ -1,0 +1,111 @@
+package baseline
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"pbox/internal/core"
+	"pbox/internal/exec"
+	"pbox/internal/isolation"
+)
+
+// Cgroup reproduces the paper's cgroup methodology (Section 6.3): "a script
+// dynamically identifies threads that handle different types of workloads
+// and puts them into different cgroups... background task threads into one
+// cgroup. Then the script configures an even CPU usage quota among the
+// cgroups."
+//
+// Groups are keyed by the workload class of the connection (its name prefix,
+// standing in for the script's classification); all background tasks share
+// one group. Each group gets an even share of the machine's CPU bandwidth,
+// enforced as a token bucket debited by Work calls — the userspace analogue
+// of cfs_quota/cfs_period.
+type Cgroup struct {
+	mu       sync.Mutex
+	groups   map[string]*tokenBucket
+	totalCPU float64 // machine CPU-ns per wall-ns
+	burst    time.Duration
+}
+
+// NewCgroup creates the cgroup controller.
+func NewCgroup() *Cgroup {
+	return &Cgroup{
+		groups:   make(map[string]*tokenBucket),
+		totalCPU: float64(runtime.GOMAXPROCS(0)),
+		burst:    2 * time.Millisecond,
+	}
+}
+
+// Name implements isolation.Controller.
+func (c *Cgroup) Name() string { return "cgroup" }
+
+// Shutdown implements isolation.Controller.
+func (c *Cgroup) Shutdown() {}
+
+// ConnStart implements isolation.Controller.
+func (c *Cgroup) ConnStart(name string, kind isolation.Kind) isolation.Activity {
+	group := groupOf(name, kind)
+	c.mu.Lock()
+	if _, ok := c.groups[group]; !ok {
+		c.groups[group] = newTokenBucket(1, c.burst)
+		c.rebalanceLocked()
+	}
+	b := c.groups[group]
+	c.mu.Unlock()
+	return &cgroupActivity{bucket: b}
+}
+
+// rebalanceLocked assigns each group an even share of total CPU bandwidth.
+func (c *Cgroup) rebalanceLocked() {
+	if len(c.groups) == 0 {
+		return
+	}
+	share := c.totalCPU / float64(len(c.groups))
+	for _, b := range c.groups {
+		b.setRate(share)
+	}
+}
+
+// groupOf classifies a connection name into a workload group: background
+// tasks share one group; foreground connections group by name prefix (the
+// text before the last '-'), standing in for the script's workload-type
+// detection.
+func groupOf(name string, kind isolation.Kind) string {
+	if kind == isolation.KindBackground {
+		return "background"
+	}
+	for i := len(name) - 1; i >= 0; i-- {
+		if name[i] == '-' {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+type cgroupActivity struct {
+	bucket *tokenBucket
+}
+
+func (a *cgroupActivity) Begin(string)                           {}
+func (a *cgroupActivity) End(time.Duration)                      {}
+func (a *cgroupActivity) Event(core.ResourceKey, core.EventType) {}
+func (a *cgroupActivity) Gate() time.Duration                    { return 0 }
+func (a *cgroupActivity) Close()                                 {}
+func (a *cgroupActivity) IO(d time.Duration)                     { exec.IOWait(d) }
+
+// Work spends CPU under the group quota: the spin is broken into slices and
+// the quota sleep is injected between them, exactly like CFS bandwidth
+// control preempting a thread mid-request — including while it holds
+// application virtual resources, which is why cgroup can worsen intra-app
+// interference.
+func (a *cgroupActivity) Work(d time.Duration) {
+	var prev time.Duration
+	exec.WorkChunked(d, 200*time.Microsecond, func(done time.Duration) {
+		step := done - prev
+		prev = done
+		if sleep := a.bucket.consume(step); sleep > 0 {
+			exec.SleepPrecise(sleep)
+		}
+	})
+}

@@ -1,0 +1,143 @@
+package baseline
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"pbox/internal/core"
+	"pbox/internal/exec"
+	"pbox/internal/isolation"
+)
+
+// Darc reproduces the DARC (Perséphone) methodology as adapted by the paper
+// (Section 6.3): "DARC provides request-level scheduling. We extend its
+// request classifiers to support four request types for MySQL/PostgreSQL
+// (Read, Write, Insert, Delete) and two request types for
+// Apache/Varnish/Memcached (Post, Get)."
+//
+// DARC profiles per-type service times and reserves capacity for short
+// requests, letting long requests use only the remaining workers ("when
+// idling is ideal"). Here the controller profiles each request type's
+// latency (EWMA), classifies types as short or long around the running
+// median, and admits long-type activities through a bounded slot pool that
+// keeps a fraction of capacity reserved for short requests. Like the real
+// system it assumes requests are independent; when a long request holds a
+// virtual resource, delaying its peers only builds the convoy.
+type Darc struct {
+	mu       sync.Mutex
+	types    map[string]*ewma
+	capacity int
+	// longSlots bounds concurrently executing long-type activities.
+	longInUse int
+	longCap   int
+}
+
+// NewDarc creates the DARC controller sized to the machine.
+func NewDarc() *Darc {
+	capacity := runtime.GOMAXPROCS(0)
+	if capacity < 2 {
+		capacity = 2
+	}
+	return &Darc{
+		types:    make(map[string]*ewma),
+		capacity: capacity,
+		longCap:  capacity - 1, // one worker kept idle for short requests
+	}
+}
+
+// Name implements isolation.Controller.
+func (d *Darc) Name() string { return "darc" }
+
+// Shutdown implements isolation.Controller.
+func (d *Darc) Shutdown() {}
+
+// ConnStart implements isolation.Controller.
+func (d *Darc) ConnStart(name string, kind isolation.Kind) isolation.Activity {
+	return &darcActivity{ctrl: d}
+}
+
+// classifyLocked reports whether reqType is currently a "long" type: its
+// profiled service time is above twice the minimum profiled type. Caller
+// holds d.mu.
+func (d *Darc) classifyLocked(reqType string) bool {
+	e, ok := d.types[reqType]
+	if !ok || !e.init {
+		return false // unknown types are treated as short until profiled
+	}
+	min := -1.0
+	for _, t := range d.types {
+		if t.init && (min < 0 || t.get() < min) {
+			min = t.get()
+		}
+	}
+	if min <= 0 {
+		return false
+	}
+	return e.get() > 2*min
+}
+
+// admitLong blocks the caller until a long slot is available.
+func (d *Darc) admitLong() {
+	for {
+		d.mu.Lock()
+		if d.longInUse < d.longCap {
+			d.longInUse++
+			d.mu.Unlock()
+			return
+		}
+		d.mu.Unlock()
+		exec.SleepPrecise(50 * time.Microsecond)
+	}
+}
+
+func (d *Darc) releaseLong() {
+	d.mu.Lock()
+	d.longInUse--
+	d.mu.Unlock()
+}
+
+// record folds a finished request into the per-type profile.
+func (d *Darc) record(reqType string, lat time.Duration) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	e, ok := d.types[reqType]
+	if !ok {
+		e = &ewma{alpha: 0.2}
+		d.types[reqType] = e
+	}
+	e.add(float64(lat))
+}
+
+type darcActivity struct {
+	ctrl     *Darc
+	curType  string
+	admitted bool
+}
+
+func (a *darcActivity) Begin(reqType string) {
+	a.curType = reqType
+	a.ctrl.mu.Lock()
+	long := a.ctrl.classifyLocked(reqType)
+	a.ctrl.mu.Unlock()
+	if long {
+		a.ctrl.admitLong()
+		a.admitted = true
+	}
+}
+
+func (a *darcActivity) End(lat time.Duration) {
+	if a.admitted {
+		a.ctrl.releaseLong()
+		a.admitted = false
+	}
+	if a.curType != "" {
+		a.ctrl.record(a.curType, lat)
+	}
+}
+
+func (a *darcActivity) Event(core.ResourceKey, core.EventType) {}
+func (a *darcActivity) Work(d time.Duration)                   { exec.Work(d) }
+func (a *darcActivity) IO(d time.Duration)                     { exec.IOWait(d) }
+func (a *darcActivity) Gate() time.Duration                    { return 0 }
+func (a *darcActivity) Close()                                 {}

@@ -1,0 +1,50 @@
+package cases
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"pbox/internal/stats"
+)
+
+// TestCalibrate prints To/Ti/Ts and reduction ratios for each case. It only
+// runs when PBOX_CALIBRATE is set (it is a tuning tool, not a regression
+// test). PBOX_CASES can narrow it to a comma-separated id list.
+func TestCalibrate(t *testing.T) {
+	if os.Getenv("PBOX_CALIBRATE") == "" {
+		t.Skip("set PBOX_CALIBRATE=1 to run")
+	}
+	filter := os.Getenv("PBOX_CASES")
+	for _, c := range Catalog() {
+		if filter != "" && !contains(filter, c.ID) {
+			continue
+		}
+		to := Run(c, RunConfig{Solution: SolutionNone, Interference: false})
+		ti := Run(c, RunConfig{Solution: SolutionNone, Interference: true})
+		ts := Run(c, RunConfig{Solution: SolutionPBox, Interference: true})
+		p := stats.InterferenceLevel(ti.Victim.Mean, to.Victim.Mean)
+		r := stats.ReductionRatio(ti.Victim.Mean, to.Victim.Mean, ts.Victim.Mean)
+		fmt.Printf("%-4s To=%-10v Ti=%-12v Ts=%-12v p=%-8.2f r=%6.1f%% actions=%d n(Ti)=%d\n",
+			c.ID, to.Victim.Mean, ti.Victim.Mean, ts.Victim.Mean, p, r*100, ts.Actions, ti.Victim.Count)
+	}
+	_ = time.Now
+}
+
+func contains(csv, id string) bool {
+	for len(csv) > 0 {
+		i := 0
+		for i < len(csv) && csv[i] != ',' {
+			i++
+		}
+		if csv[:i] == id {
+			return true
+		}
+		if i == len(csv) {
+			break
+		}
+		csv = csv[i+1:]
+	}
+	return false
+}

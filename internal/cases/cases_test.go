@@ -1,0 +1,187 @@
+package cases
+
+import (
+	"testing"
+	"time"
+
+	"pbox/internal/core"
+	"pbox/internal/stats"
+)
+
+func TestCatalogComplete(t *testing.T) {
+	cat := Catalog()
+	if len(cat) != 16 {
+		t.Fatalf("catalog has %d cases, want 16", len(cat))
+	}
+	apps := map[string]int{}
+	seen := map[string]bool{}
+	for i, c := range cat {
+		if c.ID == "" || c.Desc == "" || c.Resource == "" || c.Scenario == nil {
+			t.Fatalf("case %d incomplete: %+v", i, c)
+		}
+		if seen[c.ID] {
+			t.Fatalf("duplicate case id %s", c.ID)
+		}
+		seen[c.ID] = true
+		if c.PaperLevel <= 0 {
+			t.Fatalf("case %s missing paper interference level", c.ID)
+		}
+		apps[c.App]++
+	}
+	// Table 3's distribution: 5 MySQL, 5 PostgreSQL, 3 Apache, 2 Varnish,
+	// 1 Memcached.
+	want := map[string]int{"MySQL": 5, "PostgreSQL": 5, "Apache": 3, "Varnish": 2, "Memcached": 1}
+	for app, n := range want {
+		if apps[app] != n {
+			t.Fatalf("%s has %d cases, want %d", app, apps[app], n)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	c, ok := ByID("c5")
+	if !ok || c.ID != "c5" || c.App != "MySQL" {
+		t.Fatalf("ByID(c5) = %+v, %v", c, ok)
+	}
+	if _, ok := ByID("c99"); ok {
+		t.Fatal("ByID(c99) succeeded")
+	}
+}
+
+func TestEventDrivenFlags(t *testing.T) {
+	for _, id := range []string{"c14", "c15", "c16"} {
+		c, _ := ByID(id)
+		if !c.EventDriven {
+			t.Fatalf("%s should be event-driven", id)
+		}
+	}
+	for _, id := range []string{"c1", "c6", "c11"} {
+		c, _ := ByID(id)
+		if c.EventDriven {
+			t.Fatalf("%s should not be event-driven", id)
+		}
+	}
+}
+
+func TestRunVanillaProducesSamples(t *testing.T) {
+	c, _ := ByID("c1")
+	out := Run(c, RunConfig{Solution: SolutionNone, Interference: false, Duration: 60 * time.Millisecond})
+	if out.Victim.Count == 0 {
+		t.Fatal("no victim samples recorded")
+	}
+	if out.Actions != 0 {
+		t.Fatalf("vanilla run reported %d actions", out.Actions)
+	}
+	if out.Noisy.Count != 0 {
+		t.Fatal("noisy samples recorded without interference")
+	}
+}
+
+func TestRunInterferenceRaisesLatency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	c, _ := ByID("c12")
+	to := Run(c, RunConfig{Solution: SolutionNone, Interference: false, Duration: 100 * time.Millisecond})
+	ti := Run(c, RunConfig{Solution: SolutionNone, Interference: true, Duration: 100 * time.Millisecond})
+	if ti.Victim.Mean <= 2*to.Victim.Mean {
+		t.Fatalf("interference too weak: To=%v Ti=%v", to.Victim.Mean, ti.Victim.Mean)
+	}
+	if ti.Noisy.Count == 0 {
+		t.Fatal("no noisy samples under interference")
+	}
+}
+
+func TestRunPBoxTakesActions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	c, _ := ByID("c12")
+	out := Run(c, RunConfig{Solution: SolutionPBox, Interference: true, Duration: 100 * time.Millisecond})
+	if out.Actions == 0 {
+		t.Fatal("pBox took no actions on a heavily interfered case")
+	}
+	if len(out.PenaltyLengths) == 0 {
+		t.Fatal("no penalty lengths recorded")
+	}
+}
+
+func TestRunPBoxMitigates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive end-to-end check")
+	}
+	// c12 (MaxClients exhaustion) is the most deterministic strong case.
+	c, _ := ByID("c12")
+	d := 200 * time.Millisecond
+	to := Run(c, RunConfig{Solution: SolutionNone, Interference: false, Duration: d})
+	ti := Run(c, RunConfig{Solution: SolutionNone, Interference: true, Duration: d})
+	ts := Run(c, RunConfig{Solution: SolutionPBox, Interference: true, Duration: d})
+	r := stats.ReductionRatio(ti.Victim.Mean, to.Victim.Mean, ts.Victim.Mean)
+	t.Logf("c12: To=%v Ti=%v Ts=%v r=%.1f%%", to.Victim.Mean, ti.Victim.Mean, ts.Victim.Mean, r*100)
+	if r < 0.3 {
+		t.Fatalf("pBox reduction = %.1f%%, want >= 30%%", r*100)
+	}
+}
+
+func TestRunAllSolutionsConstruct(t *testing.T) {
+	c, _ := ByID("c2")
+	for _, sol := range append(Solutions(), SolutionNone) {
+		out := Run(c, RunConfig{Solution: sol, Interference: true, Duration: 40 * time.Millisecond})
+		if out.Victim.Count == 0 {
+			t.Fatalf("solution %s recorded no samples", sol)
+		}
+	}
+}
+
+func TestRunUnknownSolutionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unknown solution")
+		}
+	}()
+	c, _ := ByID("c1")
+	Run(c, RunConfig{Solution: "bogus", Interference: false, Duration: 10 * time.Millisecond})
+}
+
+func TestRunCustomRule(t *testing.T) {
+	c, _ := ByID("c2")
+	out := Run(c, RunConfig{
+		Solution: SolutionPBox, Interference: true, Duration: 40 * time.Millisecond,
+		Rule: core.IsolationRule{Type: core.Relative, Level: 1.25, Metric: core.MetricAverage},
+	})
+	if out.Victim.Count == 0 {
+		t.Fatal("no samples with custom rule")
+	}
+}
+
+func TestMotivationSeriesShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow series")
+	}
+	pts := Fig3Series(600 * time.Millisecond)
+	if len(pts) < 10 {
+		t.Fatalf("fig3 series too short: %d", len(pts))
+	}
+	// Latency after the fifth client joins (last third) should exceed the
+	// quiet phase.
+	var before, after float64
+	var bn, an int
+	for i, p := range pts {
+		if p.Count == 0 {
+			continue
+		}
+		if i < len(pts)*2/3 {
+			before += p.Mean
+			bn++
+		} else if i < len(pts)-1 {
+			after += p.Mean
+			an++
+		}
+	}
+	if bn == 0 || an == 0 {
+		t.Fatal("empty series phases")
+	}
+	if after/float64(an) <= before/float64(bn) {
+		t.Fatalf("fig3 shape inverted: before=%.3f after=%.3f", before/float64(bn), after/float64(an))
+	}
+}

@@ -1,0 +1,43 @@
+package cases
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"pbox/internal/core"
+	"pbox/internal/isolation"
+	"pbox/internal/stats"
+)
+
+func TestDebugCase(t *testing.T) {
+	id := os.Getenv("PBOX_DEBUG_CASE")
+	if id == "" {
+		t.Skip("set PBOX_DEBUG_CASE")
+	}
+	c, ok := ByID(id)
+	if !ok {
+		t.Fatal("unknown case")
+	}
+	mgr := core.NewManager(core.Options{})
+	var ctrl isolation.Controller
+	if c.EventDriven {
+		ctrl = isolation.NewPBoxShared(mgr, core.DefaultRule())
+	} else {
+		ctrl = isolation.NewPBox(mgr, core.DefaultRule())
+	}
+	env := &Env{Ctrl: ctrl, Interference: true, Duration: 300 * time.Millisecond,
+		Victim: stats.NewRecorder(4096), Noisy: stats.NewRecorder(4096)}
+	c.Scenario(env)
+	v := env.Victim.Summary()
+	fmt.Printf("victim mean=%v p95=%v n=%d\n", v.Mean, v.P95, v.Count)
+	for _, r := range mgr.ActionReport() {
+		tot := time.Duration(0)
+		for _, l := range r.Lengths {
+			tot += l
+		}
+		fmt.Printf("noisy=%d key=%#x actions=%d score=%d gap=%d total=%v last=%v\n",
+			r.NoisyID, uintptr(r.Key), r.Actions, r.ScoreActions, r.GapActions, tot, r.Lengths[len(r.Lengths)-1])
+	}
+}

@@ -1,0 +1,392 @@
+package cases
+
+import (
+	"math/rand"
+	"time"
+
+	"pbox/internal/apps/minidb"
+	"pbox/internal/stats"
+	"pbox/internal/workload"
+)
+
+// caseC1 — MySQL, custom lock: a SELECT FOR UPDATE transaction holds the
+// table lock across its lifetime and blocks other clients' inserts.
+func caseC1() Case {
+	return Case{
+		ID: "c1", App: "MySQL", Bug: false,
+		Resource:   "custom lock",
+		Desc:       "SELECT FOR UPDATE query blocks other clients' insert query",
+		PaperLevel: 8.76,
+		Scenario: func(env *Env) {
+			db := minidb.New(minidb.DefaultConfig())
+			db.CreateTable("orders", 400, 10, false)
+
+			victim := db.Connect(env.Ctrl, "inserter-1")
+			defer victim.Close()
+			specs := []workload.Spec{{
+				Name:     "inserter-1",
+				Think:    200 * time.Microsecond,
+				Recorder: env.Victim,
+				Op: func(r *rand.Rand) {
+					victim.InsertBlocking("orders", 2)
+				},
+			}}
+			if env.Interference {
+				locker := db.Connect(env.Ctrl, "locker-1")
+				defer locker.Close()
+				specs = append(specs, workload.Spec{
+					Name:     "locker-1",
+					Think:    time.Millisecond,
+					Recorder: env.Noisy,
+					Op: func(r *rand.Rand) {
+						locker.Begin()
+						locker.SelectForUpdate("orders", 500*time.Microsecond)
+						time.Sleep(2 * time.Millisecond) // txn stays open
+						locker.Commit()
+					},
+				})
+			}
+			workload.Run(env.Duration, specs)
+		},
+	}
+}
+
+// caseC2 — MySQL, custom mutex: inserting into tables without a primary key
+// serializes on a global engine mutex while the hidden row-id is assigned.
+func caseC2() Case {
+	return Case{
+		ID: "c2", App: "MySQL", Bug: false,
+		Resource:   "custom mutex",
+		Desc:       "Inserting to tables without primary key would cause contention on global mutex",
+		PaperLevel: 0.11,
+		Scenario: func(env *Env) {
+			db := minidb.New(minidb.DefaultConfig())
+			db.CreateTable("nopk", 400, 10, true)
+
+			victim := db.Connect(env.Ctrl, "writer-1")
+			defer victim.Close()
+			specs := []workload.Spec{{
+				Name:     "writer-1",
+				Think:    200 * time.Microsecond,
+				Recorder: env.Victim,
+				Op: func(r *rand.Rand) {
+					victim.Insert("nopk", 5)
+				},
+			}}
+			if env.Interference {
+				bulk := db.Connect(env.Ctrl, "bulkwriter-1")
+				defer bulk.Close()
+				specs = append(specs, workload.Spec{
+					Name:     "bulkwriter-1",
+					Think:    200 * time.Microsecond,
+					Recorder: env.Noisy,
+					Op: func(r *rand.Rand) {
+						bulk.Insert("nopk", 150)
+					},
+				})
+			}
+			workload.Run(env.Duration, specs)
+		},
+	}
+}
+
+// caseC3 — MySQL, thread-concurrency tickets (Figure 3): a fifth
+// write-intensive client exhausts the innodb_thread_concurrency slots and a
+// read-intensive client's latency triples.
+func caseC3() Case {
+	return Case{
+		ID: "c3", App: "MySQL", Bug: false,
+		Resource:   "integer and tickets",
+		Desc:       "Slow query blocks other clients' requests when concurrency limit is reached",
+		PaperLevel: 10.70,
+		Scenario: func(env *Env) {
+			cfg := minidb.DefaultConfig()
+			cfg.TicketLimit = 4
+			// One ticket per entry: the slot is released at statement end,
+			// so contention is among in-flight statements (5 active
+			// clients over 4 slots), as in the reproduction setup of
+			// Section 2.1.
+			cfg.TicketsPerEnter = 1
+			db := minidb.New(cfg)
+			for _, name := range []string{"t1", "t2", "t3", "t4", "t5"} {
+				db.CreateTable(name, 200, 10, false)
+			}
+
+			victim := db.Connect(env.Ctrl, "reader-1")
+			defer victim.Close()
+			specs := []workload.Spec{{
+				Name:     "reader-1",
+				Think:    200 * time.Microsecond,
+				Recorder: env.Victim,
+				Op: func(r *rand.Rand) {
+					victim.Read("t4", r.Intn(200), 4)
+				},
+			}}
+			// Three steady write-intensive clients.
+			for i, table := range []string{"t1", "t2", "t3"} {
+				w := db.Connect(env.Ctrl, "writer-"+table)
+				defer w.Close()
+				specs = append(specs, workload.Spec{
+					Name:  "writer-" + table,
+					Think: 400 * time.Microsecond,
+					Seed:  int64(i + 1),
+					Op: func(r *rand.Rand) {
+						w.SlowQuery(table, 800*time.Microsecond)
+					},
+				})
+			}
+			if env.Interference {
+				fifth := db.Connect(env.Ctrl, "writer-t5")
+				defer fifth.Close()
+				specs = append(specs, workload.Spec{
+					Name:     "writer-t5",
+					Think:    100 * time.Microsecond,
+					Recorder: env.Noisy,
+					Op: func(r *rand.Rand) {
+						fifth.SlowQuery("t5", 1200*time.Microsecond)
+					},
+				})
+			}
+			workload.Run(env.Duration, specs)
+		},
+	}
+}
+
+// caseC4 — MySQL, SERIALIZABLE isolation: serializable reads take shared
+// table locks and block writers.
+func caseC4() Case {
+	return Case{
+		ID: "c4", App: "MySQL", Bug: true,
+		Resource:   "integer variable",
+		Desc:       "SERIALIZABLE isolation model causes significant overhead to SELECT locking",
+		PaperLevel: 6.61,
+		Scenario: func(env *Env) {
+			db := minidb.New(minidb.DefaultConfig())
+			db.CreateTable("acct", 400, 10, false)
+
+			victim := db.Connect(env.Ctrl, "writer-1")
+			victim.SetIsolation(minidb.Serializable)
+			defer victim.Close()
+			specs := []workload.Spec{{
+				Name:     "writer-1",
+				Think:    300 * time.Microsecond,
+				Recorder: env.Victim,
+				Op: func(r *rand.Rand) {
+					victim.Write("acct", r.Intn(400), 2)
+				},
+			}}
+			if env.Interference {
+				serial := db.Connect(env.Ctrl, "serialreader-1")
+				serial.SetIsolation(minidb.Serializable)
+				defer serial.Close()
+				specs = append(specs, workload.Spec{
+					Name:     "serialreader-1",
+					Think:    200 * time.Microsecond,
+					Recorder: env.Noisy,
+					Op: func(r *rand.Rand) {
+						serial.Read("acct", 0, 500)
+					},
+				})
+			}
+			workload.Run(env.Duration, specs)
+		},
+	}
+}
+
+// caseC5 — MySQL, UNDO log (Figure 1): history accumulated behind a long
+// transaction forces the purge thread into long chunked passes that block
+// client requests.
+func caseC5() Case {
+	return Case{
+		ID: "c5", App: "MySQL", Bug: false,
+		Resource:   "UNDO log",
+		Desc:       "Background purge task blocks the client's request when purging the UNDO log",
+		PaperLevel: 15.35,
+		Scenario: func(env *Env) {
+			cfg := minidb.DefaultConfig()
+			cfg.PurgeChunk = 125
+			cfg.UndoCosts.PurgePerEntry = 8 * time.Microsecond
+			db := minidb.New(cfg)
+			db.CreateTable("t", 400, 10, false)
+
+			if env.Interference {
+				// History accumulated behind a just-committed long
+				// transaction (the client-A pattern of Figure 1).
+				db.Undo().Append(nil, 30000)
+				pr := db.StartPurge(env.Ctrl)
+				defer pr.Stop()
+			}
+			victim := db.Connect(env.Ctrl, "writer-1")
+			defer victim.Close()
+			workload.Run(env.Duration, []workload.Spec{{
+				Name:     "writer-1",
+				Think:    150 * time.Microsecond,
+				Recorder: env.Victim,
+				Op: func(r *rand.Rand) {
+					victim.Write("t", r.Intn(400), 20)
+				},
+			}})
+		},
+	}
+}
+
+// Fig1Series reproduces the motivation Figure 1 time series: client B's
+// write latency before and after the long-transaction client A joins.
+func Fig1Series(d time.Duration) []stats.Point {
+	cfg := minidb.DefaultConfig()
+	// Small prompt chunks: with no old snapshots the purge trails the
+	// writers closely and its passes are short and harmless.
+	cfg.PurgeChunk = 50
+	cfg.UndoCosts.PurgePerEntry = 8 * time.Microsecond
+	cfg.UndoCosts.PinnedChain = 4
+	db := minidb.New(cfg)
+	db.CreateTable("t", 400, 10, false)
+	ctrl := isolationNull()
+	pr := db.StartPurge(ctrl)
+	// The purge coordinator batches: without old snapshots pinning
+	// history, B's steady trickle never reaches the threshold and purge
+	// stays out of the way (the quiet first third of Figure 1).
+	pr.Threshold = 200
+	pr.ChunkPause = 150 * time.Microsecond
+	defer pr.Stop()
+
+	series := stats.NewTimeSeries(d / 30)
+	b := db.Connect(ctrl, "clientB")
+	defer b.Close()
+	a := db.Connect(ctrl, "clientA")
+	defer a.Close()
+
+	specs := []workload.Spec{
+		{
+			Name:   "clientB",
+			Think:  150 * time.Microsecond,
+			Series: series,
+			Op: func(r *rand.Rand) {
+				b.Write("t", r.Intn(400), 5)
+			},
+		},
+		{
+			// Client A joins a third of the way in with one long
+			// transaction: its snapshot pins history, so B's writes
+			// retain full version chains and the UNDO log balloons.
+			// When A finally commits, the purge thread grinds through
+			// the backlog and B's latency jumps — the shape of
+			// Figure 1.
+			Name:  "clientA",
+			Start: d / 3,
+			Stop:  d/3 + d/5 + d/30,
+			Op: func(r *rand.Rand) {
+				a.Begin()
+				a.Read("t", 0, 1)
+				time.Sleep(d / 5) // the long transaction
+				a.Commit()
+			},
+		},
+	}
+	workload.Run(d, specs)
+	return series.Points()
+}
+
+// Fig2Series reproduces the motivation Figure 2 time series: throughput of
+// OLTP clients collapsing when a backup (dump) task starts.
+func Fig2Series(d time.Duration) []stats.Point {
+	cfg := minidb.DefaultConfig()
+	cfg.BufferPoolFrames = 96
+	db := minidb.New(cfg)
+	db.CreateTable("small", 600, 10, false) // 60 pages: fits the pool
+	db.CreateTable("big", 40000, 10, false) // 4000 pages: does not fit
+	ctrl := isolationNull()
+
+	series := stats.NewTimeSeries(d / 30)
+	var conns []*minidb.Conn
+	specs := make([]workload.Spec, 0, 5)
+	for i := 0; i < 4; i++ {
+		c := db.Connect(ctrl, "oltp")
+		conns = append(conns, c)
+		cc := c
+		specs = append(specs, workload.Spec{
+			Name:  "oltp",
+			Think: 150 * time.Microsecond,
+			Seed:  int64(i + 1),
+			Op: func(r *rand.Rand) {
+				t0 := time.Now()
+				if r.Intn(2) == 0 {
+					cc.Read("small", r.Intn(600), 2)
+				} else {
+					cc.Write("small", r.Intn(600), 2)
+				}
+				_ = t0
+				series.Add(1) // completion event: bucket count = throughput
+			},
+		})
+	}
+	dump := db.ConnectBackground(ctrl, "backup")
+	conns = append(conns, dump)
+	offset := 0
+	specs = append(specs, workload.Spec{
+		Name:  "backup",
+		Start: d / 3,
+		Op: func(r *rand.Rand) {
+			dump.Dump("big", offset, 128)
+			offset += 128
+		},
+	})
+	workload.Run(d, specs)
+	for _, c := range conns {
+		c.Close()
+	}
+	return series.Points()
+}
+
+// Fig3Series reproduces the motivation Figure 3 time series: the reader
+// client's latency before and after a fifth write-intensive client joins.
+func Fig3Series(d time.Duration) []stats.Point {
+	cfg := minidb.DefaultConfig()
+	cfg.TicketLimit = 4
+	// Autocommit statements force-exit the engine at statement end, so
+	// one ticket per entry (a slot held across client think time would
+	// deadlock a closed-loop workload once connections outnumber slots).
+	cfg.TicketsPerEnter = 1
+	db := minidb.New(cfg)
+	for _, name := range []string{"t1", "t2", "t3", "t4", "t5"} {
+		db.CreateTable(name, 200, 10, false)
+	}
+	ctrl := isolationNull()
+	series := stats.NewTimeSeries(d / 30)
+
+	reader := db.Connect(ctrl, "reader")
+	defer reader.Close()
+	specs := []workload.Spec{{
+		Name:   "reader",
+		Think:  200 * time.Microsecond,
+		Series: series,
+		Op: func(r *rand.Rand) {
+			reader.Read("t4", r.Intn(200), 4)
+		},
+	}}
+	for i, table := range []string{"t1", "t2", "t3"} {
+		w := db.Connect(ctrl, "writer-"+table)
+		defer w.Close()
+		t := table
+		specs = append(specs, workload.Spec{
+			Name:  "writer-" + t,
+			Think: 400 * time.Microsecond,
+			Seed:  int64(i + 1),
+			Op: func(r *rand.Rand) {
+				w.SlowQuery(t, 800*time.Microsecond)
+			},
+		})
+	}
+	fifth := db.Connect(ctrl, "writer-t5")
+	defer fifth.Close()
+	specs = append(specs, workload.Spec{
+		Name:  "writer-t5",
+		Start: d * 2 / 3,
+		Think: 100 * time.Microsecond,
+		Op: func(r *rand.Rand) {
+			fifth.SlowQuery("t5", 1200*time.Microsecond)
+		},
+	})
+	workload.Run(d, specs)
+	return series.Points()
+}

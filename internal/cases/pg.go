@@ -1,0 +1,232 @@
+package cases
+
+import (
+	"math/rand"
+	"time"
+
+	"pbox/internal/apps/minipg"
+	"pbox/internal/workload"
+)
+
+// caseC6 — PostgreSQL, table index: a large in-progress INSERT transaction
+// holds the index while adding entries and leaves behind in-progress tuples
+// that force every reader into MVCC visibility work.
+func caseC6() Case {
+	return Case{
+		ID: "c6", App: "PostgreSQL", Bug: true,
+		Resource:   "table index",
+		Desc:       "In-progress INSERT causes other queries to spend time on MVCC",
+		PaperLevel: 39.16,
+		Scenario: func(env *Env) {
+			cfg := minipg.DefaultConfig()
+			cfg.VisibilityWork = 500 * time.Nanosecond
+			db := minipg.New(cfg)
+			db.CreateTable("items", 1000)
+
+			victim := db.Connect(env.Ctrl, "reader-1")
+			defer victim.Close()
+			specs := []workload.Spec{{
+				Name:     "reader-1",
+				Think:    300 * time.Microsecond,
+				Recorder: env.Victim,
+				Op: func(r *rand.Rand) {
+					victim.Read("items", 10)
+				},
+			}}
+			if env.Interference {
+				ins := db.Connect(env.Ctrl, "inserter-1")
+				defer ins.Close()
+				specs = append(specs, workload.Spec{
+					Name:     "inserter-1",
+					Think:    500 * time.Microsecond,
+					Recorder: env.Noisy,
+					Op: func(r *rand.Rand) {
+						ins.Begin()
+						for i := 0; i < 4; i++ {
+							ins.Insert("items", 200)
+						}
+						ins.Commit()
+					},
+				})
+			}
+			workload.Run(env.Duration, specs)
+		},
+	}
+}
+
+// caseC7 — PostgreSQL, table-level lock: SELECT FOR UPDATE on one table
+// blocks requests on other tables that hash to the same lock-manager
+// partition.
+func caseC7() Case {
+	return Case{
+		ID: "c7", App: "PostgreSQL", Bug: false,
+		Resource:   "table-level lock",
+		Desc:       "Select for update query blocks the request on other tables",
+		PaperLevel: 1204.28,
+		Scenario: func(env *Env) {
+			cfg := minipg.DefaultConfig()
+			cfg.LockPartitions = 1 // every table shares one partition
+			db := minipg.New(cfg)
+			db.CreateTable("ta", 500)
+			db.CreateTable("tb", 500)
+
+			victim := db.Connect(env.Ctrl, "reader-1")
+			defer victim.Close()
+			specs := []workload.Spec{{
+				Name:     "reader-1",
+				Think:    300 * time.Microsecond,
+				Recorder: env.Victim,
+				Op: func(r *rand.Rand) {
+					victim.Read("tb", 5) // a *different* table
+				},
+			}}
+			if env.Interference {
+				locker := db.Connect(env.Ctrl, "locker-1")
+				defer locker.Close()
+				specs = append(specs, workload.Spec{
+					Name:     "locker-1",
+					Think:    time.Millisecond,
+					Recorder: env.Noisy,
+					Op: func(r *rand.Rand) {
+						locker.Begin()
+						locker.SelectForUpdate("ta", 300*time.Microsecond)
+						time.Sleep(2 * time.Millisecond)
+						locker.Commit()
+					},
+				})
+			}
+			workload.Run(env.Duration, specs)
+		},
+	}
+}
+
+// caseC8 — PostgreSQL, LWLock: a stream of overlapping shared-mode holders
+// starves waiters for exclusive mode.
+func caseC8() Case {
+	return Case{
+		ID: "c8", App: "PostgreSQL", Bug: false,
+		Resource:   "table-level lock",
+		Desc:       "LWlock waiters for exclusive mode are blocked by shared mode locker",
+		PaperLevel: 1727.95,
+		Scenario: func(env *Env) {
+			cfg := minipg.DefaultConfig()
+			cfg.LockPartitions = 1
+			db := minipg.New(cfg)
+			db.CreateTable("t", 500)
+
+			victim := db.Connect(env.Ctrl, "writer-1")
+			defer victim.Close()
+			specs := []workload.Spec{{
+				Name:     "writer-1",
+				Think:    300 * time.Microsecond,
+				Recorder: env.Victim,
+				Op: func(r *rand.Rand) {
+					victim.AcquireExclusive("t", 100*time.Microsecond)
+				},
+			}}
+			if env.Interference {
+				// Three overlapping shared-mode lockers: there is
+				// essentially never a reader-free instant, so the
+				// exclusive waiter starves (the paper reports a
+				// 1728x interference level for this case).
+				for i := 0; i < 3; i++ {
+					sc := db.Connect(env.Ctrl, "scanner-1")
+					defer sc.Close()
+					rec := env.Noisy
+					if i > 0 {
+						rec = nil
+					}
+					specs = append(specs, workload.Spec{
+						Name:     "scanner-1",
+						Think:    100 * time.Microsecond,
+						Seed:     int64(i + 7),
+						Recorder: rec,
+						Op: func(r *rand.Rand) {
+							sc.SharedScan("t", 1500*time.Microsecond)
+						},
+					})
+				}
+			}
+			workload.Run(env.Duration, specs)
+		},
+	}
+}
+
+// caseC9 — PostgreSQL, dead rows: a VACUUM FULL pass holds the table
+// exclusively while compacting dead tuples, blocking requests.
+func caseC9() Case {
+	return Case{
+		ID: "c9", App: "PostgreSQL", Bug: false,
+		Resource:   "dead table rows",
+		Desc:       "Vacuum full process blocks other requests",
+		PaperLevel: 419.14,
+		Scenario: func(env *Env) {
+			cfg := minipg.DefaultConfig()
+			cfg.LockPartitions = 1
+			db := minipg.New(cfg)
+			db.CreateTable("t", 500)
+
+			if env.Interference {
+				// A bulk delete/update left a large dead-row backlog.
+				seed := db.Connect(env.Ctrl, "seed-1")
+				seed.Update("t", 40000)
+				seed.Close()
+				vr := db.StartVacuum(env.Ctrl, "t")
+				defer vr.Stop()
+			}
+			victim := db.Connect(env.Ctrl, "reader-1")
+			defer victim.Close()
+			workload.Run(env.Duration, []workload.Spec{{
+				Name:     "reader-1",
+				Think:    300 * time.Microsecond,
+				Recorder: env.Victim,
+				Op: func(r *rand.Rand) {
+					victim.Read("t", 5)
+				},
+			}})
+		},
+	}
+}
+
+// caseC10 — PostgreSQL, write-ahead log: large WAL writes hold the
+// group-insert lock and block other backends' commits.
+func caseC10() Case {
+	return Case{
+		ID: "c10", App: "PostgreSQL", Bug: false,
+		Resource:   "write-ahead log",
+		Desc:       "A large WAL causes the group insertion blocking other requests",
+		PaperLevel: 3.69,
+		Scenario: func(env *Env) {
+			cfg := minipg.DefaultConfig()
+			cfg.WALCosts.Append = 2 * time.Microsecond
+			db := minipg.New(cfg)
+			db.CreateTable("t", 500)
+
+			victim := db.Connect(env.Ctrl, "committer-1")
+			defer victim.Close()
+			specs := []workload.Spec{{
+				Name:     "committer-1",
+				Think:    300 * time.Microsecond,
+				Recorder: env.Victim,
+				Op: func(r *rand.Rand) {
+					victim.Begin()
+					victim.Insert("t", 2)
+					victim.Commit()
+				},
+			}}
+			if env.Interference {
+				bulk := db.Connect(env.Ctrl, "bulkwriter-1")
+				defer bulk.Close()
+				specs = append(specs, workload.Spec{
+					Name:     "bulkwriter-1",
+					Think:    300 * time.Microsecond,
+					Recorder: env.Noisy,
+					Op: func(r *rand.Rand) {
+						bulk.Update("t", 600)
+					},
+				})
+			}
+			workload.Run(env.Duration, specs)
+		},
+	}
+}

@@ -1,0 +1,102 @@
+package cases
+
+import (
+	"math/rand"
+	"time"
+
+	"pbox/internal/apps/miniproxy"
+	"pbox/internal/workload"
+)
+
+// caseC14 — Varnish, thread pool: requests fetching big objects occupy the
+// worker threads and requests for small objects queue behind them.
+func caseC14() Case {
+	return Case{
+		ID: "c14", App: "Varnish", Bug: false,
+		Resource:    "varnish thread pool",
+		Desc:        "Slow request on visiting big objects blocks the requests on small objects",
+		PaperLevel:  18045.79,
+		EventDriven: true,
+		Scenario: func(env *Env) {
+			cfg := miniproxy.DefaultConfig()
+			cfg.Workers = 4
+			p := miniproxy.New(cfg)
+			defer p.Stop()
+
+			victim := p.Connect(env.Ctrl, "smallclient-1")
+			defer victim.Close()
+			specs := []workload.Spec{{
+				Name:     "smallclient-1",
+				Think:    300 * time.Microsecond,
+				Recorder: env.Victim,
+				Op: func(r *rand.Rand) {
+					victim.Small(50 * time.Microsecond)
+				},
+			}}
+			if env.Interference {
+				for i := 0; i < 6; i++ {
+					big := p.Connect(env.Ctrl, "bigclient-1")
+					defer big.Close()
+					rec := env.Noisy
+					if i > 0 {
+						rec = nil
+					}
+					specs = append(specs, workload.Spec{
+						Name:     "bigclient-1",
+						Think:    100 * time.Microsecond,
+						Seed:     int64(i + 23),
+						Recorder: rec,
+						Op: func(r *rand.Rand) {
+							big.Big(100*time.Microsecond, 3*time.Millisecond)
+						},
+					})
+				}
+			}
+			workload.Run(env.Duration, specs)
+		},
+	}
+}
+
+// caseC15 — Varnish, system lock: the WRK_SumStat global lock, taken on
+// every request completion, is stalled by statistics aggregation passes.
+func caseC15() Case {
+	return Case{
+		ID: "c15", App: "Varnish", Bug: true,
+		Resource:    "system lock",
+		Desc:        "WRK_SumStat lock contention with high number of thread pools",
+		PaperLevel:  0.68,
+		EventDriven: true,
+		Scenario: func(env *Env) {
+			cfg := miniproxy.DefaultConfig()
+			cfg.Workers = 4
+			p := miniproxy.New(cfg)
+			defer p.Stop()
+
+			if env.Interference {
+				f := p.StartStatsFlusher(env.Ctrl, 1500*time.Microsecond, 2500*time.Microsecond)
+				defer f.Stop()
+			}
+			victim := p.Connect(env.Ctrl, "client-1")
+			defer victim.Close()
+			peer := p.Connect(env.Ctrl, "client-2")
+			defer peer.Close()
+			workload.Run(env.Duration, []workload.Spec{
+				{
+					Name:     "client-1",
+					Think:    300 * time.Microsecond,
+					Recorder: env.Victim,
+					Op: func(r *rand.Rand) {
+						victim.Small(50 * time.Microsecond)
+					},
+				},
+				{
+					Name:  "client-2",
+					Think: 300 * time.Microsecond,
+					Op: func(r *rand.Rand) {
+						peer.Small(50 * time.Microsecond)
+					},
+				},
+			})
+		},
+	}
+}

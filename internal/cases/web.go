@@ -1,0 +1,150 @@
+package cases
+
+import (
+	"math/rand"
+	"time"
+
+	"pbox/internal/apps/miniweb"
+	"pbox/internal/workload"
+)
+
+// caseC11 — Apache, fcgid request queue: slow scripts occupy the limited
+// mod_fcgid backend slots and block other, fast connections.
+func caseC11() Case {
+	return Case{
+		ID: "c11", App: "Apache", Bug: true,
+		Resource:   "fcgid request queue",
+		Desc:       "slow request in mod_fcgid blocks other fast connections",
+		PaperLevel: 1621.12,
+		Scenario: func(env *Env) {
+			cfg := miniweb.DefaultConfig()
+			cfg.FcgidSlots = 2
+			srv := miniweb.New(cfg)
+
+			victim := srv.Connect(env.Ctrl, "fastcgi-1")
+			defer victim.Close()
+			specs := []workload.Spec{{
+				Name:     "fastcgi-1",
+				Think:    300 * time.Microsecond,
+				Recorder: env.Victim,
+				Op: func(r *rand.Rand) {
+					victim.CGI(100 * time.Microsecond)
+				},
+			}}
+			if env.Interference {
+				for i := 0; i < 2; i++ {
+					slow := srv.Connect(env.Ctrl, "slowcgi-1")
+					defer slow.Close()
+					rec := env.Noisy
+					if i > 0 {
+						rec = nil
+					}
+					specs = append(specs, workload.Spec{
+						Name:     "slowcgi-1",
+						Think:    200 * time.Microsecond,
+						Seed:     int64(i + 3),
+						Recorder: rec,
+						Op: func(r *rand.Rand) {
+							slow.CGI(4 * time.Millisecond)
+						},
+					})
+				}
+			}
+			workload.Run(env.Duration, specs)
+		},
+	}
+}
+
+// caseC12 — Apache, worker pool: slow requests saturate MaxClients and the
+// server "locks up" for everyone else.
+func caseC12() Case {
+	return Case{
+		ID: "c12", App: "Apache", Bug: false,
+		Resource:   "apache thread pools",
+		Desc:       "Apache locks server if reaching maxclient",
+		PaperLevel: 1429.21,
+		Scenario: func(env *Env) {
+			cfg := miniweb.DefaultConfig()
+			cfg.MaxClients = 4
+			srv := miniweb.New(cfg)
+
+			victim := srv.Connect(env.Ctrl, "fast-1")
+			defer victim.Close()
+			specs := []workload.Spec{{
+				Name:     "fast-1",
+				Think:    300 * time.Microsecond,
+				Recorder: env.Victim,
+				Op: func(r *rand.Rand) {
+					victim.Static(50 * time.Microsecond)
+				},
+			}}
+			if env.Interference {
+				for i := 0; i < 4; i++ {
+					slow := srv.Connect(env.Ctrl, "slow-1")
+					defer slow.Close()
+					rec := env.Noisy
+					if i > 0 {
+						rec = nil
+					}
+					specs = append(specs, workload.Spec{
+						Name:     "slow-1",
+						Think:    100 * time.Microsecond,
+						Seed:     int64(i + 11),
+						Recorder: rec,
+						Op: func(r *rand.Rand) {
+							slow.SlowRequest(3 * time.Millisecond)
+						},
+					})
+				}
+			}
+			workload.Run(env.Duration, specs)
+		},
+	}
+}
+
+// caseC13 — Apache/php-fpm, children pool: heavy scripts exhaust
+// pm.max_children and light PHP pages suddenly crawl.
+func caseC13() Case {
+	return Case{
+		ID: "c13", App: "Apache", Bug: false,
+		Resource:   "php thread pool",
+		Desc:       "Apache server suddenly slows when the connection reaches pm.maxchildren",
+		PaperLevel: 352.38,
+		Scenario: func(env *Env) {
+			cfg := miniweb.DefaultConfig()
+			cfg.PHPChildren = 2
+			srv := miniweb.New(cfg)
+
+			victim := srv.Connect(env.Ctrl, "phplight-1")
+			defer victim.Close()
+			specs := []workload.Spec{{
+				Name:     "phplight-1",
+				Think:    300 * time.Microsecond,
+				Recorder: env.Victim,
+				Op: func(r *rand.Rand) {
+					victim.PHP(100 * time.Microsecond)
+				},
+			}}
+			if env.Interference {
+				for i := 0; i < 2; i++ {
+					heavy := srv.Connect(env.Ctrl, "phpheavy-1")
+					defer heavy.Close()
+					rec := env.Noisy
+					if i > 0 {
+						rec = nil
+					}
+					specs = append(specs, workload.Spec{
+						Name:     "phpheavy-1",
+						Think:    200 * time.Microsecond,
+						Seed:     int64(i + 17),
+						Recorder: rec,
+						Op: func(r *rand.Rand) {
+							heavy.PHP(3 * time.Millisecond)
+						},
+					})
+				}
+			}
+			workload.Run(env.Duration, specs)
+		},
+	}
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// The event-driven model (Section 4.1, Figure 6b): multiple pBoxes share the
+// same worker thread and only one pBox owns a thread at a time. unbind_pbox
+// detaches the pBox from the current thread and associates it with a key
+// (e.g. the connection identifier); bind_pbox finds the pBox for a key and
+// binds it to the current thread.
+//
+// In this userspace reproduction a Worker stands in for one worker thread's
+// user-level library state. It implements the lazy-unbind optimization of
+// Section 5: an unbind immediately followed by a bind of the same pBox costs
+// no manager crossing at all.
+
+// Worker is the per-worker-thread shim of the user-level pBox library.
+// It is not safe for concurrent use — exactly like thread-local state.
+type Worker struct {
+	mgr *Manager
+	// cur is the pBox currently bound to this worker thread.
+	cur *PBox
+	// detached marks a lazy unbind: cur is logically detached but the
+	// manager still considers it bound to this thread.
+	detached    bool
+	detachedKey uintptr
+}
+
+// NewWorker returns the library state for one worker thread.
+func (m *Manager) NewWorker() *Worker {
+	return &Worker{mgr: m}
+}
+
+// Current returns the pBox bound to this worker, or nil.
+func (w *Worker) Current() *PBox {
+	if w.detached {
+		return nil
+	}
+	return w.cur
+}
+
+// Unbind detaches the worker's current pBox and associates it with key k
+// (unbind_pbox). Under lazy unbind no manager call is made; the association
+// is published to the manager only if a different pBox is bound afterwards.
+func (w *Worker) Unbind(k uintptr, flags BindFlags) (int, error) {
+	if w.cur == nil || w.detached {
+		return 0, fmt.Errorf("pbox: unbind with no bound pBox")
+	}
+	p := w.cur
+	w.mgr.mu.Lock()
+	p.sharedThread = flags == BindShared
+	w.mgr.mu.Unlock()
+	// Lazy unbind: mark detached, pause tracing, no crossing.
+	w.detached = true
+	w.detachedKey = k
+	return p.id, nil
+}
+
+// Bind finds the pBox associated with key k and binds it to this worker
+// thread (bind_pbox). If the worker lazily unbound the same pBox, the bind
+// is satisfied locally. If the pBox is a shared-thread pBox still under
+// penalty, Bind fails with *ErrPenalized and the caller must requeue the
+// task — the manager's way of delaying a noisy pBox without stalling the
+// shared thread (Section 5).
+func (w *Worker) Bind(k uintptr, flags BindFlags) (*PBox, error) {
+	if w.detached && w.detachedKey == k && w.cur != nil && w.cur.State() != StateDestroyed {
+		p := w.cur
+		if err := w.checkPenalty(p); err != nil {
+			return nil, err
+		}
+		w.detached = false
+		return p, nil
+	}
+	// Different pBox: publish the pending detach and do a real bind.
+	if w.detached && w.cur != nil {
+		w.mgr.publishUnbind(w.cur, w.detachedKey)
+		w.detached = false
+		w.cur = nil
+	}
+	p := w.mgr.lookupBinding(k)
+	if p == nil {
+		return nil, fmt.Errorf("pbox: no pBox associated with key %#x", k)
+	}
+	if err := w.checkPenalty(p); err != nil {
+		return nil, err
+	}
+	w.mgr.mu.Lock()
+	p.sharedThread = flags == BindShared
+	w.mgr.mu.Unlock()
+	w.cur = p
+	return p, nil
+}
+
+// checkPenalty reports ErrPenalized when p's requeue deadline is in the
+// future.
+func (w *Worker) checkPenalty(p *PBox) error {
+	w.mgr.crossingFree() // local check, no crossing
+	w.mgr.mu.Lock()
+	defer w.mgr.mu.Unlock()
+	now := w.mgr.opts.Now()
+	if p.penaltyUntil > now {
+		return &ErrPenalized{PBoxID: p.id, Wait: time.Duration(p.penaltyUntil - now)}
+	}
+	return nil
+}
+
+// BindDirect binds an existing pBox handle to this worker without a key
+// lookup; used when the application still has the handle (e.g. dedicated
+// threads in a hybrid architecture).
+func (w *Worker) BindDirect(p *PBox) error {
+	if w.detached && w.cur != nil && w.cur != p {
+		w.mgr.publishUnbind(w.cur, w.detachedKey)
+	}
+	w.detached = false
+	if err := w.checkPenalty(p); err != nil {
+		return err
+	}
+	w.cur = p
+	return nil
+}
+
+// publishUnbind records the key→pBox association in the manager (the real
+// unbind syscall of the eager path).
+func (m *Manager) publishUnbind(p *PBox, k uintptr) {
+	m.crossings.Add(1)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if p.state == StateDestroyed {
+		return
+	}
+	if p.hasBoundKey && m.bindings[p.boundKey] == p {
+		delete(m.bindings, p.boundKey)
+	}
+	p.boundKey = k
+	p.hasBoundKey = true
+	m.bindings[k] = p
+}
+
+// Associate eagerly associates a pBox with a key, for applications that
+// register connections up front rather than via Worker.Unbind.
+func (m *Manager) Associate(p *PBox, k uintptr) {
+	m.publishUnbind(p, k)
+}
+
+// lookupBinding resolves a key to its associated pBox.
+func (m *Manager) lookupBinding(k uintptr) *PBox {
+	m.crossings.Add(1)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.bindings[k]
+}
+
+// PenaltyWait returns how much longer pBox p must stay queued (shared-thread
+// penalty), zero if runnable. Event loops may use it to schedule requeues.
+func (m *Manager) PenaltyWait(p *PBox) time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := m.opts.Now()
+	if p.penaltyUntil > now {
+		return time.Duration(p.penaltyUntil - now)
+	}
+	return 0
+}
+
+// crossingFree documents manager entry points that deliberately do not count
+// as kernel crossings (pure user-level library work).
+func (m *Manager) crossingFree() {}

@@ -1,0 +1,558 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pbox/internal/exec"
+)
+
+// Options configures a Manager. The zero value selects the paper's defaults.
+type Options struct {
+	// Now supplies the monotonic clock (ns). Defaults to exec.Now. Tests
+	// inject a fake clock to drive the detection logic deterministically.
+	Now func() int64
+	// Sleep executes a penalty delay. Defaults to exec.SleepPrecise; tests
+	// replace it to observe penalties without real delays.
+	Sleep func(time.Duration)
+
+	// MinPenalty and MaxPenalty clamp every penalty length. The kernel
+	// implementation is bounded below by timer resolution and above by
+	// sanity; we default to 200µs and 20ms (scaled to the µs–ms world the
+	// simulated applications run in — a penalty below the applications'
+	// wait-loop poll interval cannot open a usable window).
+	MinPenalty time.Duration
+	MaxPenalty time.Duration
+
+	// Alpha is the α divisor of the score-based adaptive policy
+	// (p_{i+1} = p1 × (1 + score/α)); the paper's default is 5.
+	Alpha float64
+
+	// PBoxLevelThreshold is the fraction of the goal at which the
+	// pBox-level monitor acts (default 0.9, Section 4.3.1).
+	PBoxLevelThreshold float64
+
+	// GapPolicyFactor selects the gap-based policy when the triggering
+	// wait exceeds factor × previous penalty ("If the deferring time is
+	// much larger than the penalty, it chooses the second policy").
+	// Default 2.
+	GapPolicyFactor float64
+
+	// FixedPenalty, when non-zero, disables the adaptive policies and
+	// always applies this length (the Table 4 comparison mode).
+	FixedPenalty time.Duration
+
+	// DisablePBoxLevel turns off the end-of-activity average monitor,
+	// leaving only Algorithm 1's per-resource detection.
+	DisablePBoxLevel bool
+
+	// DisableDetection turns the manager into a pure tracer: events are
+	// accounted but no actions are taken. Used to measure tracing
+	// overhead in isolation.
+	DisableDetection bool
+
+	// EventFilter, when set, is consulted on every Update; returning
+	// false drops the event. The mistake-tolerance experiment
+	// (Section 6.8) uses it to remove a fraction of update_pbox calls.
+	EventFilter func(key ResourceKey, ev EventType) bool
+
+	// TraceSize, when positive, enables the in-memory trace ring of that
+	// capacity.
+	TraceSize int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Now == nil {
+		o.Now = exec.Now
+	}
+	if o.Sleep == nil {
+		o.Sleep = exec.SleepPrecise
+	}
+	if o.MinPenalty <= 0 {
+		o.MinPenalty = 200 * time.Microsecond
+	}
+	if o.MaxPenalty <= 0 {
+		o.MaxPenalty = 20 * time.Millisecond
+	}
+	if o.Alpha <= 0 {
+		o.Alpha = 5
+	}
+	if o.PBoxLevelThreshold <= 0 {
+		o.PBoxLevelThreshold = 0.9
+	}
+	if o.GapPolicyFactor <= 0 {
+		o.GapPolicyFactor = 2
+	}
+	return o
+}
+
+// Manager is the pBox manager: it tracks every pBox's execution, receives
+// state events, runs the interference detection of Algorithm 1, and applies
+// penalty actions (Section 4.4). One Manager corresponds to the kernel-side
+// component of the paper; an application process creates exactly one.
+type Manager struct {
+	opts Options
+
+	mu          sync.Mutex
+	nextID      int
+	pboxes      map[int]*PBox
+	competitors map[ResourceKey]*competitorList
+	// holdersByKey indexes current holders per resource so PREPARE can
+	// attribute blame and tests can inspect contention.
+	holdersByKey map[ResourceKey]map[*PBox]int64
+	// bindings maps unbind keys to detached pBoxes (event-driven model).
+	bindings map[uintptr]*PBox
+
+	actions *actionHistory
+	trace   *traceRing
+
+	// crossings counts conceptual user/kernel boundary crossings: every
+	// manager entry point increments it. The lazy-unbind optimization
+	// (Section 5) is validated by this counter going down.
+	crossings atomic.Int64
+}
+
+// NewManager creates a manager with the given options.
+func NewManager(opts Options) *Manager {
+	opts = opts.withDefaults()
+	m := &Manager{
+		opts:         opts,
+		pboxes:       make(map[int]*PBox),
+		competitors:  make(map[ResourceKey]*competitorList),
+		holdersByKey: make(map[ResourceKey]map[*PBox]int64),
+		bindings:     make(map[uintptr]*PBox),
+		actions:      newActionHistory(),
+	}
+	if opts.TraceSize > 0 {
+		m.trace = newTraceRing(opts.TraceSize)
+	}
+	return m
+}
+
+// ErrReleased is returned when an operation references a destroyed pBox.
+var ErrReleased = errors.New("pbox: operation on released pBox")
+
+// Create creates a pBox with the given isolation rule (create_pbox). The
+// pBox starts in StateStarted; no tracing happens until Activate.
+func (m *Manager) Create(rule IsolationRule) (*PBox, error) {
+	if !rule.Valid() {
+		return nil, fmt.Errorf("pbox: invalid isolation rule %+v", rule)
+	}
+	m.crossings.Add(1)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nextID++
+	p := &PBox{
+		id:        m.nextID,
+		rule:      rule,
+		mgr:       m,
+		state:     StateStarted,
+		holders:   make(map[ResourceKey]*holdInfo),
+		preparing: make(map[ResourceKey]int),
+	}
+	m.pboxes[p.id] = p
+	m.traceEvent(p, 0, "create", 0)
+	return p, nil
+}
+
+// Release destroys the pBox (release_pbox), removing it from every
+// bookkeeping structure. Pending penalties are discarded: the activity they
+// would have delayed no longer exists.
+func (m *Manager) Release(p *PBox) error {
+	m.crossings.Add(1)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if p.state == StateDestroyed {
+		return ErrReleased
+	}
+	p.state = StateDestroyed
+	for key := range p.preparing {
+		if cl := m.competitors[key]; cl != nil {
+			cl.removeAllFor(p)
+		}
+	}
+	for key := range p.holders {
+		m.dropHolderLocked(key, p)
+	}
+	p.holders = make(map[ResourceKey]*holdInfo)
+	p.preparing = make(map[ResourceKey]int)
+	if p.hasBoundKey {
+		if m.bindings[p.boundKey] == p {
+			delete(m.bindings, p.boundKey)
+		}
+		p.hasBoundKey = false
+	}
+	delete(m.pboxes, p.id)
+	m.traceEvent(p, 0, "release", 0)
+	return nil
+}
+
+// Activate starts tracing a new activity in the pBox (activate_pbox). If the
+// pBox carries a pending penalty from a previous activity that could not be
+// applied in time, it is served now, before the activity clock starts, so
+// the penalty delays the noisy pBox without polluting its own metrics.
+func (m *Manager) Activate(p *PBox) {
+	m.crossings.Add(1)
+	m.mu.Lock()
+	if p.state == StateDestroyed {
+		m.mu.Unlock()
+		return
+	}
+	var pen time.Duration
+	if len(p.holders) == 0 && len(p.preparing) == 0 {
+		pen = m.takePendingLocked(p)
+	}
+	m.mu.Unlock()
+	if pen > 0 {
+		m.sleepPenalty(p, pen)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if p.state == StateDestroyed {
+		return
+	}
+	p.state = StateActive
+	p.activityStart = m.opts.Now()
+	p.deferTime = 0
+	p.blame = nil
+	m.traceEvent(p, 0, "activate", 0)
+}
+
+// Freeze stops tracing the pBox's current activity (freeze_pbox), folds the
+// activity into the pBox's history, and runs the pBox-level interference
+// monitor (Section 4.3.1): if the aggregate interference level is within
+// PBoxLevelThreshold of the goal, the manager takes action against the most
+// recent blocker at the end of the activity.
+func (m *Manager) Freeze(p *PBox) {
+	m.crossings.Add(1)
+	now := m.opts.Now()
+	m.mu.Lock()
+	if p.state != StateActive {
+		m.mu.Unlock()
+		return
+	}
+	p.state = StateFrozen
+	te := now - p.activityStart
+	td := p.deferTime
+	if td > te {
+		td = te
+	}
+	p.recordActivityLocked(td, te)
+	// Remove stale PREPARE records that never saw a matching ENTER
+	// (e.g. the activity bailed out of a wait loop).
+	for key := range p.preparing {
+		if cl := m.competitors[key]; cl != nil {
+			cl.removeAllFor(p)
+		}
+		delete(m.preparingOf(p), key)
+	}
+	m.traceEvent(p, 0, "freeze", time.Duration(td))
+
+	// The pBox-level monitor penalizes the largest contributor to this
+	// pBox's deferring time when the aggregate level nears the goal.
+	if !m.opts.DisablePBoxLevel && !m.opts.DisableDetection {
+		level := p.interferenceLevelLocked()
+		if level >= m.opts.PBoxLevelThreshold*p.rule.Level {
+			var noisy *PBox
+			var info blameInfo
+			for b, bi := range p.blame {
+				if b != p && b.state != StateDestroyed && bi.deferNs > info.deferNs {
+					noisy, info = b, bi
+				}
+			}
+			if noisy != nil {
+				m.takeActionLocked(noisy, p, info.key, now, info.deferNs)
+			}
+		}
+	}
+	// Serve this pBox's own pending penalty (scheduled while it held
+	// resources) now that its activity is over — unless it still holds
+	// resources across activities (e.g. transaction locks spanning
+	// statements), in which case the delay must keep waiting.
+	var pen time.Duration
+	if len(p.holders) == 0 && len(p.preparing) == 0 {
+		pen = m.takePendingLocked(p)
+	}
+	m.mu.Unlock()
+	if pen > 0 {
+		m.sleepPenalty(p, pen)
+	}
+}
+
+// preparingOf returns p.preparing (indirection so Freeze can mutate it while
+// ranging safely).
+func (m *Manager) preparingOf(p *PBox) map[ResourceKey]int { return p.preparing }
+
+// Update is the update_pbox API: the application informs the manager of a
+// state event about virtual resource key in pBox p. It runs Algorithm 1 and
+// may execute a penalty delay on the calling goroutine (which is, by
+// construction, the goroutine running p's activity) before returning.
+func (m *Manager) Update(p *PBox, key ResourceKey, ev EventType) {
+	if m.opts.EventFilter != nil && !m.opts.EventFilter(key, ev) {
+		return
+	}
+	m.crossings.Add(1)
+	now := m.opts.Now()
+	m.mu.Lock()
+	if p.state != StateActive {
+		// Events outside an active window are ignored, matching the
+		// manager tracing only between activate and freeze.
+		m.mu.Unlock()
+		return
+	}
+	m.traceEvent(p, key, ev.String(), 0)
+	switch ev {
+	case Prepare:
+		m.onPrepareLocked(p, key, now)
+	case Enter:
+		m.onEnterLocked(p, key, now)
+	case Hold:
+		m.onHoldLocked(p, key, now)
+	case Unhold:
+		m.onUnholdLocked(p, key, now)
+	}
+	// Safe-point check: a penalty scheduled for p (by this event's
+	// detection pass or an earlier one) can run only when p holds nothing
+	// and waits for nothing, so delaying it cannot defer anyone else or
+	// inflate p's own deferring time.
+	var pen time.Duration
+	if p.pendingPenalty > 0 && len(p.holders) == 0 && len(p.preparing) == 0 {
+		pen = m.takePendingLocked(p)
+	}
+	m.mu.Unlock()
+	if pen > 0 {
+		m.sleepPenalty(p, pen)
+	}
+}
+
+// onPrepareLocked implements the PREPARE arm of Algorithm 1: note the pBox
+// in the competitor map for the resource.
+func (m *Manager) onPrepareLocked(p *PBox, key ResourceKey, now int64) {
+	cl := m.competitors[key]
+	if cl == nil {
+		cl = &competitorList{}
+		m.competitors[key] = cl
+	}
+	cl.add(waiter{pbox: p, since: now})
+	p.preparing[key]++
+}
+
+// onEnterLocked implements the ENTER arm: the deferred state ends and the
+// deferring time is folded into the pBox's activity accounting.
+func (m *Manager) onEnterLocked(p *PBox, key ResourceKey, now int64) {
+	cl := m.competitors[key]
+	if cl == nil {
+		return
+	}
+	w, ok := cl.removeFor(p)
+	if !ok {
+		return
+	}
+	if p.preparing[key] > 1 {
+		p.preparing[key]--
+	} else {
+		delete(p.preparing, key)
+	}
+	defer_ := now - w.since
+	if defer_ < 0 {
+		defer_ = 0
+	}
+	p.deferTime += defer_
+}
+
+// onHoldLocked implements the HOLD arm: record the pBox in the holder map.
+func (m *Manager) onHoldLocked(p *PBox, key ResourceKey, now int64) {
+	h := p.holders[key]
+	if h == nil {
+		p.holders[key] = &holdInfo{count: 1, since: now}
+		hm := m.holdersByKey[key]
+		if hm == nil {
+			hm = make(map[*PBox]int64)
+			m.holdersByKey[key] = hm
+		}
+		hm[p] = now
+		return
+	}
+	h.count++
+}
+
+// onUnholdLocked implements the UNHOLD arm of Algorithm 1: if the pBox was
+// the holder, scan the waiting pBoxes, estimate each waiter's interference
+// level with the worst-case projection tf = td/(te-td), and if a waiter's
+// goal is endangered and this pBox held the resource before the waiter
+// arrived, identify (noisy=p, victim=waiter) and take action.
+func (m *Manager) onUnholdLocked(p *PBox, key ResourceKey, now int64) {
+	h := p.holders[key]
+	if h == nil {
+		return
+	}
+	if h.count > 1 {
+		h.count--
+		return
+	}
+	heldSince := h.since
+	delete(p.holders, key)
+	m.dropHolderLocked(key, p)
+
+	cl := m.competitors[key]
+	if cl == nil || len(cl.waiters) == 0 {
+		return
+	}
+	// Attribute to this holder the part of each waiter's wait that its
+	// hold overlapped, for the pBox-level monitor's blame accounting.
+	for _, c := range cl.waiters {
+		since := c.since
+		if heldSince > since {
+			since = heldSince
+		}
+		if overlap := now - since; overlap > 0 {
+			if c.pbox.blame == nil {
+				c.pbox.blame = make(map[*PBox]blameInfo)
+			}
+			bi := c.pbox.blame[p]
+			bi.deferNs += overlap
+			bi.key = key
+			c.pbox.blame[p] = bi
+		}
+	}
+	detect := !m.opts.DisableDetection
+	for i := range cl.waiters {
+		c := &cl.waiters[i]
+		victim := c.pbox
+		if victim == p || victim.state != StateActive {
+			continue
+		}
+		te := now - victim.activityStart
+		defer_ := now - c.since
+		if defer_ < 0 {
+			defer_ = 0
+		}
+		td := victim.deferTime + defer_
+		if td > te {
+			td = te
+		}
+		if detect && te > 0 {
+			tf := averageRatio(td, te)
+			// Act when the projected interference level exceeds the
+			// goal and this hold overlapped the victim's wait. The
+			// paper's line-23 condition (holder predates waiter) is
+			// the special case of a single long hold; overlap also
+			// covers a noisy pBox that re-acquires the resource past
+			// sleeping waiters (back-to-back chunk holds), charging
+			// each holder exactly for the wait time its hold covered.
+			overlapStart := c.since
+			if heldSince > overlapStart {
+				overlapStart = heldSince
+			}
+			overlap := now - overlapStart
+			// Causality threshold: act only when this hold accounts
+			// for a meaningful share of the victim's current wait
+			// window (since the last release of the resource). A
+			// bystander that briefly held the resource during a wait
+			// dominated by others must not absorb the blame — but a
+			// swarm of holders each covering the window (overlapping
+			// shared holders, back-to-back re-acquirers) all remain
+			// accountable.
+			if tf > victim.rule.Level && overlap > 0 && overlap*10 >= defer_ {
+				m.takeActionLocked(p, victim, key, now, overlap)
+			}
+		}
+		// Futex-style re-arm: a release wakes the waiters; one that
+		// fails to enter re-queues with a fresh wait record (what the
+		// kernel implementation observes by tracing futex, Section 7).
+		// The elapsed wait folds into the activity's deferring time,
+		// and the fresh timestamp makes a holder that re-acquires past
+		// the sleeping waiter blameable at its next release —
+		// back-to-back re-acquisition must not exonerate the holder.
+		victim.deferTime += defer_
+		c.since = now
+	}
+}
+
+// dropHolderLocked removes p from the reverse holder index for key.
+func (m *Manager) dropHolderLocked(key ResourceKey, p *PBox) {
+	if hm := m.holdersByKey[key]; hm != nil {
+		delete(hm, p)
+		if len(hm) == 0 {
+			delete(m.holdersByKey, key)
+		}
+	}
+}
+
+// takePendingLocked consumes p's pending penalty. Caller holds m.mu.
+func (m *Manager) takePendingLocked(p *PBox) time.Duration {
+	pen := p.pendingPenalty
+	if pen <= 0 {
+		return 0
+	}
+	p.pendingPenalty = 0
+	if p.sharedThread {
+		// Shared-thread pBoxes are never slept directly; instead their
+		// next activities wait in the task queue until the deadline.
+		until := m.opts.Now() + pen
+		if until > p.penaltyUntil {
+			p.penaltyUntil = until
+		}
+		return 0
+	}
+	return time.Duration(pen)
+}
+
+// sleepPenalty executes a penalty delay on the calling goroutine (the noisy
+// pBox's own goroutine) and accounts it.
+func (m *Manager) sleepPenalty(p *PBox, d time.Duration) {
+	m.mu.Lock()
+	p.penaltySleeping = true
+	p.penaltiesReceived++
+	p.penaltyTotal += int64(d)
+	m.traceEvent(p, 0, "penalty", d)
+	m.mu.Unlock()
+	m.opts.Sleep(d)
+	m.mu.Lock()
+	p.penaltySleeping = false
+	m.mu.Unlock()
+	// The sleep inflates the pBox's execution time but adds no deferring
+	// time, so its own interference level tf = td/(te-td) strictly drops.
+	// That is the cascade-avoidance property of Section 4.4.1: a goal
+	// violation caused by the penalty itself never reads as interference
+	// and never triggers further actions on the penalized pBox's behalf.
+}
+
+// MarkShared marks the pBox as running on shared worker threads: penalties
+// become requeue deadlines (see Worker.Bind and PenaltyWait) instead of
+// direct delays, so a penalty never stalls the thread other pBoxes share.
+func (m *Manager) MarkShared(p *PBox) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p.sharedThread = true
+}
+
+// Crossings returns the number of conceptual kernel crossings so far.
+func (m *Manager) Crossings() int64 { return m.crossings.Load() }
+
+// Waiters returns how many pBoxes currently wait on key (tests/diagnostics).
+func (m *Manager) Waiters(key ResourceKey) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if cl := m.competitors[key]; cl != nil {
+		return len(cl.waiters)
+	}
+	return 0
+}
+
+// Holders returns how many pBoxes currently hold key (tests/diagnostics).
+func (m *Manager) Holders(key ResourceKey) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.holdersByKey[key])
+}
+
+// Live returns the number of non-destroyed pBoxes.
+func (m *Manager) Live() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.pboxes)
+}

@@ -1,0 +1,268 @@
+package core
+
+import (
+	"sort"
+	"time"
+)
+
+// ratioHistorySize bounds the per-activity interference-ratio ring buffer
+// used by the tail and max metrics.
+const ratioHistorySize = 64
+
+// PBox is one performance isolation domain. All mutable fields are guarded
+// by the owning Manager's lock; applications interact with a PBox only
+// through Manager methods and treat the handle as opaque.
+type PBox struct {
+	id   int
+	rule IsolationRule
+	mgr  *Manager
+
+	state         State
+	activityStart int64 // manager-clock ns; valid while StateActive
+	deferTime     int64 // deferring time accumulated in the current activity
+
+	// holders tracks virtual resources currently held by this pBox
+	// (the holder_map of Algorithm 1), with nesting counts and the
+	// earliest hold timestamp, which line 23 of Algorithm 1 compares
+	// against each waiter's arrival time.
+	holders map[ResourceKey]*holdInfo
+	// preparing tracks outstanding PREPARE events (keys this pBox is
+	// currently deferred on) so stale records can be removed at freeze
+	// and so penalties are never applied mid-wait (a sleep during a wait
+	// would pollute the deferring-time metric and re-trigger detection —
+	// the cascaded-penalty hazard of Section 4.4.1).
+	preparing map[ResourceKey]int
+
+	// History across frozen activities, for the pBox-level monitor.
+	totalDefer int64
+	totalExec  int64
+	activities int
+	// history is a ring of recent per-activity (defer, exec) pairs; the
+	// windowed aggregate ratio sum(td)/sum(te-td) drives the adaptive
+	// penalty score and the tail/max rule metrics.
+	history  []activityRecord
+	histPos  int
+	histFull bool
+
+	// blame attributes this pBox's deferring time to the pBoxes whose
+	// holds overlapped its waits, per resource; the pBox-level monitor
+	// penalizes the largest contributor when the average interference
+	// level approaches the goal. Reset at activate.
+	blame map[*PBox]blameInfo
+
+	// pendingPenalty is delay (ns) scheduled by take_action but not yet
+	// executed because the pBox still held resources at decision time.
+	pendingPenalty int64
+	// penaltyUntil is the requeue deadline for shared-thread pBoxes.
+	penaltyUntil int64
+	sharedThread bool
+	// penaltySleeping marks that the pBox's goroutine is currently
+	// executing a penalty sleep, so concurrent bookkeeping can tell
+	// penalty delay apart from real execution.
+	penaltySleeping bool
+
+	// Per-pBox statistics (Figures 13 and 14).
+	penaltiesReceived int
+	penaltyTotal      int64
+
+	// boundKey is the association key set by unbind_pbox for event-driven
+	// hand-off (not a virtual resource key).
+	boundKey    uintptr
+	hasBoundKey bool
+}
+
+type holdInfo struct {
+	count int
+	since int64
+}
+
+// activityRecord is one finished activity's accounting.
+type activityRecord struct {
+	td, te int64
+}
+
+// blameInfo accumulates one blocker's contribution to a victim's deferring
+// time.
+type blameInfo struct {
+	deferNs int64
+	key     ResourceKey
+}
+
+// ID returns the pBox identifier (the psid of the paper's API).
+func (p *PBox) ID() int { return p.id }
+
+// Rule returns the isolation rule the pBox was created with.
+func (p *PBox) Rule() IsolationRule { return p.rule }
+
+// State returns the current lifecycle state.
+func (p *PBox) State() State {
+	p.mgr.mu.Lock()
+	defer p.mgr.mu.Unlock()
+	return p.state
+}
+
+// Snapshot is a read-only view of a pBox's accounting, used by tests and the
+// experiment harness.
+type Snapshot struct {
+	ID                int
+	State             State
+	Activities        int
+	TotalDefer        time.Duration
+	TotalExec         time.Duration
+	InterferenceLevel float64
+	PenaltiesReceived int
+	PenaltyTotal      time.Duration
+}
+
+// Snapshot returns the pBox's current accounting.
+func (p *PBox) Snapshot() Snapshot {
+	p.mgr.mu.Lock()
+	defer p.mgr.mu.Unlock()
+	return Snapshot{
+		ID:                p.id,
+		State:             p.state,
+		Activities:        p.activities,
+		TotalDefer:        time.Duration(p.totalDefer),
+		TotalExec:         time.Duration(p.totalExec),
+		InterferenceLevel: p.interferenceLevelLocked(),
+		PenaltiesReceived: p.penaltiesReceived,
+		PenaltyTotal:      time.Duration(p.penaltyTotal),
+	}
+}
+
+// interferenceLevelLocked computes the pBox's aggregate interference level
+// according to its rule's metric. Caller holds mgr.mu.
+func (p *PBox) interferenceLevelLocked() float64 {
+	switch p.rule.Metric {
+	case MetricTail:
+		return p.ratioPercentileLocked(0.95)
+	case MetricMax:
+		return p.ratioPercentileLocked(1.0)
+	default:
+		return averageRatio(p.totalDefer, p.totalExec)
+	}
+}
+
+// currentRatioLocked computes the pBox's recent interference level including
+// the in-flight activity — the s(i) score used by the adaptive penalty
+// (Section 4.4.2). The paper computes averages "until the i-th action" over
+// its 90-second runs; at the reproduction's millisecond scale an all-time
+// cumulative average reacts too slowly for the feedback loop to converge, so
+// the score is windowed over the recent per-activity ratio history plus the
+// live activity. Caller holds mgr.mu.
+func (p *PBox) currentRatioLocked(now int64) float64 {
+	var td, te int64
+	for _, r := range p.history {
+		td += r.td
+		te += r.te
+	}
+	if p.state == StateActive {
+		ltd := p.deferTime
+		lte := now - p.activityStart
+		if ltd > lte {
+			ltd = lte
+		}
+		td += ltd
+		te += lte
+	}
+	return averageRatio(td, te)
+}
+
+// maxRatio caps an interference level: an activity that spent (essentially)
+// all its time deferred reads as 100× — beyond that the extra magnitude
+// carries no signal and would poison windowed averages and the gap policy.
+const maxRatio = 100.0
+
+// averageRatio computes Tf = Td / (Te - Td) with guards against the
+// degenerate cases (no execution yet, defer >= exec) and the maxRatio cap.
+func averageRatio(td, te int64) float64 {
+	if te <= 0 || td <= 0 {
+		return 0
+	}
+	if td >= te {
+		return maxRatio
+	}
+	r := float64(td) / float64(te-td)
+	if r > maxRatio {
+		return maxRatio
+	}
+	return r
+}
+
+// recordActivityLocked folds a finished activity into the history rings.
+// Caller holds mgr.mu.
+func (p *PBox) recordActivityLocked(td, te int64) {
+	p.totalDefer += td
+	p.totalExec += te
+	p.activities++
+	rec := activityRecord{td: td, te: te}
+	if len(p.history) < ratioHistorySize {
+		p.history = append(p.history, rec)
+	} else {
+		p.history[p.histPos] = rec
+		p.histPos = (p.histPos + 1) % ratioHistorySize
+		p.histFull = true
+	}
+}
+
+// ratioPercentileLocked returns the q-quantile (0<q<=1) of the per-activity
+// ratio history. Caller holds mgr.mu.
+func (p *PBox) ratioPercentileLocked(q float64) float64 {
+	if len(p.history) == 0 {
+		return 0
+	}
+	tmp := make([]float64, 0, len(p.history))
+	for _, r := range p.history {
+		tmp = append(tmp, averageRatio(r.td, r.te))
+	}
+	sort.Float64s(tmp)
+	idx := int(q*float64(len(tmp))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(tmp) {
+		idx = len(tmp) - 1
+	}
+	return tmp[idx]
+}
+
+// waiter is one entry in the competitor map: a pBox that issued PREPARE on a
+// resource and has not yet issued ENTER.
+type waiter struct {
+	pbox  *PBox
+	since int64
+}
+
+// competitorList holds the pBoxes waiting for one resource. The paper keeps
+// a list per resource in a hashtable; appends are O(1) and removals are
+// linear in the number of waiters (Section 6.6 discusses why that is
+// acceptable).
+type competitorList struct {
+	waiters []waiter
+}
+
+func (c *competitorList) add(w waiter) {
+	c.waiters = append(c.waiters, w)
+}
+
+// removeFor removes the first record belonging to p and returns it.
+func (c *competitorList) removeFor(p *PBox) (waiter, bool) {
+	for i, w := range c.waiters {
+		if w.pbox == p {
+			c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
+			return w, true
+		}
+	}
+	return waiter{}, false
+}
+
+// removeAllFor removes every record belonging to p.
+func (c *competitorList) removeAllFor(p *PBox) {
+	out := c.waiters[:0]
+	for _, w := range c.waiters {
+		if w.pbox != p {
+			out = append(out, w)
+		}
+	}
+	c.waiters = out
+}

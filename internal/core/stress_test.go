@@ -1,0 +1,131 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentManagerStress drives a real Manager (real clock, tiny real
+// penalties) from many goroutines at once: per-connection pBoxes running
+// activities against shared resources, with creates/releases interleaved.
+// Run under -race this covers the manager's locking discipline end to end.
+func TestConcurrentManagerStress(t *testing.T) {
+	m := NewManager(Options{
+		MinPenalty: 50 * time.Microsecond,
+		MaxPenalty: 200 * time.Microsecond,
+	})
+	keys := []ResourceKey{1, 2, 3}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			p, err := m.Create(DefaultRule())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer func() {
+				if err := m.Release(p); err != nil {
+					t.Error(err)
+				}
+			}()
+			for i := 0; i < 60; i++ {
+				m.Activate(p)
+				key := keys[(g+i)%len(keys)]
+				m.Update(p, key, Prepare)
+				m.Update(p, key, Enter)
+				m.Update(p, key, Hold)
+				if i%3 == 0 {
+					time.Sleep(50 * time.Microsecond)
+				}
+				m.Update(p, key, Unhold)
+				m.Freeze(p)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if m.Live() != 0 {
+		t.Fatalf("live pboxes after stress = %d", m.Live())
+	}
+	for _, key := range keys {
+		if m.Waiters(key) != 0 || m.Holders(key) != 0 {
+			t.Fatalf("dangling bookkeeping on key %v", key)
+		}
+	}
+}
+
+// TestConcurrentBindStress drives the event-driven worker shim from several
+// worker goroutines binding/unbinding a shared set of pBoxes.
+func TestConcurrentBindStress(t *testing.T) {
+	m := NewManager(Options{})
+	const nConns = 4
+	for i := 0; i < nConns; i++ {
+		p, err := m.Create(DefaultRule())
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.MarkShared(p)
+		m.Associate(p, uintptr(0x100+i))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			worker := m.NewWorker()
+			for i := 0; i < 100; i++ {
+				key := uintptr(0x100 + (w+i)%nConns)
+				p, err := worker.Bind(key, BindShared)
+				if err != nil {
+					continue // penalized or taken — requeue semantics
+				}
+				m.Activate(p)
+				m.Update(p, ResourceKey(9), Hold)
+				m.Update(p, ResourceKey(9), Unhold)
+				m.Freeze(p)
+				if _, err := worker.Unbind(key, BindShared); err != nil {
+					t.Errorf("unbind: %v", err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestPenaltySleepRunsOffManagerLock: while one pBox serves a (real) penalty
+// sleep, other pBoxes must be able to use the manager — the penalty must
+// never be served holding the manager's mutex.
+func TestPenaltySleepRunsOffManagerLock(t *testing.T) {
+	m := NewManager(Options{
+		MinPenalty: 5 * time.Millisecond,
+		MaxPenalty: 5 * time.Millisecond,
+	})
+	noisy, _ := m.Create(DefaultRule())
+	victim, _ := m.Create(DefaultRule())
+	m.Activate(noisy)
+	m.Activate(victim)
+	key := ResourceKey(5)
+	m.Update(noisy, key, Hold)
+	m.Update(victim, key, Prepare)
+	time.Sleep(4 * time.Millisecond)
+
+	done := make(chan struct{})
+	go func() {
+		m.Update(noisy, key, Unhold) // serves a 5ms penalty inline
+		close(done)
+	}()
+	time.Sleep(time.Millisecond) // the penalty sleep is in progress
+	t0 := time.Now()
+	other, _ := m.Create(DefaultRule())
+	m.Activate(other)
+	m.Freeze(other)
+	if el := time.Since(t0); el > 3*time.Millisecond {
+		t.Fatalf("manager blocked for %v during a penalty sleep", el)
+	}
+	<-done
+	if noisy.Snapshot().PenaltiesReceived != 1 {
+		t.Fatal("penalty was not served")
+	}
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// TraceEntry is one record in the manager's in-memory trace ring. The paper
+// notes (Section 8) that pBox log traces help developers understand an
+// interference issue; the ring is the reproduction's equivalent.
+type TraceEntry struct {
+	At    time.Duration // manager-clock offset
+	PBox  int
+	Key   ResourceKey
+	What  string        // event name, lifecycle op, or "action:<policy>"
+	Extra time.Duration // penalty length or defer time where applicable
+}
+
+// String formats the entry for human consumption.
+func (t TraceEntry) String() string {
+	if t.Extra != 0 {
+		return fmt.Sprintf("%12v pbox=%-4d key=%#x %-12s %v", t.At, t.PBox, uintptr(t.Key), t.What, t.Extra)
+	}
+	return fmt.Sprintf("%12v pbox=%-4d key=%#x %-12s", t.At, t.PBox, uintptr(t.Key), t.What)
+}
+
+// traceRing is a fixed-capacity concurrent ring buffer of trace entries.
+type traceRing struct {
+	mu      sync.Mutex
+	entries []TraceEntry
+	pos     int
+	full    bool
+}
+
+func newTraceRing(n int) *traceRing {
+	return &traceRing{entries: make([]TraceEntry, 0, n)}
+}
+
+func (r *traceRing) add(e TraceEntry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.entries) < cap(r.entries) {
+		r.entries = append(r.entries, e)
+		return
+	}
+	r.entries[r.pos] = e
+	r.pos = (r.pos + 1) % cap(r.entries)
+	r.full = true
+}
+
+func (r *traceRing) snapshot() []TraceEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		out := make([]TraceEntry, len(r.entries))
+		copy(out, r.entries)
+		return out
+	}
+	out := make([]TraceEntry, 0, cap(r.entries))
+	out = append(out, r.entries[r.pos:]...)
+	out = append(out, r.entries[:r.pos]...)
+	return out
+}
+
+// traceEvent appends to the ring when tracing is enabled. Caller holds m.mu
+// (or is otherwise race-free with respect to the pBox fields it reads).
+func (m *Manager) traceEvent(p *PBox, key ResourceKey, what string, extra time.Duration) {
+	if m.trace == nil {
+		return
+	}
+	m.trace.add(TraceEntry{
+		At:    time.Duration(m.opts.Now()),
+		PBox:  p.id,
+		Key:   key,
+		What:  what,
+		Extra: extra,
+	})
+}
+
+// Trace returns the trace entries recorded so far, oldest first. It returns
+// nil when tracing was not enabled.
+func (m *Manager) Trace() []TraceEntry {
+	if m.trace == nil {
+		return nil
+	}
+	return m.trace.snapshot()
+}

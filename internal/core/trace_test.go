@@ -1,0 +1,86 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceRingWraparound(t *testing.T) {
+	r := newTraceRing(4)
+	for i := 0; i < 10; i++ {
+		r.add(TraceEntry{PBox: i})
+	}
+	got := r.snapshot()
+	if len(got) != 4 {
+		t.Fatalf("snapshot length = %d, want 4", len(got))
+	}
+	// Oldest-first: entries 6,7,8,9.
+	for i, e := range got {
+		if e.PBox != 6+i {
+			t.Fatalf("entry %d = pbox %d, want %d", i, e.PBox, 6+i)
+		}
+	}
+}
+
+func TestTraceRingPartialFill(t *testing.T) {
+	r := newTraceRing(8)
+	r.add(TraceEntry{PBox: 1})
+	r.add(TraceEntry{PBox: 2})
+	got := r.snapshot()
+	if len(got) != 2 || got[0].PBox != 1 || got[1].PBox != 2 {
+		t.Fatalf("snapshot = %+v", got)
+	}
+}
+
+func TestTraceDisabledByDefault(t *testing.T) {
+	m := NewManager(Options{})
+	p, _ := m.Create(DefaultRule())
+	m.Activate(p)
+	m.Freeze(p)
+	if tr := m.Trace(); tr != nil {
+		t.Fatalf("trace = %v with tracing disabled", tr)
+	}
+}
+
+func TestTraceEntryString(t *testing.T) {
+	e := TraceEntry{At: time.Millisecond, PBox: 3, Key: 0x10, What: "HOLD"}
+	s := e.String()
+	for _, part := range []string{"pbox=3", "0x10", "HOLD"} {
+		if !strings.Contains(s, part) {
+			t.Fatalf("entry string %q missing %q", s, part)
+		}
+	}
+	withExtra := TraceEntry{At: time.Millisecond, PBox: 3, What: "penalty", Extra: 2 * time.Millisecond}
+	if !strings.Contains(withExtra.String(), "2ms") {
+		t.Fatalf("entry string %q missing penalty length", withExtra.String())
+	}
+}
+
+func TestTraceCapturesActions(t *testing.T) {
+	h := newHarness(t)
+	noisy := h.pbox(0.5)
+	victim := h.pbox(0.5)
+	h.m.Activate(noisy)
+	h.m.Activate(victim)
+	h.m.Update(noisy, ResourceKey(1), Hold)
+	h.m.Update(victim, ResourceKey(1), Prepare)
+	h.advance(5 * time.Millisecond)
+	h.m.Update(noisy, ResourceKey(1), Unhold)
+
+	var sawAction, sawPenalty bool
+	for _, e := range h.m.Trace() {
+		if strings.HasPrefix(e.What, "action:") {
+			sawAction = true
+			if e.Extra <= 0 {
+				t.Fatal("action entry missing penalty length")
+			}
+		}
+		if e.What == "penalty" {
+			sawPenalty = true
+		}
+	}
+	if !sawAction || !sawPenalty {
+		t.Fatalf("trace missing action/penalty entries: action=%v penalty=%v", sawAction, sawPenalty)
+	}
+}

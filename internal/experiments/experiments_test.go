@@ -1,0 +1,249 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"pbox/internal/cases"
+	"pbox/internal/core"
+)
+
+var quick = Config{Duration: 60 * time.Millisecond, Quick: true}
+
+func TestTable3Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs all 16 cases")
+	}
+	rows := Table3(quick)
+	if len(rows) != 16 {
+		t.Fatalf("rows = %d, want 16", len(rows))
+	}
+	positive := 0
+	for _, r := range rows {
+		if r.To <= 0 || r.Ti <= 0 {
+			t.Fatalf("case %s has empty measurements: %+v", r.Case.ID, r)
+		}
+		if r.Level > 0.5 {
+			positive++
+		}
+	}
+	if positive < 12 {
+		t.Fatalf("only %d/16 cases show interference > 50%%", positive)
+	}
+}
+
+func TestMitigationSubset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	rows := Mitigation(quick, []string{"c12"}, []cases.Solution{cases.SolutionPBox})
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	sr, ok := rows[0].Solutions[cases.SolutionPBox]
+	if !ok {
+		t.Fatal("missing pbox result")
+	}
+	if sr.Mean <= 0 || sr.NormMean <= 0 {
+		t.Fatalf("empty solution result: %+v", sr)
+	}
+}
+
+func TestSummarizeCounts(t *testing.T) {
+	rows := []MitigationRow{
+		{Solutions: map[cases.Solution]SolutionResult{
+			cases.SolutionPBox:   {Reduction: 0.9},
+			cases.SolutionCgroup: {Reduction: -0.5},
+		}},
+		{Solutions: map[cases.Solution]SolutionResult{
+			cases.SolutionPBox:   {Reduction: 0.7},
+			cases.SolutionCgroup: {Reduction: 0.2},
+		}},
+	}
+	sums := Summarize(rows)
+	for _, s := range sums {
+		switch s.Solution {
+		case cases.SolutionPBox:
+			if s.Helped != 2 || s.Worsened != 0 {
+				t.Fatalf("pbox summary = %+v", s)
+			}
+			if s.AvgReduction < 0.79 || s.AvgReduction > 0.81 {
+				t.Fatalf("pbox avg = %v", s.AvgReduction)
+			}
+			if s.MaxReduction != 0.9 {
+				t.Fatalf("pbox max = %v", s.MaxReduction)
+			}
+		case cases.SolutionCgroup:
+			if s.Helped != 1 || s.Worsened != 1 {
+				t.Fatalf("cgroup summary = %+v", s)
+			}
+			if s.WorstWorsening != -0.5 {
+				t.Fatalf("cgroup worst = %v", s.WorstWorsening)
+			}
+		}
+	}
+}
+
+func TestFig10MicroRows(t *testing.T) {
+	rows := Fig10Micro(2000)
+	wantOps := []string{"create", "release", "activate", "freeze", "bind+unbind(lazy)", "update1", "update2", "getpid", "go-spawn"}
+	if len(rows) != len(wantOps) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(wantOps))
+	}
+	byOp := map[string]time.Duration{}
+	for _, r := range rows {
+		if r.Latency <= 0 {
+			t.Fatalf("op %s latency = %v", r.Op, r.Latency)
+		}
+		byOp[r.Op] = r.Latency
+	}
+	for _, op := range wantOps {
+		if _, ok := byOp[op]; !ok {
+			t.Fatalf("missing op %s", op)
+		}
+	}
+	// The paper's qualitative claims: update is getpid-scale (within an
+	// order of magnitude), create is the most expensive pBox op.
+	if byOp["update1"] > 20*byOp["getpid"]+time.Microsecond {
+		t.Fatalf("update1 %v far above getpid %v", byOp["update1"], byOp["getpid"])
+	}
+}
+
+func TestPenaltyInternalsSubset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	rows := PenaltyInternals(quick, []string{"c12"})
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Actions == 0 {
+		t.Fatal("no actions recorded")
+	}
+	if rows[0].PenaltyMax < rows[0].PenaltyMin {
+		t.Fatalf("penalty distribution inverted: %+v", rows[0])
+	}
+}
+
+func TestTable4Subset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	rows := Table4(quick, []string{"c12"})
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	r := rows[0]
+	if r.LatShort <= 0 || r.LatLong <= 0 || r.LatAdaptive <= 0 {
+		t.Fatalf("empty latencies: %+v", r)
+	}
+}
+
+func TestRuleSensitivitySubset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	rows := RuleSensitivity(quick, []string{"c12"}, []float64{0.25, 1.25})
+	if len(rows) != 1 || len(rows[0].Reductions) != 2 {
+		t.Fatalf("rows = %+v", rows)
+	}
+}
+
+func TestOverheadSubset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	cfg := Config{Duration: 50 * time.Millisecond}
+	rows := Overhead(cfg, []string{"memcached"}, []int{2})
+	if len(rows) != 2 { // read + write settings
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.Vanilla.Count == 0 || r.WithPBox.Count == 0 {
+			t.Fatalf("empty overhead run: %+v", r.Setting)
+		}
+	}
+}
+
+func TestOverheadAppsCoverage(t *testing.T) {
+	if len(OverheadApps()) != 5 {
+		t.Fatalf("apps = %v", OverheadApps())
+	}
+	if len(OverheadClientCounts()) != 4 {
+		t.Fatalf("counts = %v", OverheadClientCounts())
+	}
+}
+
+func TestTable5OnRepo(t *testing.T) {
+	rows, err := Table5("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6 packages", len(rows))
+	}
+	var vres Table5Row
+	for _, r := range rows {
+		if r.InspectedFuncs == 0 || r.SLOC == 0 {
+			t.Fatalf("empty row: %+v", r)
+		}
+		if r.Package == "internal/vres" {
+			vres = r
+		}
+	}
+	if vres.Detected < 6 {
+		t.Fatalf("analyzer found %d vres wait loops, want >= 6", vres.Detected)
+	}
+	if vres.ManualEvents < 20 {
+		t.Fatalf("manual event sites in vres = %d, want >= 20", vres.ManualEvents)
+	}
+}
+
+func TestDropFilterFraction(t *testing.T) {
+	filter := dropFilter(1, 0.10)
+	dropped := 0
+	const n = 4000
+	for key := 1; key <= n/4; key++ {
+		for ev := core.Prepare; ev <= core.Unhold; ev++ {
+			if !filter(core.ResourceKey(key), ev) {
+				dropped++
+			}
+		}
+	}
+	frac := float64(dropped) / float64(n)
+	if frac < 0.05 || frac > 0.15 {
+		t.Fatalf("drop fraction = %v, want ≈0.10", frac)
+	}
+	// Deterministic per seed.
+	f2 := dropFilter(1, 0.10)
+	for key := 1; key <= 100; key++ {
+		if filter(core.ResourceKey(key), core.Hold) != f2(core.ResourceKey(key), core.Hold) {
+			t.Fatal("drop filter not deterministic")
+		}
+	}
+}
+
+func TestMistakeToleranceSubset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	rows := MistakeTolerance(quick, []string{"c12"}, 2)
+	if len(rows) != 1 || len(rows[0].DroppedReductions) != 2 {
+		t.Fatalf("rows = %+v", rows)
+	}
+}
+
+func TestConfigDurations(t *testing.T) {
+	if d := (Config{}).duration(); d != cases.DefaultDuration {
+		t.Fatalf("default duration = %v", d)
+	}
+	if d := (Config{Quick: true}).duration(); d != 150*time.Millisecond {
+		t.Fatalf("quick duration = %v", d)
+	}
+	if d := (Config{Duration: time.Second}).caseDuration("c8"); d != 2*time.Second {
+		t.Fatalf("c8 duration = %v, want doubled", d)
+	}
+	if d := (Config{Duration: time.Second}).caseDuration("c1"); d != time.Second {
+		t.Fatalf("c1 duration = %v", d)
+	}
+}

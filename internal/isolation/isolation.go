@@ -1,0 +1,95 @@
+// Package isolation decouples the simulated applications from the
+// performance-isolation policy they run under. An application registers one
+// Activity domain per connection or background task and reports request
+// boundaries, CPU work, IO waits, and virtual-resource state events through
+// it. The pBox controller maps these calls onto the pBox API; the baseline
+// controllers (cgroup, PARTIES, Retro, DARC in internal/baseline) map them
+// onto their own control mechanisms; the Null controller maps them onto
+// nothing, yielding the vanilla run.
+//
+// This mirrors the paper's evaluation methodology: the same application and
+// workload run under every solution (Section 6.3), with only the control
+// policy swapped.
+package isolation
+
+import (
+	"time"
+
+	"pbox/internal/core"
+	"pbox/internal/exec"
+)
+
+// Kind classifies an activity domain, so policies that group activities
+// (cgroup by workload type, DARC by request type) can do so.
+type Kind string
+
+const (
+	// KindForeground marks request-serving activity (a client connection).
+	KindForeground Kind = "fg"
+	// KindBackground marks background tasks (purge thread, vacuum, dump).
+	KindBackground Kind = "bg"
+)
+
+// Controller is a performance-isolation policy instance for one application
+// run.
+type Controller interface {
+	// ConnStart registers an activity domain: a client connection or a
+	// background task. name is diagnostic; kind groups domains for
+	// group-based policies.
+	ConnStart(name string, kind Kind) Activity
+	// Name identifies the policy ("none", "pbox", "cgroup", ...).
+	Name() string
+	// Shutdown stops any policy goroutines. The controller must not be
+	// used afterwards.
+	Shutdown()
+}
+
+// Activity is one activity domain's handle. Methods are called from the
+// goroutine(s) executing the domain's activities.
+type Activity interface {
+	// Begin marks the start of one activity (one request, one background
+	// pass). reqType labels the request type for type-aware policies.
+	Begin(reqType string)
+	// End marks the end of the activity started by Begin, with its
+	// end-to-end latency as measured by the application.
+	End(latency time.Duration)
+	// Event reports a virtual-resource state event (Table 1).
+	Event(key core.ResourceKey, ev core.EventType)
+	// Work performs d worth of CPU-bound work on behalf of the activity.
+	// Policies that throttle CPU stretch this call.
+	Work(d time.Duration)
+	// IO performs a blocking IO wait of duration d.
+	IO(d time.Duration)
+	// Gate returns how long the domain's next activity must be delayed
+	// (admission control / requeue). Zero means runnable now. Thread-per-
+	// connection applications sleep the returned duration before Begin;
+	// event-driven applications requeue the task.
+	Gate() time.Duration
+	// Close unregisters the domain (connection closed, task finished).
+	Close()
+}
+
+// Null is the vanilla controller: no isolation at all.
+type Null struct{}
+
+// NewNull returns the vanilla (no-isolation) controller.
+func NewNull() *Null { return &Null{} }
+
+// Name implements Controller.
+func (*Null) Name() string { return "none" }
+
+// Shutdown implements Controller.
+func (*Null) Shutdown() {}
+
+// ConnStart implements Controller.
+func (*Null) ConnStart(string, Kind) Activity { return nullActivity{} }
+
+type nullActivity struct{}
+
+func (nullActivity) Begin(string)                           {}
+func (nullActivity) End(time.Duration)                      {}
+func (nullActivity) Event(core.ResourceKey, core.EventType) {}
+func (nullActivity) Work(d time.Duration)                   { exec.Work(d) }
+func (nullActivity) IO(d time.Duration)                     { exec.IOWait(d) }
+func (nullActivity) Gate() time.Duration                    { return 0 }
+func (nullActivity) Close()                                 {}

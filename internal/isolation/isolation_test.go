@@ -1,0 +1,108 @@
+package isolation
+
+import (
+	"testing"
+	"time"
+
+	"pbox/internal/core"
+)
+
+func TestNullControllerIsInert(t *testing.T) {
+	ctrl := NewNull()
+	if ctrl.Name() != "none" {
+		t.Fatalf("name = %q", ctrl.Name())
+	}
+	act := ctrl.ConnStart("x", KindForeground)
+	act.Begin("read")
+	act.Event(1, core.Prepare)
+	act.Work(10 * time.Microsecond)
+	act.IO(10 * time.Microsecond)
+	if g := act.Gate(); g != 0 {
+		t.Fatalf("gate = %v, want 0", g)
+	}
+	act.End(time.Millisecond)
+	act.Close()
+	ctrl.Shutdown()
+}
+
+func TestPBoxControllerLifecycleMapping(t *testing.T) {
+	mgr := core.NewManager(core.Options{})
+	ctrl := NewPBox(mgr, core.DefaultRule())
+	if ctrl.Name() != "pbox" {
+		t.Fatalf("name = %q", ctrl.Name())
+	}
+	act := ctrl.ConnStart("conn", KindForeground)
+	p, ok := PBoxOf(act)
+	if !ok {
+		t.Fatal("PBoxOf failed on pbox activity")
+	}
+	if p.State() != core.StateStarted {
+		t.Fatalf("state = %v, want started", p.State())
+	}
+	act.Begin("read")
+	if p.State() != core.StateActive {
+		t.Fatalf("state after Begin = %v, want active", p.State())
+	}
+	act.Event(7, core.Prepare)
+	if mgr.Waiters(7) != 1 {
+		t.Fatal("event not forwarded to manager")
+	}
+	act.Event(7, core.Enter)
+	act.End(time.Millisecond)
+	if p.State() != core.StateFrozen {
+		t.Fatalf("state after End = %v, want frozen", p.State())
+	}
+	act.Close()
+	if p.State() != core.StateDestroyed {
+		t.Fatalf("state after Close = %v, want destroyed", p.State())
+	}
+	if mgr.Live() != 0 {
+		t.Fatalf("live pboxes = %d", mgr.Live())
+	}
+}
+
+func TestPBoxControllerBackgroundGetsRelaxedRule(t *testing.T) {
+	mgr := core.NewManager(core.Options{})
+	ctrl := NewPBox(mgr, core.DefaultRule())
+	fg := ctrl.ConnStart("conn", KindForeground)
+	bg := ctrl.ConnStart("purge", KindBackground)
+	pf, _ := PBoxOf(fg)
+	pb, _ := PBoxOf(bg)
+	if pf.Rule().Level != 0.5 {
+		t.Fatalf("foreground level = %v", pf.Rule().Level)
+	}
+	if pb.Rule().Level != 0.5*BackgroundLevelFactor {
+		t.Fatalf("background level = %v, want %v", pb.Rule().Level, 0.5*BackgroundLevelFactor)
+	}
+}
+
+func TestPBoxSharedControllerMarksShared(t *testing.T) {
+	mgr := core.NewManager(core.Options{})
+	ctrl := NewPBoxShared(mgr, core.DefaultRule())
+	noisyAct := ctrl.ConnStart("noisy", KindForeground)
+	victimAct := ctrl.ConnStart("victim", KindForeground)
+	noisy, _ := PBoxOf(noisyAct)
+	victim, _ := PBoxOf(victimAct)
+
+	// Drive interference so a penalty lands on the noisy pBox: under the
+	// shared-thread model it must become a gate, not a sleep.
+	noisyAct.Begin("x")
+	victimAct.Begin("y")
+	mgr.Update(noisy, 5, core.Hold)
+	mgr.Update(victim, 5, core.Prepare)
+	time.Sleep(5 * time.Millisecond)
+	mgr.Update(noisy, 5, core.Unhold)
+
+	if g := noisyAct.Gate(); g <= 0 {
+		t.Fatalf("noisy gate = %v, want > 0 (requeue deadline)", g)
+	}
+	if g := victimAct.Gate(); g != 0 {
+		t.Fatalf("victim gate = %v, want 0", g)
+	}
+}
+
+func TestPBoxOfOnNonPBoxActivity(t *testing.T) {
+	if _, ok := PBoxOf(NewNull().ConnStart("x", KindForeground)); ok {
+		t.Fatal("PBoxOf succeeded on null activity")
+	}
+}

@@ -1,0 +1,218 @@
+// Package stats implements the measurement machinery used throughout the
+// pBox evaluation: concurrent latency recorders, percentile computation,
+// time-series sampling for the motivation figures, and the interference
+// arithmetic from Section 6.2 of the paper (interference level p, residual
+// level q, reduction ratio r).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Recorder collects latency samples from concurrent clients. It is safe for
+// use from multiple goroutines.
+type Recorder struct {
+	mu      sync.Mutex
+	samples []time.Duration
+}
+
+// NewRecorder returns an empty Recorder with capacity hint n.
+func NewRecorder(n int) *Recorder {
+	return &Recorder{samples: make([]time.Duration, 0, n)}
+}
+
+// Record appends one latency sample.
+func (r *Recorder) Record(d time.Duration) {
+	r.mu.Lock()
+	r.samples = append(r.samples, d)
+	r.mu.Unlock()
+}
+
+// Count returns the number of samples recorded so far.
+func (r *Recorder) Count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.samples)
+}
+
+// Snapshot returns a copy of the samples recorded so far.
+func (r *Recorder) Snapshot() []time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]time.Duration, len(r.samples))
+	copy(out, r.samples)
+	return out
+}
+
+// Summary reduces the recorded samples to the statistics the evaluation
+// reports.
+func (r *Recorder) Summary() Summary {
+	return Summarize(r.Snapshot())
+}
+
+// Summary holds the latency statistics reported in the evaluation figures.
+type Summary struct {
+	Count int
+	Mean  time.Duration
+	P50   time.Duration
+	P95   time.Duration // Figure 12 uses the 95th percentile
+	P99   time.Duration // Section 6.6 reports the 99th percentile
+	Max   time.Duration
+	Min   time.Duration
+}
+
+// Summarize computes a Summary over the given samples.
+func Summarize(samples []time.Duration) Summary {
+	if len(samples) == 0 {
+		return Summary{}
+	}
+	sorted := make([]time.Duration, len(samples))
+	copy(sorted, samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum time.Duration
+	for _, s := range sorted {
+		sum += s
+	}
+	return Summary{
+		Count: len(sorted),
+		Mean:  sum / time.Duration(len(sorted)),
+		P50:   Percentile(sorted, 50),
+		P95:   Percentile(sorted, 95),
+		P99:   Percentile(sorted, 99),
+		Max:   sorted[len(sorted)-1],
+		Min:   sorted[0],
+	}
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) of sorted samples
+// using nearest-rank. The input must already be sorted ascending.
+func Percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// InterferenceLevel computes p = Ti/To - 1, the severity metric in the last
+// column of Table 3. Ti is the victim's latency with interference, To
+// without.
+func InterferenceLevel(ti, to time.Duration) float64 {
+	if to <= 0 {
+		return 0
+	}
+	return float64(ti)/float64(to) - 1
+}
+
+// ReductionRatio computes r = (Ti - Ts) / (Ti - To), the interference
+// reduction ratio from Section 6.2. Ts is the victim's latency running under
+// the evaluated solution. Values can exceed 1 (the paper reports up to
+// 113.6%) when the solution lands below the interference-free baseline, and
+// can be negative when the solution makes the interference worse.
+func ReductionRatio(ti, to, ts time.Duration) float64 {
+	den := float64(ti - to)
+	if den <= 0 {
+		return 0
+	}
+	return float64(ti-ts) / den
+}
+
+// NormalizedLatency computes Ts/Ti, the y-axis of Figure 11 and Figure 12.
+func NormalizedLatency(ts, ti time.Duration) float64 {
+	if ti <= 0 {
+		return 0
+	}
+	return float64(ts) / float64(ti)
+}
+
+// TimeSeries samples a metric over wall-clock time; it backs the motivation
+// figures (latency or throughput vs. time).
+type TimeSeries struct {
+	mu     sync.Mutex
+	start  time.Time
+	bucket time.Duration
+	sums   []float64
+	counts []int
+}
+
+// NewTimeSeries creates a series with the given bucket width.
+func NewTimeSeries(bucket time.Duration) *TimeSeries {
+	return &TimeSeries{start: time.Now(), bucket: bucket}
+}
+
+// Add records value v at the current time.
+func (t *TimeSeries) Add(v float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	idx := int(time.Since(t.start) / t.bucket)
+	for len(t.sums) <= idx {
+		t.sums = append(t.sums, 0)
+		t.counts = append(t.counts, 0)
+	}
+	t.sums[idx] += v
+	t.counts[idx]++
+}
+
+// Point is one bucket of a TimeSeries.
+type Point struct {
+	T     time.Duration // bucket start offset
+	Mean  float64       // mean of values in the bucket
+	Count int           // number of values (throughput per bucket)
+}
+
+// Points returns the bucketed series.
+func (t *TimeSeries) Points() []Point {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	pts := make([]Point, 0, len(t.sums))
+	for i := range t.sums {
+		p := Point{T: time.Duration(i) * t.bucket, Count: t.counts[i]}
+		if t.counts[i] > 0 {
+			p.Mean = t.sums[i] / float64(t.counts[i])
+		}
+		pts = append(pts, p)
+	}
+	return pts
+}
+
+// Mean returns the arithmetic mean of a float slice (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// MeanDuration returns the arithmetic mean of durations (0 for empty input).
+func MeanDuration(xs []time.Duration) time.Duration {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s time.Duration
+	for _, x := range xs {
+		s += x
+	}
+	return s / time.Duration(len(xs))
+}
+
+// FormatPct renders a ratio as a signed percentage string ("86.3%").
+func FormatPct(r float64) string {
+	return fmt.Sprintf("%.1f%%", r*100)
+}

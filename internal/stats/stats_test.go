@@ -1,0 +1,201 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder(0)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(base int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.Record(time.Duration(base*100+j) * time.Microsecond)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if r.Count() != 800 {
+		t.Fatalf("count = %d, want 800", r.Count())
+	}
+	if len(r.Snapshot()) != 800 {
+		t.Fatalf("snapshot length = %d", len(r.Snapshot()))
+	}
+}
+
+func TestSummarizeKnownValues(t *testing.T) {
+	samples := make([]time.Duration, 100)
+	for i := range samples {
+		samples[i] = time.Duration(i+1) * time.Millisecond // 1..100ms
+	}
+	s := Summarize(samples)
+	if s.Count != 100 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Mean != 50500*time.Microsecond {
+		t.Fatalf("mean = %v, want 50.5ms", s.Mean)
+	}
+	if s.P50 != 50*time.Millisecond {
+		t.Fatalf("p50 = %v, want 50ms", s.P50)
+	}
+	if s.P95 != 95*time.Millisecond {
+		t.Fatalf("p95 = %v, want 95ms", s.P95)
+	}
+	if s.P99 != 99*time.Millisecond {
+		t.Fatalf("p99 = %v, want 99ms", s.P99)
+	}
+	if s.Min != time.Millisecond || s.Max != 100*time.Millisecond {
+		t.Fatalf("min/max = %v/%v", s.Min, s.Max)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Count != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestPercentileEdges(t *testing.T) {
+	sorted := []time.Duration{1, 2, 3, 4, 5}
+	if got := Percentile(sorted, 0); got != 1 {
+		t.Fatalf("p0 = %v", got)
+	}
+	if got := Percentile(sorted, 100); got != 5 {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Fatalf("empty percentile = %v", got)
+	}
+}
+
+func TestInterferenceMath(t *testing.T) {
+	// Paper example (case c2): Ti=23.95ms, To=21.67ms, Ts=21.99ms → r≈86%.
+	ti := 23950 * time.Microsecond
+	to := 21670 * time.Microsecond
+	ts := 21990 * time.Microsecond
+	r := ReductionRatio(ti, to, ts)
+	if r < 0.85 || r > 0.87 {
+		t.Fatalf("reduction = %v, want ≈0.86", r)
+	}
+	p := InterferenceLevel(ti, to)
+	if p < 0.10 || p > 0.11 {
+		t.Fatalf("level = %v, want ≈0.105", p)
+	}
+	if n := NormalizedLatency(ts, ti); n < 0.91 || n > 0.92 {
+		t.Fatalf("normalized = %v, want ≈0.918", n)
+	}
+}
+
+func TestReductionRatioDegenerate(t *testing.T) {
+	if r := ReductionRatio(100, 100, 50); r != 0 {
+		t.Fatalf("degenerate reduction = %v, want 0", r)
+	}
+	if p := InterferenceLevel(100, 0); p != 0 {
+		t.Fatalf("degenerate level = %v, want 0", p)
+	}
+	if n := NormalizedLatency(50, 0); n != 0 {
+		t.Fatalf("degenerate normalized = %v, want 0", n)
+	}
+}
+
+func TestReductionRatioCanExceedOne(t *testing.T) {
+	// Ts below To: the paper reports reductions up to 113.6%.
+	if r := ReductionRatio(200, 100, 90); r <= 1 {
+		t.Fatalf("reduction = %v, want > 1", r)
+	}
+	// Ts above Ti: negative reduction (made it worse).
+	if r := ReductionRatio(200, 100, 300); r >= 0 {
+		t.Fatalf("reduction = %v, want < 0", r)
+	}
+}
+
+func TestTimeSeriesBuckets(t *testing.T) {
+	ts := NewTimeSeries(10 * time.Millisecond)
+	ts.Add(1)
+	ts.Add(3)
+	time.Sleep(12 * time.Millisecond)
+	ts.Add(10)
+	pts := ts.Points()
+	if len(pts) < 2 {
+		t.Fatalf("points = %d, want >= 2", len(pts))
+	}
+	if pts[0].Count != 2 || pts[0].Mean != 2 {
+		t.Fatalf("bucket0 = %+v, want count 2 mean 2", pts[0])
+	}
+	last := pts[len(pts)-1]
+	if last.Count != 1 || last.Mean != 10 {
+		t.Fatalf("last bucket = %+v", last)
+	}
+}
+
+func TestMeanHelpers(t *testing.T) {
+	if m := Mean([]float64{1, 2, 3}); m != 2 {
+		t.Fatalf("mean = %v", m)
+	}
+	if m := Mean(nil); m != 0 {
+		t.Fatalf("empty mean = %v", m)
+	}
+	if m := MeanDuration([]time.Duration{2, 4}); m != 3 {
+		t.Fatalf("mean duration = %v", m)
+	}
+	if m := MeanDuration(nil); m != 0 {
+		t.Fatalf("empty mean duration = %v", m)
+	}
+	if s := FormatPct(0.863); s != "86.3%" {
+		t.Fatalf("format = %q", s)
+	}
+}
+
+// TestPropSummaryOrdering: for any sample set, min <= p50 <= p95 <= p99 <=
+// max and mean within [min, max].
+func TestPropSummaryOrdering(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		samples := make([]time.Duration, len(raw))
+		for i, v := range raw {
+			samples[i] = time.Duration(v)
+		}
+		s := Summarize(samples)
+		ordered := s.Min <= s.P50 && s.P50 <= s.P95 && s.P95 <= s.P99 && s.P99 <= s.Max
+		meanOK := s.Mean >= s.Min && s.Mean <= s.Max
+		return ordered && meanOK
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropPercentileMatchesSort: the nearest-rank percentile equals direct
+// index computation on the sorted data.
+func TestPropPercentileMatchesSort(t *testing.T) {
+	f := func(raw []uint16, pRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		p := float64(pRaw%99) + 1
+		samples := make([]time.Duration, len(raw))
+		for i, v := range raw {
+			samples[i] = time.Duration(v)
+		}
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		got := Percentile(samples, p)
+		rank := int(math.Ceil(p / 100 * float64(len(samples))))
+		if rank < 1 {
+			rank = 1
+		}
+		return got == samples[rank-1]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

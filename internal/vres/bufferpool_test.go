@@ -1,0 +1,110 @@
+package vres
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"pbox/internal/core"
+)
+
+func testPoolCosts() BufferPoolCosts {
+	return BufferPoolCosts{
+		Hit:         time.Microsecond,
+		ReadIO:      2 * time.Microsecond,
+		Scan:        time.Microsecond,
+		WritebackIO: 2 * time.Microsecond,
+	}
+}
+
+func TestBufferPoolHitMiss(t *testing.T) {
+	bp := NewBufferPool(4, testPoolCosts())
+	id := PageID{Table: "t", Page: 1}
+	if hit := bp.Get(nil, id, false); hit {
+		t.Fatal("first access reported a hit")
+	}
+	if hit := bp.Get(nil, id, false); !hit {
+		t.Fatal("second access reported a miss")
+	}
+	if !bp.Cached(id) {
+		t.Fatal("page not resident after access")
+	}
+	if bp.Resident() != 1 || bp.FreeFrames() != 3 {
+		t.Fatalf("resident=%d free=%d, want 1/3", bp.Resident(), bp.FreeFrames())
+	}
+}
+
+func TestBufferPoolEvictsWhenFull(t *testing.T) {
+	bp := NewBufferPool(3, testPoolCosts())
+	for p := 0; p < 3; p++ {
+		bp.Get(nil, PageID{Table: "t", Page: p}, false)
+	}
+	if bp.FreeFrames() != 0 {
+		t.Fatalf("free = %d, want 0", bp.FreeFrames())
+	}
+	bp.Get(nil, PageID{Table: "t", Page: 99}, false)
+	if bp.Resident() != 3 {
+		t.Fatalf("resident = %d, want capacity 3", bp.Resident())
+	}
+	if !bp.Cached(PageID{Table: "t", Page: 99}) {
+		t.Fatal("newly accessed page not resident")
+	}
+}
+
+func TestBufferPoolMissEmitsDeferEvents(t *testing.T) {
+	bp := NewBufferPool(1, testPoolCosts())
+	act := &recordingActivity{}
+	bp.Get(nil, PageID{Table: "t", Page: 0}, false) // fill the pool
+	bp.Get(act, PageID{Table: "t", Page: 1}, false) // must evict
+	want := []core.EventType{core.Prepare, core.Enter}
+	if got := act.sequence(); !eventsEqual(got, want) {
+		t.Fatalf("events = %v, want %v", got, want)
+	}
+}
+
+func TestBufferPoolBatchHoldsFreeList(t *testing.T) {
+	bp := NewBufferPool(4, testPoolCosts())
+	act := &recordingActivity{}
+	ids := []PageID{{Table: "b", Page: 0}, {Table: "b", Page: 1}}
+	hits := bp.GetBatch(act, ids)
+	if hits != 0 {
+		t.Fatalf("hits = %d on a cold pool, want 0", hits)
+	}
+	seq := act.sequence()
+	if len(seq) < 4 || seq[0] != core.Prepare || seq[len(seq)-1] != core.Unhold {
+		t.Fatalf("batch events = %v, want Prepare..Unhold", seq)
+	}
+	if hits := bp.GetBatch(nil, ids); hits != 2 {
+		t.Fatalf("warm batch hits = %d, want 2", hits)
+	}
+}
+
+func TestBufferPoolDirtyTracking(t *testing.T) {
+	bp := NewBufferPool(1, testPoolCosts())
+	bp.Get(nil, PageID{Table: "t", Page: 0}, true) // dirty page
+	act := &recordingActivity{}
+	t0 := time.Now()
+	bp.Get(act, PageID{Table: "t", Page: 1}, false) // evicts the dirty page
+	elapsed := time.Since(t0)
+	// Eviction of a dirty page pays scan + writeback + read ≈ 5µs of
+	// modeled cost; the call must at least have taken the modeled time.
+	if elapsed < 4*time.Microsecond {
+		t.Fatalf("dirty eviction too fast: %v", elapsed)
+	}
+}
+
+// TestPropBufferPoolResidencyInvariant: resident + free == capacity after
+// any access pattern.
+func TestPropBufferPoolResidencyInvariant(t *testing.T) {
+	f := func(pages []uint8) bool {
+		bp := NewBufferPool(8, testPoolCosts())
+		for _, p := range pages {
+			bp.Get(nil, PageID{Table: "t", Page: int(p % 32)}, p%3 == 0)
+		}
+		return bp.Resident()+bp.FreeFrames() == bp.Capacity() &&
+			bp.Resident() <= bp.Capacity()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

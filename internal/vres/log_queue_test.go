@@ -1,0 +1,207 @@
+package vres
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"pbox/internal/core"
+)
+
+func testLogCosts() LogCosts {
+	return LogCosts{
+		Append:        100 * time.Nanosecond,
+		ScanPerEntry:  50 * time.Nanosecond,
+		PurgePerEntry: 100 * time.Nanosecond,
+	}
+}
+
+func TestAppendLogBasics(t *testing.T) {
+	l := NewAppendLog(testLogCosts())
+	l.Append(nil, 10)
+	if l.Len() != 10 {
+		t.Fatalf("len = %d, want 10", l.Len())
+	}
+	if n := l.PurgeChunk(nil, 4); n != 4 {
+		t.Fatalf("purged %d, want 4", n)
+	}
+	if l.Len() != 6 {
+		t.Fatalf("len = %d, want 6", l.Len())
+	}
+	if n := l.PurgeChunk(nil, 100); n != 6 {
+		t.Fatalf("purged %d, want 6", n)
+	}
+	if n := l.PurgeChunk(nil, 100); n != 0 {
+		t.Fatalf("purged %d from empty log", n)
+	}
+}
+
+func TestAppendLogPinBlocksPurge(t *testing.T) {
+	l := NewAppendLog(testLogCosts())
+	l.Append(nil, 5)
+	l.Pin()
+	if n := l.PurgeChunk(nil, 10); n != 0 {
+		t.Fatalf("purged %d while pinned", n)
+	}
+	l.Unpin()
+	if n := l.PurgeChunk(nil, 10); n != 5 {
+		t.Fatalf("purged %d after unpin, want 5", n)
+	}
+}
+
+func TestAppendLogPinnedChainAmplification(t *testing.T) {
+	costs := testLogCosts()
+	costs.PinnedChain = 4
+	l := NewAppendLog(costs)
+	l.Append(nil, 10)
+	if l.Len() != 10 {
+		t.Fatalf("unpinned append amplified: %d", l.Len())
+	}
+	l.Pin()
+	l.Append(nil, 10)
+	if l.Len() != 50 {
+		t.Fatalf("pinned append not amplified: %d, want 50", l.Len())
+	}
+	l.Unpin()
+}
+
+func TestAppendLogScanEmitsLockEvents(t *testing.T) {
+	l := NewAppendLog(testLogCosts())
+	l.Append(nil, 100)
+	act := &recordingActivity{}
+	l.Scan(act, 10)
+	want := []core.EventType{core.Prepare, core.Enter, core.Hold, core.Unhold}
+	if got := act.sequence(); !eventsEqual(got, want) {
+		t.Fatalf("events = %v, want %v", got, want)
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	q := NewQueuePoll[int](0, time.Microsecond)
+	for i := 0; i < 5; i++ {
+		if !q.TryPush(i) {
+			t.Fatalf("push %d failed", i)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		v, ok := q.TryPop()
+		if !ok || v != i {
+			t.Fatalf("pop = %d,%v, want %d", v, ok, i)
+		}
+	}
+	if _, ok := q.TryPop(); ok {
+		t.Fatal("pop from empty queue succeeded")
+	}
+}
+
+func TestQueueCapacityBound(t *testing.T) {
+	q := NewQueuePoll[int](2, time.Microsecond)
+	if !q.TryPush(1) || !q.TryPush(2) {
+		t.Fatal("pushes under capacity failed")
+	}
+	if q.TryPush(3) {
+		t.Fatal("push over capacity succeeded")
+	}
+	q.TryPop()
+	if !q.TryPush(3) {
+		t.Fatal("push after pop failed")
+	}
+}
+
+func TestQueuePushBlocksUntilSpace(t *testing.T) {
+	q := NewQueuePoll[int](1, time.Microsecond)
+	q.TryPush(1)
+	act := &recordingActivity{}
+	pushed := make(chan struct{})
+	go func() {
+		q.Push(act, 2)
+		close(pushed)
+	}()
+	select {
+	case <-pushed:
+		t.Fatal("push on full queue returned immediately")
+	case <-time.After(2 * time.Millisecond):
+	}
+	q.TryPop()
+	select {
+	case <-pushed:
+	case <-time.After(time.Second):
+		t.Fatal("push never completed after space freed")
+	}
+	seq := act.sequence()
+	if len(seq) != 2 || seq[0] != core.Prepare || seq[1] != core.Enter {
+		t.Fatalf("blocked push events = %v", seq)
+	}
+}
+
+func TestQueuePushDelayed(t *testing.T) {
+	q := NewQueuePoll[int](0, time.Microsecond)
+	q.PushDelayed(42, 20*time.Millisecond)
+	if _, ok := q.TryPop(); ok {
+		t.Fatal("delayed item popped before deadline")
+	}
+	q.TryPush(7)
+	v, ok := q.TryPop()
+	if !ok || v != 7 {
+		t.Fatalf("eligible item skipped: %d,%v", v, ok)
+	}
+	time.Sleep(25 * time.Millisecond)
+	v, ok = q.TryPop()
+	if !ok || v != 42 {
+		t.Fatalf("delayed item not delivered after deadline: %d,%v", v, ok)
+	}
+}
+
+func TestQueueCloseDrains(t *testing.T) {
+	q := NewQueuePoll[int](0, time.Microsecond)
+	q.TryPush(1)
+	q.Close()
+	if q.TryPush(2) {
+		t.Fatal("push after close succeeded")
+	}
+	if v, ok := q.Pop(nil); !ok || v != 1 {
+		t.Fatalf("drain pop = %d,%v", v, ok)
+	}
+	if _, ok := q.Pop(nil); ok {
+		t.Fatal("pop after drain of closed queue succeeded")
+	}
+}
+
+func TestQueueConcurrentProducersConsumers(t *testing.T) {
+	q := NewQueuePoll[int](8, time.Microsecond)
+	const items = 200
+	var wg sync.WaitGroup
+	got := make(chan int, items)
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				v, ok := q.Pop(nil)
+				if !ok {
+					return
+				}
+				q.Done(nil)
+				got <- v
+			}
+		}()
+	}
+	for i := 0; i < items; i++ {
+		q.Push(nil, i)
+	}
+	q.Close()
+	wg.Wait()
+	close(got)
+	sum := 0
+	n := 0
+	for v := range got {
+		sum += v
+		n++
+	}
+	if n != items {
+		t.Fatalf("consumed %d items, want %d", n, items)
+	}
+	if want := items * (items - 1) / 2; sum != want {
+		t.Fatalf("sum = %d, want %d (items lost or duplicated)", sum, want)
+	}
+}

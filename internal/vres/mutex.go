@@ -1,0 +1,115 @@
+package vres
+
+import (
+	"sync/atomic"
+	"time"
+
+	"pbox/internal/core"
+	"pbox/internal/isolation"
+)
+
+// Mutex is an instrumented mutual-exclusion virtual resource (the "custom
+// lock" and "custom mutex" of cases c1/c2, the system locks of c15/c16).
+// Acquisition follows the paper's annotation pattern: PREPARE before the
+// wait loop, ENTER and HOLD once acquired, UNHOLD after release.
+type Mutex struct {
+	resource
+	state atomic.Int32
+}
+
+// NewMutex creates an instrumented mutex with the default poll interval.
+func NewMutex() *Mutex { return NewMutexPoll(0) }
+
+// NewMutexPoll creates an instrumented mutex with poll interval poll.
+func NewMutexPoll(poll time.Duration) *Mutex {
+	return &Mutex{resource: newResource(poll)}
+}
+
+// Lock acquires the mutex on behalf of act.
+func (m *Mutex) Lock(act isolation.Activity) {
+	m.event(act, core.Prepare)
+	for !m.state.CompareAndSwap(0, 1) {
+		m.sleep()
+	}
+	m.event(act, core.Enter)
+	m.event(act, core.Hold)
+}
+
+// TryLock attempts to acquire without blocking. On success it emits the
+// ENTER/HOLD pair (with a zero-length deferred window).
+func (m *Mutex) TryLock(act isolation.Activity) bool {
+	if !m.state.CompareAndSwap(0, 1) {
+		return false
+	}
+	m.event(act, core.Prepare)
+	m.event(act, core.Enter)
+	m.event(act, core.Hold)
+	return true
+}
+
+// Unlock releases the mutex. The real lock is released before the UNHOLD
+// event so a penalty applied to the caller never extends the critical
+// section (the action-timing rule of Section 4.4.1).
+func (m *Mutex) Unlock(act isolation.Activity) {
+	m.state.Store(0)
+	m.event(act, core.Unhold)
+}
+
+// Locked reports whether the mutex is currently held (diagnostics).
+func (m *Mutex) Locked() bool { return m.state.Load() != 0 }
+
+// RWLock is an instrumented shared/exclusive lock, modeling PostgreSQL
+// LWLocks (case c8: exclusive-mode waiters blocked by shared-mode holders)
+// and table-level locks (c7).
+type RWLock struct {
+	resource
+	// state: 0 free, >0 number of shared holders, -1 exclusive.
+	state atomic.Int32
+}
+
+// NewRWLock creates an instrumented shared/exclusive lock.
+func NewRWLock() *RWLock { return NewRWLockPoll(0) }
+
+// NewRWLockPoll creates an RWLock with poll interval poll.
+func NewRWLockPoll(poll time.Duration) *RWLock {
+	return &RWLock{resource: newResource(poll)}
+}
+
+// LockShared acquires the lock in shared mode.
+func (l *RWLock) LockShared(act isolation.Activity) {
+	l.event(act, core.Prepare)
+	for {
+		s := l.state.Load()
+		if s >= 0 && l.state.CompareAndSwap(s, s+1) {
+			break
+		}
+		l.sleep()
+	}
+	l.event(act, core.Enter)
+	l.event(act, core.Hold)
+}
+
+// UnlockShared releases a shared acquisition.
+func (l *RWLock) UnlockShared(act isolation.Activity) {
+	l.state.Add(-1)
+	l.event(act, core.Unhold)
+}
+
+// LockExclusive acquires the lock in exclusive mode.
+func (l *RWLock) LockExclusive(act isolation.Activity) {
+	l.event(act, core.Prepare)
+	for !l.state.CompareAndSwap(0, -1) {
+		l.sleep()
+	}
+	l.event(act, core.Enter)
+	l.event(act, core.Hold)
+}
+
+// UnlockExclusive releases an exclusive acquisition.
+func (l *RWLock) UnlockExclusive(act isolation.Activity) {
+	l.state.Store(0)
+	l.event(act, core.Unhold)
+}
+
+// Readers returns the current reader count (negative means exclusive).
+func (l *RWLock) Readers() int { return int(l.state.Load()) }

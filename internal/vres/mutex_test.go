@@ -1,0 +1,225 @@
+package vres
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"pbox/internal/core"
+	"pbox/internal/exec"
+	"pbox/internal/isolation"
+)
+
+// recordingActivity captures emitted state events for assertions.
+type recordingActivity struct {
+	mu     sync.Mutex
+	events []recordedEvent
+}
+
+type recordedEvent struct {
+	key core.ResourceKey
+	ev  core.EventType
+}
+
+func (r *recordingActivity) Begin(string)      {}
+func (r *recordingActivity) End(time.Duration) {}
+func (r *recordingActivity) Event(key core.ResourceKey, ev core.EventType) {
+	r.mu.Lock()
+	r.events = append(r.events, recordedEvent{key, ev})
+	r.mu.Unlock()
+}
+func (r *recordingActivity) Work(d time.Duration) { exec.Work(d) }
+func (r *recordingActivity) IO(d time.Duration)   { exec.IOWait(d) }
+func (r *recordingActivity) Gate() time.Duration  { return 0 }
+func (r *recordingActivity) Close()               {}
+
+func (r *recordingActivity) sequence() []core.EventType {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]core.EventType, len(r.events))
+	for i, e := range r.events {
+		out[i] = e.ev
+	}
+	return out
+}
+
+var _ isolation.Activity = (*recordingActivity)(nil)
+
+func eventsEqual(got, want []core.EventType) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMutexEmitsCanonicalEventSequence(t *testing.T) {
+	m := NewMutexPoll(time.Microsecond)
+	act := &recordingActivity{}
+	m.Lock(act)
+	if !m.Locked() {
+		t.Fatal("mutex not locked after Lock")
+	}
+	m.Unlock(act)
+	if m.Locked() {
+		t.Fatal("mutex still locked after Unlock")
+	}
+	want := []core.EventType{core.Prepare, core.Enter, core.Hold, core.Unhold}
+	if got := act.sequence(); !eventsEqual(got, want) {
+		t.Fatalf("events = %v, want %v", got, want)
+	}
+}
+
+func TestMutexNilActivity(t *testing.T) {
+	m := NewMutexPoll(time.Microsecond)
+	m.Lock(nil) // must not panic
+	m.Unlock(nil)
+}
+
+func TestMutexMutualExclusion(t *testing.T) {
+	m := NewMutexPoll(time.Microsecond)
+	var inside atomic.Int32
+	var maxInside atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				m.Lock(nil)
+				n := inside.Add(1)
+				if n > maxInside.Load() {
+					maxInside.Store(n)
+				}
+				inside.Add(-1)
+				m.Unlock(nil)
+			}
+		}()
+	}
+	wg.Wait()
+	if maxInside.Load() > 1 {
+		t.Fatalf("observed %d goroutines inside the mutex", maxInside.Load())
+	}
+}
+
+func TestMutexTryLock(t *testing.T) {
+	m := NewMutexPoll(time.Microsecond)
+	act := &recordingActivity{}
+	if !m.TryLock(act) {
+		t.Fatal("TryLock on free mutex failed")
+	}
+	if m.TryLock(nil) {
+		t.Fatal("TryLock on held mutex succeeded")
+	}
+	m.Unlock(act)
+	if !m.TryLock(nil) {
+		t.Fatal("TryLock after unlock failed")
+	}
+	m.Unlock(nil)
+}
+
+func TestRWLockSharedHoldersCoexist(t *testing.T) {
+	l := NewRWLockPoll(time.Microsecond)
+	a, b := &recordingActivity{}, &recordingActivity{}
+	l.LockShared(a)
+	l.LockShared(b)
+	if got := l.Readers(); got != 2 {
+		t.Fatalf("readers = %d, want 2", got)
+	}
+	l.UnlockShared(a)
+	l.UnlockShared(b)
+	if got := l.Readers(); got != 0 {
+		t.Fatalf("readers after unlock = %d, want 0", got)
+	}
+}
+
+func TestRWLockExclusiveBlocksShared(t *testing.T) {
+	l := NewRWLockPoll(time.Microsecond)
+	l.LockExclusive(nil)
+	acquired := make(chan struct{})
+	go func() {
+		l.LockShared(nil)
+		close(acquired)
+	}()
+	select {
+	case <-acquired:
+		t.Fatal("shared acquired while exclusive held")
+	case <-time.After(2 * time.Millisecond):
+	}
+	l.UnlockExclusive(nil)
+	select {
+	case <-acquired:
+	case <-time.After(time.Second):
+		t.Fatal("shared never acquired after exclusive release")
+	}
+	l.UnlockShared(nil)
+}
+
+func TestRWLockSharedBlocksExclusive(t *testing.T) {
+	l := NewRWLockPoll(time.Microsecond)
+	l.LockShared(nil)
+	acquired := make(chan struct{})
+	go func() {
+		l.LockExclusive(nil)
+		close(acquired)
+	}()
+	select {
+	case <-acquired:
+		t.Fatal("exclusive acquired while shared held")
+	case <-time.After(2 * time.Millisecond):
+	}
+	l.UnlockShared(nil)
+	select {
+	case <-acquired:
+	case <-time.After(time.Second):
+		t.Fatal("exclusive never acquired after shared release")
+	}
+	l.UnlockExclusive(nil)
+}
+
+func TestKeysAreUnique(t *testing.T) {
+	seen := map[core.ResourceKey]bool{}
+	for i := 0; i < 100; i++ {
+		k := NewKey()
+		if seen[k] {
+			t.Fatalf("duplicate key %v", k)
+		}
+		seen[k] = true
+	}
+	m1, m2 := NewMutex(), NewMutex()
+	if m1.Key() == m2.Key() {
+		t.Fatal("two mutexes share a key")
+	}
+}
+
+// TestPropMutexBalancedLockUnlock: any interleaving of balanced Lock/Unlock
+// pairs across goroutines leaves the mutex free.
+func TestPropMutexBalancedLockUnlock(t *testing.T) {
+	f := func(workers uint8, rounds uint8) bool {
+		w := int(workers%4) + 1
+		r := int(rounds%8) + 1
+		m := NewMutexPoll(time.Microsecond)
+		var wg sync.WaitGroup
+		for i := 0; i < w; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := 0; j < r; j++ {
+					m.Lock(nil)
+					m.Unlock(nil)
+				}
+			}()
+		}
+		wg.Wait()
+		return !m.Locked()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,147 @@
+package vres
+
+import (
+	"sync"
+	"time"
+
+	"pbox/internal/core"
+	"pbox/internal/isolation"
+)
+
+// Queue is an instrumented bounded task queue. Its capacity (free slots) is
+// the virtual resource: producers deferred on a full queue emit
+// PREPARE/ENTER, and a consumer that drains a slot emits HOLD/UNHOLD around
+// the dequeue, so Algorithm 1 can attribute producer stalls to the activity
+// occupying the queue (the fcgid request queue of case c11, the event queues
+// of the Varnish/Memcached substrates).
+type Queue[T any] struct {
+	resource
+	mu       sync.Mutex
+	items    []queued[T]
+	capacity int
+	closed   bool
+}
+
+type queued[T any] struct {
+	item      T
+	notBefore time.Time
+}
+
+// NewQueue creates a queue with the given capacity (<=0 means unbounded).
+func NewQueue[T any](capacity int) *Queue[T] {
+	return NewQueuePoll[T](capacity, 0)
+}
+
+// NewQueuePoll is NewQueue with an explicit recheck interval. Event loops
+// that dispatch continuously want a fine poll; producer backoff on a full
+// queue is modeled by the default.
+func NewQueuePoll[T any](capacity int, poll time.Duration) *Queue[T] {
+	return &Queue[T]{resource: newResource(poll), capacity: capacity}
+}
+
+// TryPush enqueues without blocking; reports success.
+func (q *Queue[T]) TryPush(item T) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed || (q.capacity > 0 && len(q.items) >= q.capacity) {
+		return false
+	}
+	q.items = append(q.items, queued[T]{item: item})
+	return true
+}
+
+// Push enqueues on behalf of act, blocking in a recheck loop while the queue
+// is full. Returns false if the queue is closed.
+func (q *Queue[T]) Push(act isolation.Activity, item T) bool {
+	if q.TryPush(item) {
+		return true
+	}
+	q.event(act, core.Prepare)
+	for {
+		q.mu.Lock()
+		if q.closed {
+			q.mu.Unlock()
+			q.event(act, core.Enter)
+			return false
+		}
+		if q.capacity <= 0 || len(q.items) < q.capacity {
+			q.items = append(q.items, queued[T]{item: item})
+			q.mu.Unlock()
+			q.event(act, core.Enter)
+			return true
+		}
+		q.mu.Unlock()
+		q.sleep()
+	}
+}
+
+// PushDelayed enqueues an item that must not be dequeued before delay has
+// elapsed — the requeue primitive event-driven applications use for
+// penalized shared-thread pBoxes (Section 5). Delayed pushes bypass the
+// capacity bound so a penalty can never deadlock the queue.
+func (q *Queue[T]) PushDelayed(item T, delay time.Duration) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.items = append(q.items, queued[T]{item: item, notBefore: time.Now().Add(delay)})
+}
+
+// TryPop dequeues the first eligible item without blocking.
+func (q *Queue[T]) TryPop() (T, bool) {
+	var zero T
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := time.Now()
+	for i := range q.items {
+		if q.items[i].notBefore.IsZero() || !now.Before(q.items[i].notBefore) {
+			it := q.items[i].item
+			q.items = append(q.items[:i], q.items[i+1:]...)
+			return it, true
+		}
+	}
+	return zero, false
+}
+
+// Pop dequeues, blocking in a recheck loop until an item is available or the
+// queue is closed and drained. The consumer emits HOLD on the queue resource
+// while it owns the dequeued slot; callers must call Done when the item's
+// processing no longer occupies the slot.
+func (q *Queue[T]) Pop(act isolation.Activity) (T, bool) {
+	var zero T
+	for {
+		if it, ok := q.TryPop(); ok {
+			q.event(act, core.Hold)
+			return it, true
+		}
+		q.mu.Lock()
+		closed := q.closed
+		empty := len(q.items) == 0
+		q.mu.Unlock()
+		if closed && empty {
+			return zero, false
+		}
+		q.sleep()
+	}
+}
+
+// Done marks the slot taken by Pop as released.
+func (q *Queue[T]) Done(act isolation.Activity) {
+	q.event(act, core.Unhold)
+}
+
+// Len returns the number of queued items.
+func (q *Queue[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// Close marks the queue closed; Pop drains remaining items then reports
+// false, and pushes fail.
+func (q *Queue[T]) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+}

@@ -1,0 +1,163 @@
+package vres
+
+import (
+	"sync/atomic"
+	"time"
+
+	"pbox/internal/core"
+	"pbox/internal/isolation"
+)
+
+// Slots is an instrumented counting semaphore: a virtual resource with
+// multiple exclusive units (Table 1's "exclusive with multiple units"). It
+// models worker-pool capacity (Apache MaxClients, php-fpm pm.maxchildren,
+// Varnish thread pools) and any bounded admission structure.
+type Slots struct {
+	resource
+	limit  int32
+	active atomic.Int32
+}
+
+// NewSlots creates a semaphore with n units.
+func NewSlots(n int) *Slots { return NewSlotsPoll(n, 0) }
+
+// NewSlotsPoll creates a semaphore with n units and poll interval poll.
+func NewSlotsPoll(n int, poll time.Duration) *Slots {
+	if n < 1 {
+		n = 1
+	}
+	return &Slots{resource: newResource(poll), limit: int32(n)}
+}
+
+// Acquire takes one unit, blocking in a recheck loop while none is free.
+func (s *Slots) Acquire(act isolation.Activity) {
+	s.event(act, core.Prepare)
+	for {
+		n := s.active.Add(1)
+		if n <= s.limit {
+			break
+		}
+		s.active.Add(-1)
+		s.sleep()
+	}
+	s.event(act, core.Enter)
+	s.event(act, core.Hold)
+}
+
+// TryAcquire takes a unit without blocking; reports success.
+func (s *Slots) TryAcquire(act isolation.Activity) bool {
+	n := s.active.Add(1)
+	if n > s.limit {
+		s.active.Add(-1)
+		return false
+	}
+	s.event(act, core.Prepare)
+	s.event(act, core.Enter)
+	s.event(act, core.Hold)
+	return true
+}
+
+// Release returns one unit.
+func (s *Slots) Release(act isolation.Activity) {
+	s.active.Add(-1)
+	s.event(act, core.Unhold)
+}
+
+// InUse returns the number of units currently taken.
+func (s *Slots) InUse() int { return int(s.active.Load()) }
+
+// Limit returns the unit count.
+func (s *Slots) Limit() int { return int(s.limit) }
+
+// Tickets models InnoDB's thread-concurrency regulation (case c3, Figure 9
+// of the paper): at most limit threads may be "inside the engine"
+// (srv_conc.n_active); a thread that gets in is granted a number of tickets
+// letting it re-enter without waiting until they run out.
+type Tickets struct {
+	resource
+	limit    int32
+	perGrant int
+	active   atomic.Int32
+}
+
+// TicketState is the per-connection ticket credit (trx->n_tickets_to_enter_innodb).
+type TicketState struct {
+	remaining int
+	inside    bool
+}
+
+// NewTickets creates a regulator admitting limit concurrent threads,
+// granting perGrant tickets on each successful entry.
+func NewTickets(limit, perGrant int) *Tickets {
+	return NewTicketsPoll(limit, perGrant, 0)
+}
+
+// NewTicketsPoll is NewTickets with an explicit poll interval.
+func NewTicketsPoll(limit, perGrant int, poll time.Duration) *Tickets {
+	if limit < 1 {
+		limit = 1
+	}
+	if perGrant < 1 {
+		perGrant = 1
+	}
+	return &Tickets{resource: newResource(poll), limit: int32(limit), perGrant: perGrant}
+}
+
+// Enter admits the calling activity into the engine, mirroring
+// srv_conc_enter_innodb_with_atomics: if the connection still has tickets it
+// passes straight through; otherwise it waits for an n_active slot and is
+// granted fresh tickets.
+func (t *Tickets) Enter(act isolation.Activity, ts *TicketState) {
+	if ts.inside && ts.remaining > 0 {
+		ts.remaining--
+		return
+	}
+	t.event(act, core.Prepare)
+	for {
+		if t.active.Load() < t.limit {
+			n := t.active.Add(1)
+			if n <= t.limit {
+				break
+			}
+			t.active.Add(-1)
+		}
+		t.sleep()
+	}
+	t.event(act, core.Enter)
+	t.event(act, core.Hold)
+	ts.inside = true
+	ts.remaining = t.perGrant - 1
+}
+
+// Exit is called at statement end. Like InnoDB, the thread stays inside
+// (keeping its slot) while it has tickets; only when they are exhausted does
+// it leave, decrementing n_active and emitting UNHOLD
+// (srv_conc_exit_innodb_with_atomics).
+func (t *Tickets) Exit(act isolation.Activity, ts *TicketState) {
+	if !ts.inside {
+		return
+	}
+	if ts.remaining > 0 {
+		return
+	}
+	t.leave(act, ts)
+}
+
+// ForceExit makes the connection leave the engine regardless of remaining
+// tickets (connection close, transaction end).
+func (t *Tickets) ForceExit(act isolation.Activity, ts *TicketState) {
+	if !ts.inside {
+		return
+	}
+	t.leave(act, ts)
+}
+
+func (t *Tickets) leave(act isolation.Activity, ts *TicketState) {
+	t.active.Add(-1)
+	ts.inside = false
+	ts.remaining = 0
+	t.event(act, core.Unhold)
+}
+
+// Active returns the current n_active value.
+func (t *Tickets) Active() int { return int(t.active.Load()) }

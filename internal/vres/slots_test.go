@@ -1,0 +1,149 @@
+package vres
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pbox/internal/core"
+)
+
+func TestSlotsLimitEnforced(t *testing.T) {
+	s := NewSlotsPoll(3, time.Microsecond)
+	var inside, maxInside atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				s.Acquire(nil)
+				n := inside.Add(1)
+				for {
+					m := maxInside.Load()
+					if n <= m || maxInside.CompareAndSwap(m, n) {
+						break
+					}
+				}
+				inside.Add(-1)
+				s.Release(nil)
+			}
+		}()
+	}
+	wg.Wait()
+	if maxInside.Load() > 3 {
+		t.Fatalf("observed %d concurrent holders, limit 3", maxInside.Load())
+	}
+	if s.InUse() != 0 {
+		t.Fatalf("in use after drain = %d", s.InUse())
+	}
+}
+
+func TestSlotsTryAcquire(t *testing.T) {
+	s := NewSlotsPoll(1, time.Microsecond)
+	if !s.TryAcquire(nil) {
+		t.Fatal("TryAcquire on free slots failed")
+	}
+	if s.TryAcquire(nil) {
+		t.Fatal("TryAcquire over limit succeeded")
+	}
+	s.Release(nil)
+	if s.InUse() != 0 {
+		t.Fatalf("in use = %d, want 0", s.InUse())
+	}
+}
+
+func TestSlotsEventSequence(t *testing.T) {
+	s := NewSlotsPoll(1, time.Microsecond)
+	act := &recordingActivity{}
+	s.Acquire(act)
+	s.Release(act)
+	want := []core.EventType{core.Prepare, core.Enter, core.Hold, core.Unhold}
+	if got := act.sequence(); !eventsEqual(got, want) {
+		t.Fatalf("events = %v, want %v", got, want)
+	}
+}
+
+func TestSlotsMinimumLimit(t *testing.T) {
+	s := NewSlots(0)
+	if s.Limit() != 1 {
+		t.Fatalf("limit = %d, want clamped to 1", s.Limit())
+	}
+}
+
+func TestTicketsGrantAllowsReentryWithoutWait(t *testing.T) {
+	tk := NewTicketsPoll(1, 3, time.Microsecond)
+	act := &recordingActivity{}
+	var ts TicketState
+
+	tk.Enter(act, &ts) // takes the slot, grants 3 tickets (uses none extra)
+	if tk.Active() != 1 {
+		t.Fatalf("active = %d, want 1", tk.Active())
+	}
+	tk.Exit(act, &ts) // 2 tickets left: stays inside
+	if tk.Active() != 1 {
+		t.Fatal("left engine despite remaining tickets")
+	}
+	tk.Enter(act, &ts) // consumes a ticket, no wait
+	tk.Exit(act, &ts)  // 1 left
+	tk.Enter(act, &ts) // consumes the last
+	tk.Exit(act, &ts)  // exhausted: leaves
+	if tk.Active() != 0 {
+		t.Fatalf("active after exhaustion = %d, want 0", tk.Active())
+	}
+	// Exactly one Prepare/Enter/Hold and one Unhold across the burst.
+	want := []core.EventType{core.Prepare, core.Enter, core.Hold, core.Unhold}
+	if got := act.sequence(); !eventsEqual(got, want) {
+		t.Fatalf("events = %v, want %v", got, want)
+	}
+}
+
+func TestTicketsForceExit(t *testing.T) {
+	tk := NewTicketsPoll(2, 5, time.Microsecond)
+	var ts TicketState
+	tk.Enter(nil, &ts)
+	if tk.Active() != 1 {
+		t.Fatalf("active = %d", tk.Active())
+	}
+	tk.ForceExit(nil, &ts)
+	if tk.Active() != 0 {
+		t.Fatalf("active after force exit = %d", tk.Active())
+	}
+	tk.ForceExit(nil, &ts) // idempotent
+	if tk.Active() != 0 {
+		t.Fatalf("active went negative: %d", tk.Active())
+	}
+}
+
+func TestTicketsConcurrencyLimit(t *testing.T) {
+	tk := NewTicketsPoll(2, 1, time.Microsecond)
+	var inside, maxInside atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var ts TicketState
+			for j := 0; j < 30; j++ {
+				tk.Enter(nil, &ts)
+				n := inside.Add(1)
+				for {
+					m := maxInside.Load()
+					if n <= m || maxInside.CompareAndSwap(m, n) {
+						break
+					}
+				}
+				inside.Add(-1)
+				tk.Exit(nil, &ts)
+			}
+		}()
+	}
+	wg.Wait()
+	if maxInside.Load() > 2 {
+		t.Fatalf("observed %d inside, limit 2", maxInside.Load())
+	}
+	if tk.Active() != 0 {
+		t.Fatalf("active after drain = %d", tk.Active())
+	}
+}

@@ -1,0 +1,184 @@
+// Package workload provides the load generators of the evaluation: closed-
+// loop clients with think times and start/stop offsets (sysbench-, ab- and
+// Mutilate-style), key-popularity distributions (uniform, Zipf — the
+// Facebook USR/VAR workloads are Zipf-like), and weighted operation mixes
+// (OLTP read-only / write-only / mixed).
+package workload
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"pbox/internal/exec"
+	"pbox/internal/stats"
+)
+
+// Spec describes one closed-loop client.
+type Spec struct {
+	// Name labels the client (also used by group-based baselines).
+	Name string
+	// Start is the offset after run start at which the client connects
+	// (e.g. the fifth client of case c3 joining late).
+	Start time.Duration
+	// Stop is the offset at which the client disconnects; zero means it
+	// runs to the end.
+	Stop time.Duration
+	// Think is the pause between consecutive requests.
+	Think time.Duration
+	// Op executes one request. The runner measures its latency.
+	Op func(r *rand.Rand)
+	// Recorder, if non-nil, receives every request latency.
+	Recorder *stats.Recorder
+	// Series, if non-nil, receives every latency in ms for time-series
+	// figures.
+	Series *stats.TimeSeries
+	// Setup runs on the client goroutine before its first request
+	// (connection establishment); Teardown after its last.
+	Setup    func()
+	Teardown func()
+	// Seed fixes the client's PRNG; zero derives one from the name.
+	Seed int64
+}
+
+// Run executes the given clients concurrently for the run duration and
+// returns when all clients have stopped.
+func Run(duration time.Duration, specs []Spec) {
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := range specs {
+		wg.Add(1)
+		go func(s *Spec, idx int) {
+			defer wg.Done()
+			runClient(start, duration, s, idx)
+		}(&specs[i], i)
+	}
+	wg.Wait()
+}
+
+func runClient(start time.Time, duration time.Duration, s *Spec, idx int) {
+	seed := s.Seed
+	if seed == 0 {
+		seed = int64(idx+1) * 1_000_003
+		for _, c := range s.Name {
+			seed = seed*31 + int64(c)
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	if s.Start > 0 {
+		time.Sleep(s.Start)
+	}
+	stop := duration
+	if s.Stop > 0 && s.Stop < duration {
+		stop = s.Stop
+	}
+	if s.Setup != nil {
+		s.Setup()
+	}
+	if s.Teardown != nil {
+		defer s.Teardown()
+	}
+	for time.Since(start) < stop {
+		t0 := time.Now()
+		s.Op(rng)
+		lat := time.Since(t0)
+		if s.Recorder != nil {
+			s.Recorder.Record(lat)
+		}
+		if s.Series != nil {
+			s.Series.Add(float64(lat) / float64(time.Millisecond))
+		}
+		if s.Think > 0 {
+			exec.SleepPrecise(s.Think)
+		}
+	}
+}
+
+// UniformKeys returns a picker of uniformly distributed keys in [0, n).
+func UniformKeys(n int) func(*rand.Rand) int {
+	if n < 1 {
+		n = 1
+	}
+	return func(r *rand.Rand) int { return r.Intn(n) }
+}
+
+// SkewedKeys returns a picker of power-law-skewed keys in [0, n): low keys
+// are hot, the tail is cold. exponent >= 1 controls the skew (3 gives a
+// strongly skewed distribution). The Facebook USR and VAR key-value
+// workloads used for the Memcached evaluation are highly skewed; this
+// allocation-free power-law pick approximates them.
+func SkewedKeys(n int, exponent float64) func(*rand.Rand) int {
+	if n < 1 {
+		n = 1
+	}
+	if exponent < 1 {
+		exponent = 1
+	}
+	return func(r *rand.Rand) int {
+		u := r.Float64()
+		v := u
+		for e := 1.0; e < exponent; e++ {
+			v *= u
+		}
+		k := int(v * float64(n))
+		if k >= n {
+			k = n - 1
+		}
+		return k
+	}
+}
+
+// Mix selects among weighted operations.
+type Mix struct {
+	ops     []func(*rand.Rand)
+	weights []int
+	total   int
+}
+
+// NewMix builds an empty mix.
+func NewMix() *Mix { return &Mix{} }
+
+// Add registers op with the given weight and returns the mix for chaining.
+func (m *Mix) Add(weight int, op func(*rand.Rand)) *Mix {
+	if weight > 0 {
+		m.ops = append(m.ops, op)
+		m.weights = append(m.weights, weight)
+		m.total += weight
+	}
+	return m
+}
+
+// Op returns a single operation function that draws from the mix.
+func (m *Mix) Op() func(*rand.Rand) {
+	return func(r *rand.Rand) {
+		if m.total == 0 {
+			return
+		}
+		pick := r.Intn(m.total)
+		for i, w := range m.weights {
+			if pick < w {
+				m.ops[i](r)
+				return
+			}
+			pick -= w
+		}
+	}
+}
+
+// Sequential returns a picker walking keys 0..n-1 cyclically (table scans,
+// mysqldump-style sweeps).
+func Sequential(n int) func(*rand.Rand) int {
+	if n < 1 {
+		n = 1
+	}
+	var mu sync.Mutex
+	next := 0
+	return func(*rand.Rand) int {
+		mu.Lock()
+		k := next
+		next = (next + 1) % n
+		mu.Unlock()
+		return k
+	}
+}

@@ -1,0 +1,186 @@
+package workload
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"pbox/internal/stats"
+)
+
+func TestRunExecutesClients(t *testing.T) {
+	var a, b atomic.Int64
+	rec := stats.NewRecorder(256)
+	Run(50*time.Millisecond, []Spec{
+		{
+			Name: "a", Think: time.Millisecond, Recorder: rec,
+			Op: func(*rand.Rand) { a.Add(1) },
+		},
+		{
+			Name: "b", Think: time.Millisecond,
+			Op: func(*rand.Rand) { b.Add(1) },
+		},
+	})
+	if a.Load() == 0 || b.Load() == 0 {
+		t.Fatalf("clients did not run: a=%d b=%d", a.Load(), b.Load())
+	}
+	if int(a.Load()) != rec.Count() {
+		t.Fatalf("recorder count %d != ops %d", rec.Count(), a.Load())
+	}
+}
+
+func TestRunHonorsStartAndStop(t *testing.T) {
+	var early, late atomic.Int64
+	start := time.Now()
+	var lateFirst atomic.Int64
+	Run(60*time.Millisecond, []Spec{
+		{
+			Name: "early", Think: time.Millisecond, Stop: 20 * time.Millisecond,
+			Op: func(*rand.Rand) { early.Add(1) },
+		},
+		{
+			Name: "late", Think: time.Millisecond, Start: 30 * time.Millisecond,
+			Op: func(*rand.Rand) {
+				if late.Add(1) == 1 {
+					lateFirst.Store(int64(time.Since(start)))
+				}
+			},
+		},
+	})
+	if early.Load() == 0 || late.Load() == 0 {
+		t.Fatal("clients did not run")
+	}
+	if d := time.Duration(lateFirst.Load()); d < 30*time.Millisecond {
+		t.Fatalf("late client started at %v, want >= 30ms", d)
+	}
+}
+
+func TestRunSetupTeardown(t *testing.T) {
+	var setup, teardown atomic.Int64
+	Run(10*time.Millisecond, []Spec{{
+		Name:     "c",
+		Think:    time.Millisecond,
+		Setup:    func() { setup.Add(1) },
+		Teardown: func() { teardown.Add(1) },
+		Op:       func(*rand.Rand) {},
+	}})
+	if setup.Load() != 1 || teardown.Load() != 1 {
+		t.Fatalf("setup=%d teardown=%d, want 1/1", setup.Load(), teardown.Load())
+	}
+}
+
+func TestDeterministicSeeding(t *testing.T) {
+	draw := func() []int {
+		var vals []int
+		done := make(chan struct{})
+		Run(5*time.Millisecond, []Spec{{
+			Name: "fixed", Seed: 42, Think: time.Millisecond,
+			Op: func(r *rand.Rand) {
+				if len(vals) < 3 {
+					vals = append(vals, r.Intn(1000))
+				}
+			},
+		}})
+		close(done)
+		return vals
+	}
+	a, b := draw(), draw()
+	for i := range a {
+		if i < len(b) && a[i] != b[i] {
+			t.Fatalf("seeded sequences differ: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestUniformKeysInRange(t *testing.T) {
+	pick := UniformKeys(10)
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		k := pick(r)
+		if k < 0 || k >= 10 {
+			t.Fatalf("key %d out of range", k)
+		}
+	}
+	if UniformKeys(0)(r) != 0 {
+		t.Fatal("degenerate picker must return 0")
+	}
+}
+
+func TestSkewedKeysBias(t *testing.T) {
+	pick := SkewedKeys(100, 3)
+	r := rand.New(rand.NewSource(7))
+	lowHalf := 0
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		k := pick(r)
+		if k < 0 || k >= 100 {
+			t.Fatalf("key %d out of range", k)
+		}
+		if k < 50 {
+			lowHalf++
+		}
+	}
+	// Cubic skew sends ~79% of picks below the median key.
+	if float64(lowHalf)/n < 0.6 {
+		t.Fatalf("skew too weak: %d/%d in low half", lowHalf, n)
+	}
+}
+
+func TestMixWeights(t *testing.T) {
+	var a, b int
+	op := NewMix().
+		Add(9, func(*rand.Rand) { a++ }).
+		Add(1, func(*rand.Rand) { b++ }).
+		Op()
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 10_000; i++ {
+		op(r)
+	}
+	frac := float64(a) / float64(a+b)
+	if frac < 0.85 || frac > 0.95 {
+		t.Fatalf("mix fraction = %v, want ≈0.9", frac)
+	}
+	NewMix().Op()(r) // empty mix must not panic
+	// Zero-weight ops are ignored.
+	var c int
+	NewMix().Add(0, func(*rand.Rand) { c++ }).Op()(r)
+	if c != 0 {
+		t.Fatal("zero-weight op executed")
+	}
+}
+
+func TestSequentialCycles(t *testing.T) {
+	pick := Sequential(3)
+	r := rand.New(rand.NewSource(1))
+	got := []int{pick(r), pick(r), pick(r), pick(r)}
+	want := []int{0, 1, 2, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sequence = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestPropPickersInRange: all key pickers stay in [0, n) for any n.
+func TestPropPickersInRange(t *testing.T) {
+	f := func(n uint8, seed int64) bool {
+		size := int(n%50) + 1
+		r := rand.New(rand.NewSource(seed))
+		u := UniformKeys(size)
+		s := SkewedKeys(size, 3)
+		q := Sequential(size)
+		for i := 0; i < 50; i++ {
+			for _, k := range []int{u(r), s(r), q(r)} {
+				if k < 0 || k >= size {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
