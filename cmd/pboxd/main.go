@@ -1,0 +1,210 @@
+// Command pboxd runs the minikv substrate as a real network daemon: a TCP
+// key-value server with one pBox per client connection, the pBox manager
+// watching every cache-lock event, and the telemetry subsystem exporting
+// live metrics over HTTP. It is the serving-system face of the
+// reproduction — while clients run, an operator can watch detection and
+// penalties happen:
+//
+//	pboxd &
+//	curl localhost:7070/metrics   # Prometheus text, pbox_penalties_total etc.
+//	curl localhost:7070/pboxes    # per-connection defer ratio, goal, penalties
+//	curl "localhost:7070/trace?since=0&wait=5s"  # long-poll the event trace
+//
+// With -demo, pboxd also drives itself with a noisy (set-heavy, evicting)
+// client and victim get clients over real sockets for the given duration,
+// then prints a per-pBox report — a one-command version of the paper's c16
+// setup against a live server.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pbox/internal/apps/minikv"
+	"pbox/internal/core"
+	"pbox/internal/isolation"
+	"pbox/internal/stats"
+	"pbox/internal/telemetry"
+	"pbox/internal/workload"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:7171", "TCP listen address for the KV protocol")
+		httpAddr  = flag.String("http", "127.0.0.1:7070", "HTTP listen address for telemetry (empty disables)")
+		goal      = flag.Float64("goal", 0.5, "relative isolation level for client pBoxes")
+		traceSize = flag.Int("trace", 4096, "trace ring capacity (0 disables tracing)")
+		noTelem   = flag.Bool("no-telemetry", false, "disable the metrics observer (overhead baseline)")
+		capacity  = flag.Int("capacity", 512, "KV store capacity (items)")
+		evictScan = flag.Int("evict-scan", 192, "LRU entries scanned per eviction (lock hold length)")
+		demo      = flag.Duration("demo", 0, "run a built-in noisy+victim client demo for this long, then exit")
+		victims   = flag.Int("victims", 2, "victim get-clients in -demo mode")
+	)
+	flag.Parse()
+
+	cfg := minikv.DefaultConfig()
+	cfg.Capacity = *capacity
+	cfg.EvictScanItems = *evictScan
+
+	var reg *telemetry.Registry
+	opts := core.Options{TraceSize: *traceSize}
+	if !*noTelem {
+		reg = telemetry.NewRegistry()
+		opts.Observer = telemetry.NewCollector(reg)
+	}
+	mgr := core.NewManager(opts)
+	rule := core.DefaultRule()
+	rule.Level = *goal
+	ctrl := isolation.NewPBox(mgr, rule)
+
+	kv := minikv.New(cfg)
+	mgr.NameResource(kv.CacheLock().Key(), "cache_lock")
+	srv := minikv.NewServer(kv, ctrl)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("pboxd: listen %s: %v", *addr, err)
+	}
+	log.Printf("pboxd: serving minikv on %s (capacity=%d evict-scan=%d goal=%.2f)",
+		ln.Addr(), cfg.Capacity, cfg.EvictScanItems, rule.Level)
+
+	var httpSrv *http.Server
+	if *httpAddr != "" {
+		exp := telemetry.NewExporter(reg, mgr)
+		httpSrv = &http.Server{Addr: *httpAddr, Handler: exp.Handler()}
+		hln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			log.Fatalf("pboxd: http listen %s: %v", *httpAddr, err)
+		}
+		go func() {
+			if err := httpSrv.Serve(hln); err != nil && err != http.ErrServerClosed {
+				log.Printf("pboxd: http server: %v", err)
+			}
+		}()
+		log.Printf("pboxd: telemetry on http://%s  (/metrics /pboxes /trace)", hln.Addr())
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	if *demo > 0 {
+		last := runDemo(mgr, ln.Addr().String(), *demo, *victims, cfg.Capacity)
+		report(last, reg)
+	} else {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		select {
+		case s := <-sig:
+			log.Printf("pboxd: %v, shutting down", s)
+		case err := <-serveErr:
+			log.Printf("pboxd: accept loop ended: %v", err)
+		}
+	}
+
+	srv.Close()
+	if httpSrv != nil {
+		httpSrv.Close()
+	}
+}
+
+// runDemo reproduces the c16 shape over real sockets: one noisy set-heavy
+// client whose writes keep evicting (long cache-lock holds), plus victim
+// clients doing short gets on resident keys. While the clients run it
+// samples the live per-pBox accounting once a second (the same data /pboxes
+// serves) and returns the last sample taken before the connections closed.
+func runDemo(mgr *core.Manager, addr string, d time.Duration, nVictims, capacity int) []core.Snapshot {
+	log.Printf("pboxd: demo for %v — 1 noisy setter + %d victim getters", d, nVictims)
+
+	// Preload the working set so victim gets are hits.
+	seed, err := workload.DialKV(addr, "preload")
+	if err != nil {
+		log.Fatalf("pboxd: demo dial: %v", err)
+	}
+	for k := 0; k < capacity; k++ {
+		if err := seed.Set(k); err != nil {
+			log.Fatalf("pboxd: demo preload: %v", err)
+		}
+	}
+	seed.Close()
+
+	vrec := stats.NewRecorder(4096)
+	specs := []workload.Spec{
+		workload.KVTCPSpec{
+			Name:        "noisy",
+			Addr:        addr,
+			Keys:        func(r *rand.Rand) int { return capacity + r.Intn(8*capacity) },
+			SetFraction: 1.0,
+			Background:  true,
+			OnError:     func(err error) { log.Printf("pboxd: noisy client: %v", err) },
+		}.Spec(),
+	}
+	// Victim gets think between requests so they stay open-loop-light:
+	// the contention in the demo comes from the noisy client's eviction
+	// scans, not from victims saturating the lock against each other.
+	for i := 0; i < nVictims; i++ {
+		s := workload.KVTCPSpec{
+			Name:    fmt.Sprintf("victim-%d", i+1),
+			Addr:    addr,
+			Keys:    workload.UniformKeys(capacity / 2),
+			Think:   2 * time.Millisecond,
+			OnError: func(err error) { log.Printf("pboxd: victim client: %v", err) },
+		}.Spec()
+		s.Recorder = vrec
+		specs = append(specs, s)
+	}
+	// Live monitor: the /pboxes view, sampled while the clients run.
+	stop := make(chan struct{})
+	lastCh := make(chan []core.Snapshot, 1)
+	go func() {
+		tick := time.NewTicker(time.Second)
+		defer tick.Stop()
+		var last []core.Snapshot
+		for {
+			select {
+			case <-stop:
+				lastCh <- last
+				return
+			case <-tick.C:
+			}
+			snaps := mgr.Snapshots()
+			if len(snaps) > 0 {
+				last = snaps
+			}
+			for _, s := range snaps {
+				if s.Label == "noisy" {
+					log.Printf("pboxd: live: noisy pbox=%d defer_ratio=%.3f penalties=%d served=%v",
+						s.ID, s.InterferenceLevel, s.PenaltiesReceived, s.PenaltyTotal)
+				}
+			}
+		}
+	}()
+	workload.Run(d, specs)
+	close(stop)
+	last := <-lastCh
+
+	sum := vrec.Summary()
+	log.Printf("pboxd: demo done — victim requests=%d mean=%v p95=%v p99=%v",
+		sum.Count, sum.Mean, sum.P95, sum.P99)
+	return last
+}
+
+// report prints the per-pBox accounting and headline counters after a demo.
+func report(snaps []core.Snapshot, reg *telemetry.Registry) {
+	fmt.Println("--- pboxes (last live sample) ---")
+	for _, s := range snaps {
+		fmt.Printf("pbox %-3d %-10s goal=%.2f activities=%-6d defer_ratio=%.3f penalties=%d served=%v\n",
+			s.ID, s.Label, s.Goal, s.Activities, s.InterferenceLevel, s.PenaltiesReceived, s.PenaltyTotal)
+	}
+	if reg != nil {
+		fmt.Println("--- metrics ---")
+		reg.WritePrometheus(os.Stdout)
+	}
+}

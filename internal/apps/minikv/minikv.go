@@ -94,7 +94,13 @@ type Client struct {
 
 // Connect opens a client connection under ctrl.
 func (kv *KV) Connect(ctrl isolation.Controller, name string) *Client {
-	return &Client{kv: kv, act: ctrl.ConnStart(name, isolation.KindForeground)}
+	return kv.ConnectKind(ctrl, name, isolation.KindForeground)
+}
+
+// ConnectKind is Connect with an explicit activity kind, for background
+// tasks (dumps, crawlers) that declare the relaxed isolation goal.
+func (kv *KV) ConnectKind(ctrl isolation.Controller, name string, kind isolation.Kind) *Client {
+	return &Client{kv: kv, act: ctrl.ConnStart(name, kind)}
 }
 
 // Activity exposes the connection's activity handle (tests).

@@ -1,0 +1,202 @@
+package minikv
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+
+	"pbox/internal/isolation"
+)
+
+// Server exposes a KV store over a real TCP listener with a memcached-style
+// line protocol, one pBox (activity domain) per connection. It is the
+// network front-end of cmd/pboxd: client traffic drives the instrumented
+// cache-lock path, so the manager sees real cross-connection interference
+// and the telemetry endpoints show it live.
+//
+// Protocol (newline-terminated ASCII):
+//
+//	hello <name> [bg]  label this connection's pBox; "bg" marks it a
+//	                   background task (relaxed isolation goal)   → OK
+//	get <key>          read an integer key                        → HIT | MISS
+//	set <key>          store an integer key (may evict + scan)    → OK
+//	ping               liveness check                             → PONG
+//	quit               close the connection                       → BYE
+type Server struct {
+	kv   *KV
+	ctrl isolation.Controller
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	nextID int
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer wraps kv in a TCP front-end creating per-connection activity
+// domains from ctrl.
+func NewServer(kv *KV, ctrl isolation.Controller) *Server {
+	return &Server{kv: kv, ctrl: ctrl, conns: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts connections on l until Close is called. It always returns a
+// non-nil error; after Close the error is net.ErrClosed.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return net.ErrClosed
+	}
+	s.ln = l
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return net.ErrClosed
+		}
+		s.nextID++
+		id := s.nextID
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(conn, id)
+	}
+}
+
+// Close stops the listener and closes every live connection, then waits for
+// the connection handlers to drain.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+}
+
+// dropConn removes a finished connection from the live set.
+func (s *Server) dropConn(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
+
+// serveConn runs one connection's command loop. The per-connection pBox is
+// created lazily at the first command so a leading "hello <name>" can label
+// it; penalties scheduled against a noisy connection sleep right here, on
+// the connection's own goroutine, between requests.
+func (s *Server) serveConn(conn net.Conn, id int) {
+	defer s.wg.Done()
+	defer s.dropConn(conn)
+	defer conn.Close()
+
+	name := fmt.Sprintf("conn-%d", id)
+	kind := isolation.KindForeground
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	var client *Client
+	defer func() {
+		if client != nil {
+			client.Close()
+		}
+	}()
+
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		cmd := strings.ToLower(fields[0])
+
+		if cmd == "hello" && client == nil && (len(fields) == 2 || len(fields) == 3) {
+			name = fields[1]
+			if len(fields) == 3 && strings.EqualFold(fields[2], "bg") {
+				// Background task (a dump, a crawler): per the paper's
+				// usage model it declares a relaxed isolation goal, so
+				// its own intentional waiting never reads as a violation
+				// that would retaliate against foreground clients.
+				kind = isolation.KindBackground
+			}
+			if !reply(w, "OK") {
+				return
+			}
+			continue
+		}
+		if client == nil {
+			client = &Client{kv: s.kv, act: s.ctrl.ConnStart(name, kind)}
+		}
+
+		switch cmd {
+		case "get", "set":
+			if len(fields) != 2 {
+				if !reply(w, "ERR usage: "+cmd+" <key>") {
+					return
+				}
+				continue
+			}
+			key, err := strconv.Atoi(fields[1])
+			if err != nil {
+				if !reply(w, "ERR bad key") {
+					return
+				}
+				continue
+			}
+			var resp string
+			if cmd == "get" {
+				if client.Get(key) {
+					resp = "HIT"
+				} else {
+					resp = "MISS"
+				}
+			} else {
+				client.Set(key)
+				resp = "OK"
+			}
+			if !reply(w, resp) {
+				return
+			}
+		case "ping":
+			if !reply(w, "PONG") {
+				return
+			}
+		case "quit":
+			reply(w, "BYE")
+			return
+		default:
+			if !reply(w, "ERR unknown command") {
+				return
+			}
+		}
+	}
+}
+
+// reply writes one response line and flushes; false means the peer is gone.
+func reply(w *bufio.Writer, line string) bool {
+	if _, err := w.WriteString(line + "\n"); err != nil {
+		return false
+	}
+	return w.Flush() == nil
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -62,6 +63,11 @@ type Options struct {
 	// TraceSize, when positive, enables the in-memory trace ring of that
 	// capacity.
 	TraceSize int
+
+	// Observer, when non-nil, receives live notifications of manager
+	// activity (see the Observer interface). The nil default keeps every
+	// event path allocation-free.
+	Observer Observer
 }
 
 func (o Options) withDefaults() Options {
@@ -105,9 +111,13 @@ type Manager struct {
 	holdersByKey map[ResourceKey]map[*PBox]int64
 	// bindings maps unbind keys to detached pBoxes (event-driven model).
 	bindings map[uintptr]*PBox
+	// resourceNames maps virtual-resource keys to human-readable names
+	// registered via NameResource, for traces and telemetry.
+	resourceNames map[ResourceKey]string
 
 	actions *actionHistory
 	trace   *traceRing
+	obs     Observer
 
 	// crossings counts conceptual user/kernel boundary crossings: every
 	// manager entry point increments it. The lazy-unbind optimization
@@ -125,6 +135,7 @@ func NewManager(opts Options) *Manager {
 		holdersByKey: make(map[ResourceKey]map[*PBox]int64),
 		bindings:     make(map[uintptr]*PBox),
 		actions:      newActionHistory(),
+		obs:          opts.Observer,
 	}
 	if opts.TraceSize > 0 {
 		m.trace = newTraceRing(opts.TraceSize)
@@ -155,6 +166,9 @@ func (m *Manager) Create(rule IsolationRule) (*PBox, error) {
 	}
 	m.pboxes[p.id] = p
 	m.traceEvent(p, 0, "create", 0)
+	if m.obs != nil {
+		m.obs.PBoxCreated(p.id, rule)
+	}
 	return p, nil
 }
 
@@ -187,6 +201,9 @@ func (m *Manager) Release(p *PBox) error {
 	}
 	delete(m.pboxes, p.id)
 	m.traceEvent(p, 0, "release", 0)
+	if m.obs != nil {
+		m.obs.PBoxReleased(p.id)
+	}
 	return nil
 }
 
@@ -241,6 +258,9 @@ func (m *Manager) Freeze(p *PBox) {
 		td = te
 	}
 	p.recordActivityLocked(td, te)
+	if m.obs != nil {
+		m.obs.ActivityEnd(p.id, td, te)
+	}
 	// Remove stale PREPARE records that never saw a matching ENTER
 	// (e.g. the activity bailed out of a wait loop).
 	for key := range p.preparing {
@@ -264,7 +284,7 @@ func (m *Manager) Freeze(p *PBox) {
 				}
 			}
 			if noisy != nil {
-				m.takeActionLocked(noisy, p, info.key, now, info.deferNs)
+				m.takeActionLocked(noisy, p, info.key, now, info.deferNs, level)
 			}
 		}
 	}
@@ -304,6 +324,9 @@ func (m *Manager) Update(p *PBox, key ResourceKey, ev EventType) {
 		return
 	}
 	m.traceEvent(p, key, ev.String(), 0)
+	if m.obs != nil {
+		m.obs.StateEvent(p.id, key, ev)
+	}
 	switch ev {
 	case Prepare:
 		m.onPrepareLocked(p, key, now)
@@ -457,7 +480,7 @@ func (m *Manager) onUnholdLocked(p *PBox, key ResourceKey, now int64) {
 			// shared holders, back-to-back re-acquirers) all remain
 			// accountable.
 			if tf > victim.rule.Level && overlap > 0 && overlap*10 >= defer_ {
-				m.takeActionLocked(p, victim, key, now, overlap)
+				m.takeActionLocked(p, victim, key, now, overlap, tf)
 			}
 		}
 		// Futex-style re-arm: a release wakes the waiters; one that
@@ -514,6 +537,9 @@ func (m *Manager) sleepPenalty(p *PBox, d time.Duration) {
 	m.mu.Lock()
 	p.penaltySleeping = false
 	m.mu.Unlock()
+	if m.obs != nil {
+		m.obs.PenaltyServed(p.id, d)
+	}
 	// The sleep inflates the pBox's execution time but adds no deferring
 	// time, so its own interference level tf = td/(te-td) strictly drops.
 	// That is the cascade-avoidance property of Section 4.4.1: a goal
@@ -555,4 +581,53 @@ func (m *Manager) Live() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return len(m.pboxes)
+}
+
+// NameResource registers a human-readable name for a virtual-resource key,
+// so traces and telemetry print "bufpool" instead of a raw pointer value.
+// An empty name removes the registration.
+func (m *Manager) NameResource(key ResourceKey, name string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if name == "" {
+		delete(m.resourceNames, key)
+		return
+	}
+	if m.resourceNames == nil {
+		m.resourceNames = make(map[ResourceKey]string)
+	}
+	m.resourceNames[key] = name
+}
+
+// ResourceName returns the registered name for key ("" when unnamed).
+func (m *Manager) ResourceName(key ResourceKey) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.resourceNames[key]
+}
+
+// resourceNameLocked looks up a registered resource name. Caller holds m.mu.
+func (m *Manager) resourceNameLocked(key ResourceKey) string {
+	return m.resourceNames[key]
+}
+
+// SetLabel attaches a diagnostic label to the pBox (connection name,
+// background-task name). Labels appear in Snapshots and telemetry.
+func (m *Manager) SetLabel(p *PBox, label string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p.label = label
+}
+
+// Snapshots returns the accounting of every live pBox, ordered by id. It is
+// the data source of the telemetry exporter's /pboxes endpoint.
+func (m *Manager) Snapshots() []Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Snapshot, 0, len(m.pboxes))
+	for _, p := range m.pboxes {
+		out = append(out, p.snapshotLocked())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
 }

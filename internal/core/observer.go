@@ -1,0 +1,47 @@
+package core
+
+import "time"
+
+// Observer receives live notifications of manager activity: pBox lifecycle,
+// state events, detection verdicts, penalty actions, and served penalty
+// durations. It is the hook layer the telemetry subsystem
+// (internal/telemetry) builds on; the paper notes (Section 8) that the pBox
+// event stream doubles as a diagnosis aid, and these callbacks are that
+// stream surfaced programmatically rather than via post-hoc trace dumps.
+//
+// All callbacks except PenaltyServed are invoked synchronously while the
+// manager lock is held, so they observe a consistent ordering: PBoxCreated
+// precedes every other callback for an id, nothing follows PBoxReleased for
+// it, and a PenaltyAction is always preceded by its Detection. In exchange,
+// implementations must be fast, must not block, and must not call back into
+// the Manager (doing so deadlocks). Counter bumps and other atomic updates
+// are the intended use. PenaltyServed is invoked on the penalized pBox's own
+// goroutine after the delay completes, outside the lock.
+//
+// A nil Observer (the default) is checked before every callback site, so the
+// disabled path costs one predictable branch and zero allocations — see
+// BenchmarkObserverDisabled.
+type Observer interface {
+	// PBoxCreated fires when create_pbox succeeds.
+	PBoxCreated(id int, rule IsolationRule)
+	// PBoxReleased fires when release_pbox destroys the pBox.
+	PBoxReleased(id int)
+	// StateEvent fires for every accepted update_pbox call (after the
+	// EventFilter, only while the pBox is active).
+	StateEvent(pboxID int, key ResourceKey, ev EventType)
+	// ActivityEnd fires at freeze_pbox with the finished activity's
+	// deferring and execution time.
+	ActivityEnd(pboxID int, deferNs, execNs int64)
+	// Detection fires whenever Algorithm 1 or the pBox-level monitor
+	// reaches a verdict that noisy interferes with victim on key, with the
+	// projected interference level that crossed the goal. It fires even
+	// when the subsequent action is suppressed (pending penalty, cooldown).
+	Detection(noisyID, victimID int, key ResourceKey, projected float64)
+	// PenaltyAction fires when take_action schedules a penalty of the
+	// given length on noisy, chosen by policy.
+	PenaltyAction(noisyID, victimID int, key ResourceKey, policy PolicyKind, length time.Duration)
+	// PenaltyServed fires after a penalty delay of length d has been
+	// slept on the pBox's goroutine (shared-thread requeue penalties are
+	// not reported here; they surface through Gate/ErrPenalized).
+	PenaltyServed(pboxID int, d time.Duration)
+}

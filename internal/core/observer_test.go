@@ -1,0 +1,282 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// obsEvent is one recorded Observer callback.
+type obsEvent struct {
+	kind   string // "create", "release", "event", "activity", "detect", "action", "served"
+	pbox   int    // subject pBox (noisy for detect/action)
+	victim int
+	ev     EventType
+	d      time.Duration
+}
+
+// recordingObserver captures every callback in order. Callbacks fire under
+// the manager lock (except PenaltyServed), so the recorder takes its own
+// lock to stay race-clean either way.
+type recordingObserver struct {
+	mu     sync.Mutex
+	events []obsEvent
+}
+
+func (r *recordingObserver) append(e obsEvent) {
+	r.mu.Lock()
+	r.events = append(r.events, e)
+	r.mu.Unlock()
+}
+
+func (r *recordingObserver) PBoxCreated(id int, rule IsolationRule) {
+	r.append(obsEvent{kind: "create", pbox: id})
+}
+func (r *recordingObserver) PBoxReleased(id int) {
+	r.append(obsEvent{kind: "release", pbox: id})
+}
+func (r *recordingObserver) StateEvent(id int, key ResourceKey, ev EventType) {
+	r.append(obsEvent{kind: "event", pbox: id, ev: ev})
+}
+func (r *recordingObserver) ActivityEnd(id int, deferNs, execNs int64) {
+	r.append(obsEvent{kind: "activity", pbox: id, d: time.Duration(execNs)})
+}
+func (r *recordingObserver) Detection(noisy, victim int, key ResourceKey, projected float64) {
+	r.append(obsEvent{kind: "detect", pbox: noisy, victim: victim})
+}
+func (r *recordingObserver) PenaltyAction(noisy, victim int, key ResourceKey, policy PolicyKind, length time.Duration) {
+	r.append(obsEvent{kind: "action", pbox: noisy, victim: victim, d: length})
+}
+func (r *recordingObserver) PenaltyServed(id int, d time.Duration) {
+	r.append(obsEvent{kind: "served", pbox: id, d: d})
+}
+
+func (r *recordingObserver) snapshot() []obsEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]obsEvent(nil), r.events...)
+}
+
+func TestObserverLifecycleAndPenaltyOrdering(t *testing.T) {
+	obs := &recordingObserver{}
+	h := newHarness(t, func(o *Options) { o.Observer = obs })
+	noisy := h.pbox(0.5)
+	victim := h.pbox(0.5)
+	h.m.Activate(noisy)
+	h.m.Activate(victim)
+	h.m.Update(noisy, ResourceKey(1), Hold)
+	h.m.Update(victim, ResourceKey(1), Prepare)
+	h.advance(5 * time.Millisecond)
+	h.m.Update(noisy, ResourceKey(1), Unhold)
+	h.m.Update(victim, ResourceKey(1), Enter)
+	h.m.Freeze(victim)
+	h.m.Freeze(noisy)
+	h.m.Release(victim)
+	h.m.Release(noisy)
+
+	got := obs.snapshot()
+	idx := func(kind string, pbox int) int {
+		for i, e := range got {
+			if e.kind == kind && e.pbox == pbox {
+				return i
+			}
+		}
+		return -1
+	}
+	// Lifecycle brackets everything.
+	for _, p := range []*PBox{noisy, victim} {
+		c, r := idx("create", p.ID()), idx("release", p.ID())
+		if c < 0 || r < 0 || c >= r {
+			t.Fatalf("pbox %d: create at %d, release at %d", p.ID(), c, r)
+		}
+		for i, e := range got {
+			if e.pbox == p.ID() && (i < c || i > r) {
+				t.Fatalf("pbox %d: callback %+v outside create/release window", p.ID(), e)
+			}
+		}
+	}
+	// The detection verdict precedes the penalty action, which precedes the
+	// served penalty, all against the noisy pBox.
+	d, a, s := idx("detect", noisy.ID()), idx("action", noisy.ID()), idx("served", noisy.ID())
+	if d < 0 || a < 0 || s < 0 {
+		t.Fatalf("missing detect/action/served for noisy: %d %d %d (events %+v)", d, a, s, got)
+	}
+	if !(d < a && a < s) {
+		t.Fatalf("ordering detect=%d action=%d served=%d, want detect < action < served", d, a, s)
+	}
+	for _, e := range got {
+		if e.kind == "action" && e.d <= 0 {
+			t.Fatalf("action with non-positive length: %+v", e)
+		}
+		if e.kind == "served" && e.d <= 0 {
+			t.Fatalf("served with non-positive length: %+v", e)
+		}
+	}
+}
+
+// TestObserverConcurrentEvents hammers one manager from many goroutines and
+// checks that the serialized callback stream keeps its per-pBox invariants:
+// created before any other callback, nothing after released, and state-event
+// counts matching what each goroutine issued.
+func TestObserverConcurrentEvents(t *testing.T) {
+	obs := &recordingObserver{}
+	m := NewManager(Options{Observer: obs, DisableDetection: true})
+	const goroutines = 8
+	const rounds = 50
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			key := ResourceKey(100 + g)
+			for i := 0; i < rounds; i++ {
+				p, err := m.Create(DefaultRule())
+				if err != nil {
+					t.Errorf("Create: %v", err)
+					return
+				}
+				m.Activate(p)
+				m.Update(p, key, Prepare)
+				m.Update(p, key, Enter)
+				m.Update(p, key, Hold)
+				m.Update(p, key, Unhold)
+				m.Freeze(p)
+				if err := m.Release(p); err != nil {
+					t.Errorf("Release: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	got := obs.snapshot()
+	type state struct {
+		created, released bool
+		events            int
+		activities        int
+	}
+	perBox := make(map[int]*state)
+	for _, e := range got {
+		st := perBox[e.pbox]
+		if st == nil {
+			st = &state{}
+			perBox[e.pbox] = st
+		}
+		switch e.kind {
+		case "create":
+			if st.created {
+				t.Fatalf("pbox %d created twice", e.pbox)
+			}
+			st.created = true
+		case "release":
+			if !st.created || st.released {
+				t.Fatalf("pbox %d released out of order", e.pbox)
+			}
+			st.released = true
+		default:
+			if !st.created || st.released {
+				t.Fatalf("pbox %d: %q outside lifecycle window", e.pbox, e.kind)
+			}
+			if e.kind == "event" {
+				st.events++
+			}
+			if e.kind == "activity" {
+				st.activities++
+			}
+		}
+	}
+	if len(perBox) != goroutines*rounds {
+		t.Fatalf("observed %d pboxes, want %d", len(perBox), goroutines*rounds)
+	}
+	for id, st := range perBox {
+		if !st.created || !st.released {
+			t.Fatalf("pbox %d: incomplete lifecycle %+v", id, st)
+		}
+		if st.events != 4 {
+			t.Fatalf("pbox %d: %d state events, want 4", id, st.events)
+		}
+		if st.activities != 1 {
+			t.Fatalf("pbox %d: %d activities, want 1", id, st.activities)
+		}
+	}
+}
+
+// runDisabledEventPath is the hot path measured by the nil-observer
+// allocation guard: one contested-free Prepare/Enter wait pair.
+func runDisabledEventPath(m *Manager, p *PBox, key ResourceKey) {
+	m.Update(p, key, Prepare)
+	m.Update(p, key, Enter)
+}
+
+func TestObserverDisabledAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unreliable under -race")
+	}
+	m := NewManager(Options{})
+	p, _ := m.Create(DefaultRule())
+	m.Activate(p)
+	key := ResourceKey(7)
+	// Warm up internal slices/maps to steady state.
+	for i := 0; i < 100; i++ {
+		runDisabledEventPath(m, p, key)
+	}
+	allocs := testing.AllocsPerRun(1000, func() { runDisabledEventPath(m, p, key) })
+	if allocs != 0 {
+		t.Fatalf("nil-observer event path allocates %.1f objects per op, want 0", allocs)
+	}
+}
+
+// BenchmarkObserverDisabled proves the nil-observer event path stays
+// allocation-free: the telemetry hooks cost one nil check when disabled.
+func BenchmarkObserverDisabled(b *testing.B) {
+	m := NewManager(Options{})
+	p, _ := m.Create(DefaultRule())
+	m.Activate(p)
+	key := ResourceKey(7)
+	for i := 0; i < 100; i++ {
+		runDisabledEventPath(m, p, key)
+	}
+	if !raceEnabled {
+		if allocs := testing.AllocsPerRun(1000, func() { runDisabledEventPath(m, p, key) }); allocs != 0 {
+			b.Fatalf("nil-observer event path allocates %.1f objects per op, want 0", allocs)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runDisabledEventPath(m, p, key)
+	}
+}
+
+// BenchmarkObserverEnabled measures the same path with a no-op observer
+// attached, for comparison against BenchmarkObserverDisabled.
+func BenchmarkObserverEnabled(b *testing.B) {
+	m := NewManager(Options{Observer: nopObserver{}})
+	p, _ := m.Create(DefaultRule())
+	m.Activate(p)
+	key := ResourceKey(7)
+	for i := 0; i < 100; i++ {
+		runDisabledEventPath(m, p, key)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runDisabledEventPath(m, p, key)
+	}
+}
+
+// nopObserver is the cheapest possible Observer, for overhead benchmarks.
+type nopObserver struct{}
+
+func (nopObserver) PBoxCreated(int, IsolationRule)                              {}
+func (nopObserver) PBoxReleased(int)                                            {}
+func (nopObserver) StateEvent(int, ResourceKey, EventType)                      {}
+func (nopObserver) ActivityEnd(int, int64, int64)                               {}
+func (nopObserver) Detection(int, int, ResourceKey, float64)                    {}
+func (nopObserver) PenaltyAction(int, int, ResourceKey, PolicyKind, time.Duration) {}
+func (nopObserver) PenaltyServed(int, time.Duration)                            {}
+
+var _ = fmt.Sprintf // keep fmt imported for debugging helpers

@@ -16,6 +16,9 @@ type PBox struct {
 	id   int
 	rule IsolationRule
 	mgr  *Manager
+	// label is a diagnostic name (connection or task name) set via
+	// Manager.SetLabel; it appears in Snapshots and telemetry.
+	label string
 
 	state         State
 	activityStart int64 // manager-clock ns; valid while StateActive
@@ -101,26 +104,37 @@ func (p *PBox) State() State {
 	return p.state
 }
 
-// Snapshot is a read-only view of a pBox's accounting, used by tests and the
-// experiment harness.
+// Snapshot is a read-only view of a pBox's accounting, used by tests, the
+// experiment harness, and the telemetry exporter's /pboxes endpoint.
 type Snapshot struct {
 	ID                int
+	Label             string
 	State             State
+	Goal              float64 // the rule's isolation level
+	Metric            Metric
 	Activities        int
 	TotalDefer        time.Duration
 	TotalExec         time.Duration
-	InterferenceLevel float64
+	InterferenceLevel float64 // aggregate defer ratio per the rule's metric
 	PenaltiesReceived int
-	PenaltyTotal      time.Duration
+	PenaltyTotal      time.Duration // served penalty time
 }
 
 // Snapshot returns the pBox's current accounting.
 func (p *PBox) Snapshot() Snapshot {
 	p.mgr.mu.Lock()
 	defer p.mgr.mu.Unlock()
+	return p.snapshotLocked()
+}
+
+// snapshotLocked builds the snapshot. Caller holds mgr.mu.
+func (p *PBox) snapshotLocked() Snapshot {
 	return Snapshot{
 		ID:                p.id,
+		Label:             p.label,
 		State:             p.state,
+		Goal:              p.rule.Level,
+		Metric:            p.rule.Metric,
 		Activities:        p.activities,
 		TotalDefer:        time.Duration(p.totalDefer),
 		TotalExec:         time.Duration(p.totalExec),

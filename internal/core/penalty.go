@@ -85,12 +85,16 @@ func (h *actionHistory) get(k actionKey) *actionState {
 // deferring time of the wait that triggered this action; the dynamic policy
 // choice compares it against the previous penalty ("If the deferring time
 // is much larger than the penalty, it chooses the second policy",
-// Section 4.4.2). The penalty is not executed here — the noisy pBox may
-// still hold resources; it is applied at the noisy pBox's next safe point.
-// Caller holds m.mu.
-func (m *Manager) takeActionLocked(noisy, victim *PBox, key ResourceKey, now, triggerDefer int64) {
+// Section 4.4.2). projected is the interference level the detector saw cross
+// the victim's goal, reported to the Observer as the detection verdict. The
+// penalty is not executed here — the noisy pBox may still hold resources; it
+// is applied at the noisy pBox's next safe point. Caller holds m.mu.
+func (m *Manager) takeActionLocked(noisy, victim *PBox, key ResourceKey, now, triggerDefer int64, projected float64) {
 	if noisy == nil || noisy.state == StateDestroyed || noisy == victim {
 		return
+	}
+	if m.obs != nil {
+		m.obs.Detection(noisy.id, victim.id, key, projected)
 	}
 	// A penalty that has not been served yet must not be stacked: the
 	// adaptation compares the victim's state before and after a penalty
@@ -153,6 +157,9 @@ func (m *Manager) takeActionLocked(noisy, victim *PBox, key ResourceKey, now, tr
 		noisy.pendingPenalty = limit
 	}
 	m.traceEvent(noisy, key, "action:"+kind.String(), time.Duration(penalty))
+	if m.obs != nil {
+		m.obs.PenaltyAction(noisy.id, victim.id, key, kind, time.Duration(penalty))
+	}
 }
 
 // initialPenaltyLocked computes p1 = sqrt(td(victim) × te(noisy)) −

@@ -10,48 +10,72 @@ import (
 // notes (Section 8) that pBox log traces help developers understand an
 // interference issue; the ring is the reproduction's equivalent.
 type TraceEntry struct {
+	Seq   uint64        // monotonically increasing sequence number
 	At    time.Duration // manager-clock offset
 	PBox  int
 	Key   ResourceKey
+	Name  string        // human-readable resource name, when registered
 	What  string        // event name, lifecycle op, or "action:<policy>"
 	Extra time.Duration // penalty length or defer time where applicable
 }
 
 // String formats the entry for human consumption.
 func (t TraceEntry) String() string {
-	if t.Extra != 0 {
-		return fmt.Sprintf("%12v pbox=%-4d key=%#x %-12s %v", t.At, t.PBox, uintptr(t.Key), t.What, t.Extra)
+	key := t.Name
+	if key == "" {
+		key = fmt.Sprintf("%#x", uintptr(t.Key))
 	}
-	return fmt.Sprintf("%12v pbox=%-4d key=%#x %-12s", t.At, t.PBox, uintptr(t.Key), t.What)
+	if t.Extra != 0 {
+		return fmt.Sprintf("%12v pbox=%-4d key=%s %-12s %v", t.At, t.PBox, key, t.What, t.Extra)
+	}
+	return fmt.Sprintf("%12v pbox=%-4d key=%s %-12s", t.At, t.PBox, key, t.What)
 }
 
 // traceRing is a fixed-capacity concurrent ring buffer of trace entries.
+// Every entry carries a sequence number, and adds signal a notification
+// channel, so readers can snapshot incrementally and long-poll for new
+// entries (the /trace streaming endpoint).
 type traceRing struct {
 	mu      sync.Mutex
 	entries []TraceEntry
 	pos     int
 	full    bool
+	seq     uint64        // total entries ever added
+	notify  chan struct{} // closed and replaced on every add
 }
 
 func newTraceRing(n int) *traceRing {
-	return &traceRing{entries: make([]TraceEntry, 0, n)}
+	if n <= 0 {
+		// Reject degenerate capacities: a zero-capacity ring would divide
+		// by cap()==0 on the full path of add. The minimum usable ring
+		// holds one entry.
+		n = 1
+	}
+	return &traceRing{
+		entries: make([]TraceEntry, 0, n),
+		notify:  make(chan struct{}),
+	}
 }
 
 func (r *traceRing) add(e TraceEntry) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.seq++
+	e.Seq = r.seq
 	if len(r.entries) < cap(r.entries) {
 		r.entries = append(r.entries, e)
-		return
+	} else {
+		r.entries[r.pos] = e
+		r.pos = (r.pos + 1) % cap(r.entries)
+		r.full = true
 	}
-	r.entries[r.pos] = e
-	r.pos = (r.pos + 1) % cap(r.entries)
-	r.full = true
+	close(r.notify)
+	r.notify = make(chan struct{})
 }
 
-func (r *traceRing) snapshot() []TraceEntry {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+// orderedLocked returns the ring contents oldest first. Caller holds r.mu;
+// the result aliases nothing.
+func (r *traceRing) orderedLocked() []TraceEntry {
 	if !r.full {
 		out := make([]TraceEntry, len(r.entries))
 		copy(out, r.entries)
@@ -61,6 +85,40 @@ func (r *traceRing) snapshot() []TraceEntry {
 	out = append(out, r.entries[r.pos:]...)
 	out = append(out, r.entries[:r.pos]...)
 	return out
+}
+
+func (r *traceRing) snapshot() []TraceEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.orderedLocked()
+}
+
+// snapshotSince returns the entries with sequence number > since that are
+// still in the ring (older ones have been overwritten), plus the current
+// tail sequence to pass to the next call.
+func (r *traceRing) snapshotSince(since uint64) ([]TraceEntry, uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	all := r.orderedLocked()
+	for i, e := range all {
+		if e.Seq > since {
+			return all[i:], r.seq
+		}
+	}
+	return nil, r.seq
+}
+
+// waitCh returns a channel that is closed once the ring's sequence advances
+// past since. If it already has, the returned channel is already closed.
+func (r *traceRing) waitCh(since uint64) <-chan struct{} {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.seq > since {
+		ch := make(chan struct{})
+		close(ch)
+		return ch
+	}
+	return r.notify
 }
 
 // traceEvent appends to the ring when tracing is enabled. Caller holds m.mu
@@ -73,6 +131,7 @@ func (m *Manager) traceEvent(p *PBox, key ResourceKey, what string, extra time.D
 		At:    time.Duration(m.opts.Now()),
 		PBox:  p.id,
 		Key:   key,
+		Name:  m.resourceNameLocked(key),
 		What:  what,
 		Extra: extra,
 	})
@@ -85,4 +144,26 @@ func (m *Manager) Trace() []TraceEntry {
 		return nil
 	}
 	return m.trace.snapshot()
+}
+
+// TraceSince returns the trace entries with sequence number greater than
+// since that are still in the ring, plus the latest sequence number. With
+// since == 0 it behaves like Trace. It returns (nil, 0) when tracing was not
+// enabled.
+func (m *Manager) TraceSince(since uint64) ([]TraceEntry, uint64) {
+	if m.trace == nil {
+		return nil, 0
+	}
+	return m.trace.snapshotSince(since)
+}
+
+// TraceNotify returns a channel that is closed once an entry with sequence
+// number greater than since exists (immediately, if one already does).
+// Long-poll readers select on it together with their timeout. It returns nil
+// when tracing was not enabled.
+func (m *Manager) TraceNotify(since uint64) <-chan struct{} {
+	if m.trace == nil {
+		return nil
+	}
+	return m.trace.waitCh(since)
 }

@@ -84,3 +84,120 @@ func TestTraceCapturesActions(t *testing.T) {
 		t.Fatalf("trace missing action/penalty entries: action=%v penalty=%v", sawAction, sawPenalty)
 	}
 }
+
+func TestTraceRingZeroCapacity(t *testing.T) {
+	// A zero or negative requested capacity must clamp to a usable ring
+	// instead of dividing by cap()==0 on the wraparound path.
+	for _, n := range []int{0, -4} {
+		r := newTraceRing(n)
+		for i := 0; i < 3; i++ {
+			r.add(TraceEntry{What: "e", PBox: i})
+		}
+		got := r.snapshot()
+		if len(got) != 1 || got[0].PBox != 2 {
+			t.Fatalf("newTraceRing(%d): snapshot = %+v, want the single latest entry", n, got)
+		}
+	}
+}
+
+func TestTraceSinceAndNotify(t *testing.T) {
+	h := newHarness(t)
+	p := h.pbox(0.5)
+	h.m.Activate(p)
+
+	all, next := h.m.TraceSince(0)
+	if len(all) == 0 || next == 0 {
+		t.Fatalf("TraceSince(0) = %d entries, next=%d; want the create/activate entries", len(all), next)
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].Seq <= all[i-1].Seq {
+			t.Fatalf("sequence numbers not increasing: %d then %d", all[i-1].Seq, all[i].Seq)
+		}
+	}
+	if all[len(all)-1].Seq != next {
+		t.Fatalf("next=%d does not match tail seq %d", next, all[len(all)-1].Seq)
+	}
+
+	// Caught up: nothing new, and the notify channel must block.
+	more, next2 := h.m.TraceSince(next)
+	if len(more) != 0 || next2 != next {
+		t.Fatalf("TraceSince(tail) = %d entries, next=%d; want 0, %d", len(more), next2, next)
+	}
+	select {
+	case <-h.m.TraceNotify(next):
+		t.Fatal("TraceNotify fired with no new entries")
+	default:
+	}
+
+	// A new event closes the channel and shows up incrementally.
+	ch := h.m.TraceNotify(next)
+	h.m.Update(p, ResourceKey(9), Prepare)
+	select {
+	case <-ch:
+	case <-time.After(time.Second):
+		t.Fatal("TraceNotify did not fire after a new event")
+	}
+	fresh, next3 := h.m.TraceSince(next)
+	if len(fresh) == 0 || next3 <= next {
+		t.Fatalf("TraceSince(%d) after event = %d entries, next=%d", next, len(fresh), next3)
+	}
+	for _, e := range fresh {
+		if e.Seq <= next {
+			t.Fatalf("incremental snapshot returned stale entry seq=%d <= %d", e.Seq, next)
+		}
+	}
+
+	// TraceNotify on an already-passed sequence is immediately closed.
+	select {
+	case <-h.m.TraceNotify(next):
+	default:
+		t.Fatal("TraceNotify(stale) should be immediately closed")
+	}
+}
+
+func TestTraceDisabledSinceNotify(t *testing.T) {
+	m := NewManager(Options{})
+	if entries, next := m.TraceSince(0); entries != nil || next != 0 {
+		t.Fatalf("TraceSince on disabled tracing = %v, %d; want nil, 0", entries, next)
+	}
+	if ch := m.TraceNotify(0); ch != nil {
+		t.Fatal("TraceNotify on disabled tracing should be nil")
+	}
+}
+
+func TestTraceEntryStringUsesName(t *testing.T) {
+	e := TraceEntry{At: time.Millisecond, PBox: 3, Key: ResourceKey(0xbeef), Name: "bufpool", What: "ENTER"}
+	s := e.String()
+	if !strings.Contains(s, "bufpool") || strings.Contains(s, "0xbeef") {
+		t.Fatalf("String() = %q; want the registered name, not the raw key", s)
+	}
+}
+
+func TestNameResourceFlowsIntoTrace(t *testing.T) {
+	h := newHarness(t)
+	key := ResourceKey(0x1234)
+	h.m.NameResource(key, "bufpool")
+	if got := h.m.ResourceName(key); got != "bufpool" {
+		t.Fatalf("ResourceName = %q, want bufpool", got)
+	}
+	p := h.pbox(0.5)
+	h.m.Activate(p)
+	h.m.Update(p, key, Prepare)
+	var found bool
+	for _, e := range h.m.Trace() {
+		if e.Key == key && e.What == "PREPARE" {
+			found = true
+			if e.Name != "bufpool" {
+				t.Fatalf("trace entry Name = %q, want bufpool", e.Name)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no PREPARE trace entry for the named resource")
+	}
+	// Unregistering reverts to the raw key.
+	h.m.NameResource(key, "")
+	if got := h.m.ResourceName(key); got != "" {
+		t.Fatalf("ResourceName after unregister = %q, want empty", got)
+	}
+}

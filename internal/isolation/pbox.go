@@ -68,6 +68,7 @@ func (c *PBoxController) ConnStart(name string, kind Kind) Activity {
 		// An invalid rule is a programming error in the harness.
 		panic(err)
 	}
+	c.mgr.SetLabel(p, name)
 	if c.sharedThreads {
 		c.mgr.MarkShared(p)
 	}

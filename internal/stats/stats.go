@@ -6,6 +6,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -63,6 +64,103 @@ type Summary struct {
 	P99   time.Duration // Section 6.6 reports the 99th percentile
 	Max   time.Duration
 	Min   time.Duration
+}
+
+// summaryJSON is the wire form of Summary: durations as strings in Go
+// duration syntax ("1.5ms"), which survives a marshal/unmarshal round trip
+// exactly and stays readable in curl output.
+type summaryJSON struct {
+	Count int    `json:"count"`
+	Mean  string `json:"mean"`
+	P50   string `json:"p50"`
+	P95   string `json:"p95"`
+	P99   string `json:"p99"`
+	Max   string `json:"max"`
+	Min   string `json:"min"`
+}
+
+// MarshalJSON implements json.Marshaler with human-readable durations.
+func (s Summary) MarshalJSON() ([]byte, error) {
+	return json.Marshal(summaryJSON{
+		Count: s.Count,
+		Mean:  s.Mean.String(),
+		P50:   s.P50.String(),
+		P95:   s.P95.String(),
+		P99:   s.P99.String(),
+		Max:   s.Max.String(),
+		Min:   s.Min.String(),
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler, inverting MarshalJSON.
+func (s *Summary) UnmarshalJSON(data []byte) error {
+	var w summaryJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	parse := func(v string, dst *time.Duration) error {
+		if v == "" {
+			*dst = 0
+			return nil
+		}
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			return fmt.Errorf("stats: bad duration %q: %w", v, err)
+		}
+		*dst = d
+		return nil
+	}
+	s.Count = w.Count
+	for _, f := range []struct {
+		v   string
+		dst *time.Duration
+	}{
+		{w.Mean, &s.Mean}, {w.P50, &s.P50}, {w.P95, &s.P95},
+		{w.P99, &s.P99}, {w.Max, &s.Max}, {w.Min, &s.Min},
+	} {
+		if err := parse(f.v, f.dst); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DefaultLatencyBuckets returns the fixed histogram bucket upper bounds used
+// by the telemetry subsystem, spanning the reproduction's µs-to-second
+// operating range (sub-ms virtual-resource holds up to full experiment-run
+// latencies).
+func DefaultLatencyBuckets() []time.Duration {
+	return []time.Duration{
+		10 * time.Microsecond,
+		25 * time.Microsecond,
+		50 * time.Microsecond,
+		100 * time.Microsecond,
+		250 * time.Microsecond,
+		500 * time.Microsecond,
+		1 * time.Millisecond,
+		2500 * time.Microsecond,
+		5 * time.Millisecond,
+		10 * time.Millisecond,
+		25 * time.Millisecond,
+		50 * time.Millisecond,
+		100 * time.Millisecond,
+		250 * time.Millisecond,
+		500 * time.Millisecond,
+		time.Second,
+	}
+}
+
+// BucketCounts tallies samples into the given ascending bucket bounds,
+// returning len(bounds)+1 counts (the last is the overflow bucket). It is
+// the offline counterpart of the telemetry histogram, for summarizing
+// recorded samples in reports.
+func BucketCounts(samples []time.Duration, bounds []time.Duration) []int {
+	counts := make([]int, len(bounds)+1)
+	for _, s := range samples {
+		i := sort.Search(len(bounds), func(j int) bool { return s <= bounds[j] })
+		counts[i]++
+	}
+	return counts
 }
 
 // Summarize computes a Summary over the given samples.

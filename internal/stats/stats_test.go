@@ -1,8 +1,10 @@
 package stats
 
 import (
+	"encoding/json"
 	"math"
 	"sort"
+	"strings"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -197,5 +199,112 @@ func TestPropPercentileMatchesSort(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestSummaryJSONRoundTrip(t *testing.T) {
+	in := Summary{
+		Count: 1234,
+		Mean:  1500 * time.Microsecond,
+		P50:   time.Millisecond,
+		P95:   7*time.Millisecond + 250*time.Microsecond,
+		P99:   42 * time.Millisecond,
+		Max:   time.Second + 13*time.Nanosecond,
+		Min:   time.Nanosecond,
+	}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	// The wire form is human-readable duration strings.
+	if !strings.Contains(string(data), `"mean":"1.5ms"`) {
+		t.Fatalf("wire form not a duration string: %s", data)
+	}
+	var out Summary
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if out != in {
+		t.Fatalf("round trip changed the summary:\n in=%+v\nout=%+v", in, out)
+	}
+}
+
+func TestSummaryJSONZeroAndErrors(t *testing.T) {
+	var zero Summary
+	data, err := json.Marshal(zero)
+	if err != nil {
+		t.Fatalf("Marshal zero: %v", err)
+	}
+	var back Summary
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("Unmarshal zero: %v", err)
+	}
+	if back != zero {
+		t.Fatalf("zero summary round trip: %+v", back)
+	}
+	// Missing fields decode as zero durations.
+	if err := json.Unmarshal([]byte(`{"count":3}`), &back); err != nil {
+		t.Fatalf("partial decode: %v", err)
+	}
+	if back.Count != 3 || back.Mean != 0 {
+		t.Fatalf("partial decode: %+v", back)
+	}
+	// Garbage durations are rejected.
+	if err := json.Unmarshal([]byte(`{"mean":"banana"}`), &back); err == nil {
+		t.Fatal("bad duration should fail to decode")
+	}
+}
+
+func TestBucketCounts(t *testing.T) {
+	bounds := []time.Duration{time.Microsecond, time.Millisecond, time.Second}
+	samples := []time.Duration{
+		500 * time.Nanosecond,  // bucket 0
+		time.Microsecond,       // bucket 0 (bounds are inclusive upper limits)
+		2 * time.Microsecond,   // bucket 1
+		time.Millisecond,       // bucket 1
+		500 * time.Millisecond, // bucket 2
+		2 * time.Second,        // overflow
+	}
+	got := BucketCounts(samples, bounds)
+	want := []int{2, 2, 1, 1}
+	if len(got) != len(want) {
+		t.Fatalf("BucketCounts returned %d buckets, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket %d = %d, want %d (all %v)", i, got[i], want[i], got)
+		}
+	}
+	// Totals preserved.
+	sum := 0
+	for _, c := range got {
+		sum += c
+	}
+	if sum != len(samples) {
+		t.Fatalf("bucket totals = %d, want %d", sum, len(samples))
+	}
+	// Empty samples, empty bounds.
+	if got := BucketCounts(nil, bounds); len(got) != 4 {
+		t.Fatalf("nil samples: %v", got)
+	}
+	if got := BucketCounts(samples, nil); len(got) != 1 || got[0] != len(samples) {
+		t.Fatalf("nil bounds should put everything in overflow: %v", got)
+	}
+}
+
+func TestDefaultLatencyBucketsAscending(t *testing.T) {
+	b := DefaultLatencyBuckets()
+	if len(b) == 0 {
+		t.Fatal("no default buckets")
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("bounds not ascending at %d: %v <= %v", i, b[i], b[i-1])
+		}
+	}
+	// Callers may mutate the returned slice; a second call must be pristine.
+	b[0] = time.Hour
+	if DefaultLatencyBuckets()[0] == time.Hour {
+		t.Fatal("DefaultLatencyBuckets returns a shared slice")
 	}
 }

@@ -1,0 +1,207 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"pbox/internal/core"
+)
+
+// maxTraceWait bounds how long a /trace long-poll may block.
+const maxTraceWait = 30 * time.Second
+
+// PBoxStatus is the wire form of one pBox in the /pboxes response:
+// the live defer ratio, isolation goal, and penalty totals of
+// core.Snapshot, with durations as Go duration strings so the JSON stays
+// readable in curl output and round-trips exactly.
+type PBoxStatus struct {
+	ID                int     `json:"id"`
+	Label             string  `json:"label,omitempty"`
+	State             string  `json:"state"`
+	Goal              float64 `json:"goal"`
+	Metric            string  `json:"metric"`
+	Activities        int     `json:"activities"`
+	TotalDefer        string  `json:"total_defer"`
+	TotalExec         string  `json:"total_exec"`
+	DeferRatio        float64 `json:"defer_ratio"`
+	PenaltiesReceived int     `json:"penalties_received"`
+	PenaltyServed     string  `json:"penalty_served"`
+}
+
+// statusFromSnapshot converts a manager snapshot to its wire form.
+func statusFromSnapshot(s core.Snapshot) PBoxStatus {
+	return PBoxStatus{
+		ID:                s.ID,
+		Label:             s.Label,
+		State:             s.State.String(),
+		Goal:              s.Goal,
+		Metric:            s.Metric.String(),
+		Activities:        s.Activities,
+		TotalDefer:        s.TotalDefer.String(),
+		TotalExec:         s.TotalExec.String(),
+		DeferRatio:        s.InterferenceLevel,
+		PenaltiesReceived: s.PenaltiesReceived,
+		PenaltyServed:     s.PenaltyTotal.String(),
+	}
+}
+
+// TraceEvent is the wire form of one trace-ring entry in the /trace
+// response.
+type TraceEvent struct {
+	Seq   uint64 `json:"seq"`
+	At    string `json:"at"`
+	PBox  int    `json:"pbox"`
+	Key   uint64 `json:"key"`
+	Name  string `json:"name,omitempty"`
+	What  string `json:"what"`
+	Extra string `json:"extra,omitempty"`
+}
+
+// TraceResponse is the /trace payload: the entries after the requested
+// sequence number and the cursor to pass as ?since= on the next poll.
+type TraceResponse struct {
+	Next    uint64       `json:"next"`
+	Entries []TraceEvent `json:"entries"`
+}
+
+// Exporter serves the telemetry HTTP API for one manager:
+//
+//	/metrics   Prometheus text exposition of the registry
+//	/pboxes    JSON: live per-pBox defer ratio, isolation goal, penalties
+//	/trace     JSON: trace-ring snapshot; ?since=N&wait=5s long-polls for
+//	           entries newer than sequence N
+type Exporter struct {
+	reg *Registry
+	mgr *core.Manager
+	mux *http.ServeMux
+}
+
+// NewExporter builds the exporter. reg may be nil when only /pboxes and
+// /trace are wanted; mgr may be nil when only /metrics is wanted.
+func NewExporter(reg *Registry, mgr *core.Manager) *Exporter {
+	e := &Exporter{reg: reg, mgr: mgr, mux: http.NewServeMux()}
+	e.mux.HandleFunc("/", e.handleIndex)
+	e.mux.HandleFunc("/metrics", e.handleMetrics)
+	e.mux.HandleFunc("/pboxes", e.handlePBoxes)
+	e.mux.HandleFunc("/trace", e.handleTrace)
+	return e
+}
+
+// Handler returns the HTTP handler serving the telemetry API.
+func (e *Exporter) Handler() http.Handler { return e.mux }
+
+// ServeHTTP implements http.Handler directly so an Exporter can be mounted
+// as-is.
+func (e *Exporter) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	e.mux.ServeHTTP(w, r)
+}
+
+func (e *Exporter) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "pbox telemetry")
+	fmt.Fprintln(w, "  /metrics           Prometheus text metrics")
+	fmt.Fprintln(w, "  /pboxes            live per-pBox accounting (JSON)")
+	fmt.Fprintln(w, "  /trace             trace ring snapshot (JSON)")
+	fmt.Fprintln(w, "  /trace?since=N&wait=5s  long-poll for entries newer than seq N")
+}
+
+func (e *Exporter) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if e.reg == nil {
+		http.Error(w, "metrics registry not enabled", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	e.reg.WritePrometheus(w)
+}
+
+func (e *Exporter) handlePBoxes(w http.ResponseWriter, r *http.Request) {
+	if e.mgr == nil {
+		http.Error(w, "manager not attached", http.StatusNotFound)
+		return
+	}
+	snaps := e.mgr.Snapshots()
+	out := make([]PBoxStatus, 0, len(snaps))
+	for _, s := range snaps {
+		out = append(out, statusFromSnapshot(s))
+	}
+	writeJSON(w, out)
+}
+
+func (e *Exporter) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if e.mgr == nil {
+		http.Error(w, "manager not attached", http.StatusNotFound)
+		return
+	}
+	q := r.URL.Query()
+	var since uint64
+	if v := q.Get("since"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			http.Error(w, "bad since parameter", http.StatusBadRequest)
+			return
+		}
+		since = n
+	}
+	var wait time.Duration
+	if v := q.Get("wait"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d < 0 {
+			http.Error(w, "bad wait parameter", http.StatusBadRequest)
+			return
+		}
+		if d > maxTraceWait {
+			d = maxTraceWait
+		}
+		wait = d
+	}
+
+	entries, next := e.mgr.TraceSince(since)
+	if len(entries) == 0 && wait > 0 {
+		// Long poll: block until a newer entry lands, the client leaves,
+		// or the wait expires, then re-read.
+		notify := e.mgr.TraceNotify(since)
+		if notify != nil {
+			timer := time.NewTimer(wait)
+			select {
+			case <-notify:
+			case <-timer.C:
+			case <-r.Context().Done():
+				timer.Stop()
+				return
+			}
+			timer.Stop()
+			entries, next = e.mgr.TraceSince(since)
+		}
+	}
+
+	resp := TraceResponse{Next: next, Entries: make([]TraceEvent, 0, len(entries))}
+	for _, t := range entries {
+		ev := TraceEvent{
+			Seq:  t.Seq,
+			At:   t.At.String(),
+			PBox: t.PBox,
+			Key:  uint64(t.Key),
+			Name: t.Name,
+			What: t.What,
+		}
+		if t.Extra != 0 {
+			ev.Extra = t.Extra.String()
+		}
+		resp.Entries = append(resp.Entries, ev)
+	}
+	writeJSON(w, resp)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,196 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"math/rand"
+	"net"
+	"strings"
+	"time"
+)
+
+// KVConn is a client connection to a minikv TCP server (cmd/pboxd),
+// speaking its newline-terminated text protocol. It is the network
+// counterpart of the in-process closed-loop clients: the same Spec machinery
+// drives it, but every request crosses a real socket, so the served process
+// is the one paying the virtual-resource contention and the penalties.
+type KVConn struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// DialKV connects to a minikv server and labels the connection's pBox with
+// name (empty name skips the hello).
+func DialKV(addr, name string) (*KVConn, error) {
+	return dialKV(addr, name, false)
+}
+
+// DialKVBackground is DialKV for background tasks: the server gives the
+// connection's pBox the relaxed background isolation goal.
+func DialKVBackground(addr, name string) (*KVConn, error) {
+	return dialKV(addr, name, true)
+}
+
+func dialKV(addr, name string, background bool) (*KVConn, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &KVConn{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}
+	if name != "" {
+		hello := "hello " + name
+		if background {
+			hello += " bg"
+		}
+		resp, err := c.roundTrip(hello)
+		if err != nil {
+			conn.Close()
+			return nil, err
+		}
+		if resp != "OK" {
+			conn.Close()
+			return nil, fmt.Errorf("workload: hello rejected: %q", resp)
+		}
+	}
+	return c, nil
+}
+
+// roundTrip sends one command line and reads one response line.
+func (c *KVConn) roundTrip(cmd string) (string, error) {
+	if _, err := c.w.WriteString(cmd + "\n"); err != nil {
+		return "", err
+	}
+	if err := c.w.Flush(); err != nil {
+		return "", err
+	}
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimSpace(line), nil
+}
+
+// Get reads key; it reports whether the key was resident.
+func (c *KVConn) Get(key int) (bool, error) {
+	resp, err := c.roundTrip(fmt.Sprintf("get %d", key))
+	if err != nil {
+		return false, err
+	}
+	switch resp {
+	case "HIT":
+		return true, nil
+	case "MISS":
+		return false, nil
+	default:
+		return false, fmt.Errorf("workload: unexpected get response %q", resp)
+	}
+}
+
+// Set stores key.
+func (c *KVConn) Set(key int) error {
+	resp, err := c.roundTrip(fmt.Sprintf("set %d", key))
+	if err != nil {
+		return err
+	}
+	if resp != "OK" {
+		return fmt.Errorf("workload: unexpected set response %q", resp)
+	}
+	return nil
+}
+
+// Ping checks liveness.
+func (c *KVConn) Ping() error {
+	resp, err := c.roundTrip("ping")
+	if err != nil {
+		return err
+	}
+	if resp != "PONG" {
+		return fmt.Errorf("workload: unexpected ping response %q", resp)
+	}
+	return nil
+}
+
+// Close sends quit and closes the socket.
+func (c *KVConn) Close() error {
+	_, _ = c.roundTrip("quit")
+	return c.conn.Close()
+}
+
+// KVTCPSpec describes one closed-loop TCP client against a minikv server.
+type KVTCPSpec struct {
+	// Name labels the client; it becomes the server-side pBox label.
+	Name string
+	// Addr is the server's TCP address.
+	Addr string
+	// Keys picks the key for each request.
+	Keys func(*rand.Rand) int
+	// SetFraction is the probability in [0,1] that a request is a set.
+	SetFraction float64
+	// Background marks the connection as a background task on the server
+	// (relaxed isolation goal, like the paper's dump/purge activities).
+	Background bool
+	// Think, Start, Stop and Seed mirror the Spec fields.
+	Think time.Duration
+	Start time.Duration
+	Stop  time.Duration
+	Seed  int64
+	// OnError, if non-nil, receives request errors (closed-loop clients
+	// stop on the first error otherwise).
+	OnError func(error)
+}
+
+// Spec converts the TCP client description into a runnable workload Spec:
+// Setup dials (and labels the server-side pBox), Op issues one get or set,
+// Teardown closes the connection. The returned Spec shares the Run machinery
+// with the in-process clients, so recorders and time series attach the same
+// way.
+func (t KVTCPSpec) Spec() Spec {
+	var conn *KVConn
+	var dead bool
+	keys := t.Keys
+	if keys == nil {
+		keys = UniformKeys(1024)
+	}
+	fail := func(err error) {
+		dead = true
+		if t.OnError != nil {
+			t.OnError(err)
+		}
+	}
+	return Spec{
+		Name:  t.Name,
+		Start: t.Start,
+		Stop:  t.Stop,
+		Think: t.Think,
+		Seed:  t.Seed,
+		Setup: func() {
+			c, err := dialKV(t.Addr, t.Name, t.Background)
+			if err != nil {
+				fail(err)
+				return
+			}
+			conn = c
+		},
+		Teardown: func() {
+			if conn != nil {
+				conn.Close()
+			}
+		},
+		Op: func(r *rand.Rand) {
+			if dead || conn == nil {
+				return
+			}
+			key := keys(r)
+			var err error
+			if r.Float64() < t.SetFraction {
+				err = conn.Set(key)
+			} else {
+				_, err = conn.Get(key)
+			}
+			if err != nil {
+				fail(err)
+			}
+		},
+	}
+}
