@@ -9,7 +9,9 @@
 //	pboxbench -exp fig16 -duration 500ms # longer runs
 //
 // Experiments: fig1 fig2 fig3 fig10 table3 fig11 fig12 fig13 fig14 table4
-// fig15 fig16 table5 mistakes.
+// fig15 fig16 table5 mistakes. The extra id cases-json (opt-in, never part
+// of -exp all) writes the per-case victim-p95 records to BENCH_cases.json
+// (-out overrides the path).
 package main
 
 import (
@@ -26,10 +28,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (fig1..fig16, table3..table5, mistakes, ablate, all)")
+	exp := flag.String("exp", "all", "experiment id (fig1..fig16, table3..table5, mistakes, ablate, cases-json, all)")
 	caseList := flag.String("cases", "", "comma-separated case ids to restrict to")
 	duration := flag.Duration("duration", 0, "per-run measurement duration (default 300ms)")
 	quick := flag.Bool("quick", false, "smoke-test scale")
+	out := flag.String("out", "BENCH_cases.json", "output path for -exp cases-json")
 	flag.Parse()
 
 	cfg := experiments.Config{Duration: *duration, Quick: *quick}
@@ -217,6 +220,18 @@ func main() {
 			}
 		}
 	})
+
+	// cases-json writes a file rather than printing, so it is opt-in only
+	// (never part of -exp all).
+	if *exp == "cases-json" {
+		rows := experiments.BenchCases(cfg, ids)
+		if err := experiments.WriteBenchCases(*out, cfg, rows); err != nil {
+			fmt.Fprintln(os.Stderr, "cases-json:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d cases)\n", *out, len(rows))
+		return
+	}
 
 	run("mistakes", func() {
 		trials := 5

@@ -30,6 +30,7 @@ import (
 
 	"pbox/internal/apps/minikv"
 	"pbox/internal/core"
+	"pbox/internal/flightrec"
 	"pbox/internal/isolation"
 	"pbox/internal/stats"
 	"pbox/internal/telemetry"
@@ -47,6 +48,7 @@ func main() {
 		evictScan = flag.Int("evict-scan", 192, "LRU entries scanned per eviction (lock hold length)")
 		demo      = flag.Duration("demo", 0, "run a built-in noisy+victim client demo for this long, then exit")
 		victims   = flag.Int("victims", 2, "victim get-clients in -demo mode")
+		incidents = flag.String("incidents", "incidents", "flight-recorder incidents directory (empty disables)")
 	)
 	flag.Parse()
 
@@ -54,13 +56,36 @@ func main() {
 	cfg.Capacity = *capacity
 	cfg.EvictScanItems = *evictScan
 
-	var reg *telemetry.Registry
-	opts := core.Options{TraceSize: *traceSize}
+	// Observer chain: flight recorder in front of the metrics collector, the
+	// manager behind both. Attribution stays on — the ledger is the daemon's
+	// who-hurt-whom diagnosis surface.
+	var (
+		reg *telemetry.Registry
+		col *telemetry.Collector
+		rec *flightrec.Recorder
+		obs core.Observer
+	)
+	opts := core.Options{TraceSize: *traceSize, Attribution: true}
 	if !*noTelem {
 		reg = telemetry.NewRegistry()
-		opts.Observer = telemetry.NewCollector(reg)
+		col = telemetry.NewCollector(reg)
+		obs = col
+	}
+	if *incidents != "" {
+		rec = flightrec.New(flightrec.Config{Dir: *incidents, Next: obs})
+		obs = rec
+	}
+	if obs != nil {
+		opts.Observer = obs
 	}
 	mgr := core.NewManager(opts)
+	if col != nil {
+		col.AttachNamer(mgr)
+	}
+	if rec != nil {
+		rec.AttachManager(mgr)
+		log.Printf("pboxd: flight recorder writing incident bundles to %s/", *incidents)
+	}
 	rule := core.DefaultRule()
 	rule.Level = *goal
 	ctrl := isolation.NewPBox(mgr, rule)
@@ -79,6 +104,9 @@ func main() {
 	var httpSrv *http.Server
 	if *httpAddr != "" {
 		exp := telemetry.NewExporter(reg, mgr)
+		if rec != nil {
+			exp.AttachFlightRecorder(rec)
+		}
 		httpSrv = &http.Server{Addr: *httpAddr, Handler: exp.Handler()}
 		hln, err := net.Listen("tcp", *httpAddr)
 		if err != nil {
@@ -89,7 +117,7 @@ func main() {
 				log.Printf("pboxd: http server: %v", err)
 			}
 		}()
-		log.Printf("pboxd: telemetry on http://%s  (/metrics /pboxes /trace)", hln.Addr())
+		log.Printf("pboxd: telemetry on http://%s  (/metrics /pboxes /attribution /trace /flightrec)", hln.Addr())
 	}
 
 	serveErr := make(chan error, 1)
@@ -97,7 +125,10 @@ func main() {
 
 	if *demo > 0 {
 		last := runDemo(mgr, ln.Addr().String(), *demo, *victims, cfg.Capacity)
-		report(last, reg)
+		if rec != nil {
+			rec.Close() // drain pending incident bundles before reporting
+		}
+		report(last, mgr, reg, rec)
 	} else {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -112,6 +143,9 @@ func main() {
 	srv.Close()
 	if httpSrv != nil {
 		httpSrv.Close()
+	}
+	if rec != nil {
+		rec.Close()
 	}
 }
 
@@ -196,12 +230,36 @@ func runDemo(mgr *core.Manager, addr string, d time.Duration, nVictims, capacity
 	return last
 }
 
-// report prints the per-pBox accounting and headline counters after a demo.
-func report(snaps []core.Snapshot, reg *telemetry.Registry) {
+// report prints the per-pBox accounting, the culprit↔victim attribution
+// matrix, any frozen incident bundles, and the headline counters after a
+// demo.
+func report(snaps []core.Snapshot, mgr *core.Manager, reg *telemetry.Registry, rec *flightrec.Recorder) {
 	fmt.Println("--- pboxes (last live sample) ---")
 	for _, s := range snaps {
 		fmt.Printf("pbox %-3d %-10s goal=%.2f activities=%-6d defer_ratio=%.3f penalties=%d served=%v\n",
 			s.ID, s.Label, s.Goal, s.Activities, s.InterferenceLevel, s.PenaltiesReceived, s.PenaltyTotal)
+	}
+	if recs := mgr.Attribution(); len(recs) > 0 {
+		fmt.Println("--- attribution (culprit → victim, by blocked time) ---")
+		for _, a := range recs {
+			culprit, victim := a.CulpritLabel, a.VictimLabel
+			if culprit == "" {
+				culprit = fmt.Sprintf("pbox-%d", a.CulpritID)
+			}
+			if victim == "" {
+				victim = fmt.Sprintf("pbox-%d", a.VictimID)
+			}
+			fmt.Printf("%-12s → %-12s on %-12s blocked=%-12v detections=%-4d actions=%-3d served=%v\n",
+				culprit, victim, a.Resource, a.Blocked, a.Detections, a.Actions, a.PenaltyServed)
+		}
+	}
+	if rec != nil {
+		if ids, err := rec.Incidents(); err == nil && len(ids) > 0 {
+			fmt.Println("--- incidents ---")
+			for _, id := range ids {
+				fmt.Printf("incident %s\n", id)
+			}
+		}
 	}
 	if reg != nil {
 		fmt.Println("--- metrics ---")

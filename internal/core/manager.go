@@ -66,8 +66,15 @@ type Options struct {
 
 	// Observer, when non-nil, receives live notifications of manager
 	// activity (see the Observer interface). The nil default keeps every
-	// event path allocation-free.
+	// event path allocation-free. An Observer that also implements
+	// AttributionObserver additionally receives the per-triple attribution
+	// stream.
 	Observer Observer
+
+	// Attribution, when true, maintains the per-(culprit, victim,
+	// resource) interference ledger (see AttributionRecord). Disabled it
+	// costs one nil check per site and zero allocations.
+	Attribution bool
 }
 
 func (o Options) withDefaults() Options {
@@ -111,13 +118,24 @@ type Manager struct {
 	holdersByKey map[ResourceKey]map[*PBox]int64
 	// bindings maps unbind keys to detached pBoxes (event-driven model).
 	bindings map[uintptr]*PBox
+
 	// resourceNames maps virtual-resource keys to human-readable names
-	// registered via NameResource, for traces and telemetry.
+	// registered via NameResource, for traces and telemetry. It is guarded
+	// by its own lock (not m.mu) so Observer implementations may resolve
+	// names from inside hook callbacks without deadlocking; the only lock
+	// ordering is m.mu → namesMu, never the reverse.
+	namesMu       sync.RWMutex
 	resourceNames map[ResourceKey]string
 
 	actions *actionHistory
 	trace   *traceRing
 	obs     Observer
+	// attrObs is opts.Observer's AttributionObserver side, cached at
+	// construction so hook sites pay a nil check instead of a type assert.
+	attrObs AttributionObserver
+	// attr is the interference attribution ledger (nil unless
+	// Options.Attribution).
+	attr *attributionLedger
 
 	// crossings counts conceptual user/kernel boundary crossings: every
 	// manager entry point increments it. The lazy-unbind optimization
@@ -136,6 +154,12 @@ func NewManager(opts Options) *Manager {
 		bindings:     make(map[uintptr]*PBox),
 		actions:      newActionHistory(),
 		obs:          opts.Observer,
+	}
+	if ao, ok := opts.Observer.(AttributionObserver); ok {
+		m.attrObs = ao
+	}
+	if opts.Attribution {
+		m.attr = newAttributionLedger()
 	}
 	if opts.TraceSize > 0 {
 		m.trace = newTraceRing(opts.TraceSize)
@@ -161,7 +185,7 @@ func (m *Manager) Create(rule IsolationRule) (*PBox, error) {
 		rule:      rule,
 		mgr:       m,
 		state:     StateStarted,
-		holders:   make(map[ResourceKey]*holdInfo),
+		holders:   make(map[ResourceKey]holdInfo),
 		preparing: make(map[ResourceKey]int),
 	}
 	m.pboxes[p.id] = p
@@ -191,7 +215,7 @@ func (m *Manager) Release(p *PBox) error {
 	for key := range p.holders {
 		m.dropHolderLocked(key, p)
 	}
-	p.holders = make(map[ResourceKey]*holdInfo)
+	p.holders = make(map[ResourceKey]holdInfo)
 	p.preparing = make(map[ResourceKey]int)
 	if p.hasBoundKey {
 		if m.bindings[p.boundKey] == p {
@@ -387,10 +411,12 @@ func (m *Manager) onEnterLocked(p *PBox, key ResourceKey, now int64) {
 }
 
 // onHoldLocked implements the HOLD arm: record the pBox in the holder map.
+// holdInfo is stored by value: the hold/unhold cycle is the hottest hook
+// path, and a pointer entry would allocate on every re-acquisition.
 func (m *Manager) onHoldLocked(p *PBox, key ResourceKey, now int64) {
-	h := p.holders[key]
-	if h == nil {
-		p.holders[key] = &holdInfo{count: 1, since: now}
+	h, held := p.holders[key]
+	if !held {
+		p.holders[key] = holdInfo{count: 1, since: now}
 		hm := m.holdersByKey[key]
 		if hm == nil {
 			hm = make(map[*PBox]int64)
@@ -400,6 +426,7 @@ func (m *Manager) onHoldLocked(p *PBox, key ResourceKey, now int64) {
 		return
 	}
 	h.count++
+	p.holders[key] = h
 }
 
 // onUnholdLocked implements the UNHOLD arm of Algorithm 1: if the pBox was
@@ -408,12 +435,13 @@ func (m *Manager) onHoldLocked(p *PBox, key ResourceKey, now int64) {
 // goal is endangered and this pBox held the resource before the waiter
 // arrived, identify (noisy=p, victim=waiter) and take action.
 func (m *Manager) onUnholdLocked(p *PBox, key ResourceKey, now int64) {
-	h := p.holders[key]
-	if h == nil {
+	h, held := p.holders[key]
+	if !held {
 		return
 	}
 	if h.count > 1 {
 		h.count--
+		p.holders[key] = h
 		return
 	}
 	heldSince := h.since
@@ -439,6 +467,12 @@ func (m *Manager) onUnholdLocked(p *PBox, key ResourceKey, now int64) {
 			bi.deferNs += overlap
 			bi.key = key
 			c.pbox.blame[p] = bi
+			if e := m.attrLocked(p, c.pbox, key); e != nil {
+				e.blockedNs += overlap
+			}
+			if m.attrObs != nil {
+				m.attrObs.Blocked(p.id, c.pbox.id, key, overlap)
+			}
 		}
 	}
 	detect := !m.opts.DisableDetection
@@ -495,23 +529,29 @@ func (m *Manager) onUnholdLocked(p *PBox, key ResourceKey, now int64) {
 	}
 }
 
-// dropHolderLocked removes p from the reverse holder index for key.
+// dropHolderLocked removes p from the reverse holder index for key. The
+// inner map is kept when it empties — resources are held and released in a
+// tight loop, and recreating the map on every re-acquisition would allocate
+// on the hook path; like m.competitors, the index is bounded by the number
+// of distinct resources the application touches.
 func (m *Manager) dropHolderLocked(key ResourceKey, p *PBox) {
 	if hm := m.holdersByKey[key]; hm != nil {
 		delete(hm, p)
-		if len(hm) == 0 {
-			delete(m.holdersByKey, key)
-		}
 	}
 }
 
-// takePendingLocked consumes p's pending penalty. Caller holds m.mu.
+// takePendingLocked consumes p's pending penalty. Caller holds m.mu. The
+// pending attribution triple is copied aside for the serve that follows, so
+// a new action scheduled between the consume and the sleep cannot
+// misattribute the served time.
 func (m *Manager) takePendingLocked(p *PBox) time.Duration {
 	pen := p.pendingPenalty
 	if pen <= 0 {
 		return 0
 	}
 	p.pendingPenalty = 0
+	p.servingAttrVictim = p.pendingAttrVictim
+	p.servingAttrKey = p.pendingAttrKey
 	if p.sharedThread {
 		// Shared-thread pBoxes are never slept directly; instead their
 		// next activities wait in the task queue until the deadline.
@@ -531,6 +571,10 @@ func (m *Manager) sleepPenalty(p *PBox, d time.Duration) {
 	p.penaltySleeping = true
 	p.penaltiesReceived++
 	p.penaltyTotal += int64(d)
+	victimID, key := p.servingAttrVictim, p.servingAttrKey
+	if e := m.attrByIDLocked(p.id, victimID, key); e != nil {
+		e.servedNs += int64(d)
+	}
 	m.traceEvent(p, 0, "penalty", d)
 	m.mu.Unlock()
 	m.opts.Sleep(d)
@@ -539,6 +583,9 @@ func (m *Manager) sleepPenalty(p *PBox, d time.Duration) {
 	m.mu.Unlock()
 	if m.obs != nil {
 		m.obs.PenaltyServed(p.id, d)
+	}
+	if m.attrObs != nil {
+		m.attrObs.PenaltyServedFor(p.id, victimID, key, d)
 	}
 	// The sleep inflates the pBox's execution time but adds no deferring
 	// time, so its own interference level tf = td/(te-td) strictly drops.
@@ -585,10 +632,11 @@ func (m *Manager) Live() int {
 
 // NameResource registers a human-readable name for a virtual-resource key,
 // so traces and telemetry print "bufpool" instead of a raw pointer value.
-// An empty name removes the registration.
+// An empty name removes the registration. Names live under their own lock,
+// so ResourceName is safe to call from Observer hook callbacks.
 func (m *Manager) NameResource(key ResourceKey, name string) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.namesMu.Lock()
+	defer m.namesMu.Unlock()
 	if name == "" {
 		delete(m.resourceNames, key)
 		return
@@ -600,14 +648,16 @@ func (m *Manager) NameResource(key ResourceKey, name string) {
 }
 
 // ResourceName returns the registered name for key ("" when unnamed).
+// Unlike most Manager methods it does not take the manager lock, so
+// Observer implementations may call it from inside hook callbacks.
 func (m *Manager) ResourceName(key ResourceKey) string {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.resourceNames[key]
+	return m.resourceName(key)
 }
 
-// resourceNameLocked looks up a registered resource name. Caller holds m.mu.
-func (m *Manager) resourceNameLocked(key ResourceKey) string {
+// resourceName looks up a registered resource name under the names lock.
+func (m *Manager) resourceName(key ResourceKey) string {
+	m.namesMu.RLock()
+	defer m.namesMu.RUnlock()
 	return m.resourceNames[key]
 }
 
@@ -624,6 +674,11 @@ func (m *Manager) SetLabel(p *PBox, label string) {
 func (m *Manager) Snapshots() []Snapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	return m.snapshotsLocked()
+}
+
+// snapshotsLocked builds the ordered snapshot list. Caller holds m.mu.
+func (m *Manager) snapshotsLocked() []Snapshot {
 	out := make([]Snapshot, 0, len(m.pboxes))
 	for _, p := range m.pboxes {
 		out = append(out, p.snapshotLocked())

@@ -14,9 +14,14 @@ import "time"
 // precedes every other callback for an id, nothing follows PBoxReleased for
 // it, and a PenaltyAction is always preceded by its Detection. In exchange,
 // implementations must be fast, must not block, and must not call back into
-// the Manager (doing so deadlocks). Counter bumps and other atomic updates
-// are the intended use. PenaltyServed is invoked on the penalized pBox's own
-// goroutine after the delay completes, outside the lock.
+// the Manager (doing so deadlocks) — the one exception is ResourceName,
+// which uses a separate lock precisely so observers can resolve resource
+// names for labels. Counter bumps and other atomic updates are the intended
+// use. PenaltyServed is invoked on the penalized pBox's own goroutine after
+// the delay completes, outside the lock.
+//
+// An Observer that additionally implements AttributionObserver receives the
+// per-(culprit, victim, resource) attribution stream as well.
 //
 // A nil Observer (the default) is checked before every callback site, so the
 // disabled path costs one predictable branch and zero allocations — see

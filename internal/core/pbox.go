@@ -28,7 +28,7 @@ type PBox struct {
 	// (the holder_map of Algorithm 1), with nesting counts and the
 	// earliest hold timestamp, which line 23 of Algorithm 1 compares
 	// against each waiter's arrival time.
-	holders map[ResourceKey]*holdInfo
+	holders map[ResourceKey]holdInfo
 	// preparing tracks outstanding PREPARE events (keys this pBox is
 	// currently deferred on) so stale records can be removed at freeze
 	// and so penalties are never applied mid-wait (a sleep during a wait
@@ -56,6 +56,15 @@ type PBox struct {
 	// pendingPenalty is delay (ns) scheduled by take_action but not yet
 	// executed because the pBox still held resources at decision time.
 	pendingPenalty int64
+	// pendingAttrVictim/Key identify the victim and resource whose
+	// detection scheduled the pending penalty — well-defined because
+	// take_action never stacks a second action onto an unserved penalty.
+	// servingAttr* are the copy taken when the penalty is consumed, so the
+	// serve attributes correctly even if a new action lands mid-sleep.
+	pendingAttrVictim int
+	pendingAttrKey    ResourceKey
+	servingAttrVictim int
+	servingAttrKey    ResourceKey
 	// penaltyUntil is the requeue deadline for shared-thread pBoxes.
 	penaltyUntil int64
 	sharedThread bool

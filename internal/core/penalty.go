@@ -96,6 +96,9 @@ func (m *Manager) takeActionLocked(noisy, victim *PBox, key ResourceKey, now, tr
 	if m.obs != nil {
 		m.obs.Detection(noisy.id, victim.id, key, projected)
 	}
+	if e := m.attrLocked(noisy, victim, key); e != nil {
+		e.detections++
+	}
 	// A penalty that has not been served yet must not be stacked: the
 	// adaptation compares the victim's state before and after a penalty
 	// (Section 4.4.2), so a new action only makes sense once the previous
@@ -155,6 +158,12 @@ func (m *Manager) takeActionLocked(noisy, victim *PBox, key ResourceKey, now, tr
 	noisy.pendingPenalty += int64(penalty)
 	if limit := int64(m.opts.MaxPenalty); noisy.pendingPenalty > limit {
 		noisy.pendingPenalty = limit
+	}
+	noisy.pendingAttrVictim = victim.id
+	noisy.pendingAttrKey = key
+	if e := m.attrLocked(noisy, victim, key); e != nil {
+		e.actions++
+		e.scheduledNs += int64(penalty)
 	}
 	m.traceEvent(noisy, key, "action:"+kind.String(), time.Duration(penalty))
 	if m.obs != nil {

@@ -131,7 +131,7 @@ func (m *Manager) traceEvent(p *PBox, key ResourceKey, what string, extra time.D
 		At:    time.Duration(m.opts.Now()),
 		PBox:  p.id,
 		Key:   key,
-		Name:  m.resourceNameLocked(key),
+		Name:  m.resourceName(key),
 		What:  what,
 		Extra: extra,
 	})

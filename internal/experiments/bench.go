@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+
+	"pbox/internal/cases"
+	"pbox/internal/stats"
+)
+
+// BenchCase is one case's machine-readable benchmark record: the victim's
+// p95 latency interference-free (baseline), under interference with no
+// mitigation (interfere), and under pBox — the three numbers behind the
+// Figure 12 tail-latency story, in a form CI and offline tooling can diff.
+type BenchCase struct {
+	ID       string `json:"id"`
+	App      string `json:"app"`
+	Resource string `json:"resource"`
+
+	BaselineP95   string `json:"victim_p95_baseline"`
+	InterfereP95  string `json:"victim_p95_interfere"`
+	PBoxP95       string `json:"victim_p95_pbox"`
+	BaselineP95Ns int64  `json:"victim_p95_baseline_ns"`
+	InterfereNs   int64  `json:"victim_p95_interfere_ns"`
+	PBoxP95Ns     int64  `json:"victim_p95_pbox_ns"`
+
+	// ReductionP95 is r = (Ti−Ts)/(Ti−To) on p95s: 1 means pBox fully
+	// recovered the baseline tail, 0 means no effect, negative means harm.
+	ReductionP95 float64 `json:"reduction_p95"`
+	// Actions is the number of penalty actions the pBox run took.
+	Actions int `json:"actions"`
+}
+
+// BenchCasesFile is the BENCH_cases.json document.
+type BenchCasesFile struct {
+	Duration string      `json:"duration_per_run"`
+	Cases    []BenchCase `json:"cases"`
+}
+
+// BenchCases measures every selected case three ways (baseline, interfered,
+// pBox) and returns the per-case p95 records. A nil ids selects all 16.
+func BenchCases(cfg Config, ids []string) []BenchCase {
+	var out []BenchCase
+	for _, c := range selectCases(ids) {
+		d := cfg.caseDuration(c.ID)
+		to := cases.Run(c, cases.RunConfig{Solution: cases.SolutionNone, Interference: false, Duration: d})
+		ti := cases.Run(c, cases.RunConfig{Solution: cases.SolutionNone, Interference: true, Duration: d})
+		ts := cases.Run(c, cases.RunConfig{Solution: cases.SolutionPBox, Interference: true, Duration: d})
+		out = append(out, BenchCase{
+			ID:            c.ID,
+			App:           c.App,
+			Resource:      c.Resource,
+			BaselineP95:   to.Victim.P95.String(),
+			InterfereP95:  ti.Victim.P95.String(),
+			PBoxP95:       ts.Victim.P95.String(),
+			BaselineP95Ns: int64(to.Victim.P95),
+			InterfereNs:   int64(ti.Victim.P95),
+			PBoxP95Ns:     int64(ts.Victim.P95),
+			ReductionP95:  stats.ReductionRatio(ti.Victim.P95, to.Victim.P95, ts.Victim.P95),
+			Actions:       ts.Actions,
+		})
+	}
+	return out
+}
+
+// WriteBenchCases writes rows as the BENCH_cases.json document at path
+// (write-then-rename, so a concurrent reader never sees a torn file).
+func WriteBenchCases(path string, cfg Config, rows []BenchCase) error {
+	doc := BenchCasesFile{
+		Duration: cfg.duration().String(),
+		Cases:    rows,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestBenchCasesWritesDocument(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	rows := BenchCases(quick, []string{"c5", "c12"})
+	if len(rows) != 2 {
+		t.Fatalf("BenchCases returned %d rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.ID == "" || r.App == "" {
+			t.Fatalf("row missing identity: %+v", r)
+		}
+		if r.BaselineP95Ns <= 0 || r.InterfereNs <= 0 || r.PBoxP95Ns <= 0 {
+			t.Fatalf("row %s has non-positive p95s: %+v", r.ID, r)
+		}
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_cases.json")
+	if err := WriteBenchCases(path, quick, rows); err != nil {
+		t.Fatalf("WriteBenchCases: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read back: %v", err)
+	}
+	var doc BenchCasesFile
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("BENCH_cases.json is not valid JSON: %v", err)
+	}
+	if doc.Duration == "" || len(doc.Cases) != 2 {
+		t.Fatalf("document = %+v", doc)
+	}
+	if doc.Cases[0].ID != "c5" || doc.Cases[1].ID != "c12" {
+		t.Fatalf("case order = %s, %s", doc.Cases[0].ID, doc.Cases[1].ID)
+	}
+}

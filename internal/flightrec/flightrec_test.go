@@ -1,0 +1,254 @@
+package flightrec
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"pbox/internal/core"
+)
+
+// newWorld builds a fake-clock manager observed by a fresh Recorder and
+// returns both plus the clock-advance function.
+func newWorld(t *testing.T, cfg Config) (*core.Manager, *Recorder, func(time.Duration)) {
+	t.Helper()
+	if cfg.Dir == "" {
+		cfg.Dir = t.TempDir()
+	}
+	rec := New(cfg)
+	t.Cleanup(rec.Close)
+	var now int64
+	opts := core.Options{
+		Observer:    rec,
+		Attribution: true,
+		Now:         func() int64 { return now },
+		Sleep:       func(d time.Duration) { now += int64(d) },
+		MinPenalty:  10 * time.Microsecond,
+		MaxPenalty:  100 * time.Millisecond,
+	}
+	m := core.NewManager(opts)
+	rec.AttachManager(m)
+	return m, rec, func(d time.Duration) { now += int64(d) }
+}
+
+// newPair creates a labeled noisy/victim pBox pair with a 0.5 goal.
+func newPair(m *core.Manager, noisyLabel, victimLabel string) (noisy, victim *core.PBox) {
+	rule := core.DefaultRule()
+	rule.Level = 0.5
+	noisy, _ = m.Create(rule)
+	m.SetLabel(noisy, noisyLabel)
+	victim, _ = m.Create(rule)
+	m.SetLabel(victim, victimLabel)
+	return noisy, victim
+}
+
+// driveRound runs one noisy-blocks-victim round that ends in a verdict.
+func driveRound(m *core.Manager, advance func(time.Duration), key core.ResourceKey, noisy, victim *core.PBox) {
+	m.Activate(noisy)
+	m.Activate(victim)
+	m.Update(noisy, key, core.Hold)
+	m.Update(victim, key, core.Prepare)
+	advance(5 * time.Millisecond)
+	m.Update(noisy, key, core.Unhold)
+	m.Update(victim, key, core.Enter)
+	m.Freeze(victim)
+}
+
+// driveIncident runs one verdict round on a freshly created pair.
+func driveIncident(m *core.Manager, advance func(time.Duration), key core.ResourceKey) {
+	noisy, victim := newPair(m, "noisy", "victim")
+	driveRound(m, advance, key, noisy, victim)
+}
+
+func TestDetectionCaptureWritesBundle(t *testing.T) {
+	m, rec, advance := newWorld(t, Config{Cooldown: time.Millisecond})
+	key := core.ResourceKey(0x7)
+	m.NameResource(key, "row_lock")
+	driveIncident(m, advance, key)
+	rec.Close() // drain the writer
+
+	ids, err := rec.Incidents()
+	if err != nil || len(ids) == 0 {
+		t.Fatalf("no incident bundles written (ids=%v, err=%v)", ids, err)
+	}
+	inc, err := rec.Incident(ids[0])
+	if err != nil {
+		t.Fatalf("load incident %s: %v", ids[0], err)
+	}
+	if inc.Trigger != "detection" {
+		t.Fatalf("trigger = %q, want detection", inc.Trigger)
+	}
+	if inc.CulpritLabel != "noisy" || inc.VictimLabel != "victim" {
+		t.Fatalf("bundle blames %q → %q, want noisy → victim", inc.CulpritLabel, inc.VictimLabel)
+	}
+	if inc.Resource != "row_lock" {
+		t.Fatalf("resource = %q, want row_lock", inc.Resource)
+	}
+	if inc.ProjectedLevel <= inc.Goal || inc.Goal != 0.5 {
+		t.Fatalf("projected %v vs goal %v: verdict inputs missing", inc.ProjectedLevel, inc.Goal)
+	}
+	if inc.ProjectedSpeedup <= 1 {
+		t.Fatalf("projected speedup = %v, want > 1", inc.ProjectedSpeedup)
+	}
+	if inc.PenaltyPolicy == "" || inc.PenaltyLength == "" {
+		t.Fatalf("bundle missing penalty decision: %+v", inc)
+	}
+	if len(inc.Events) == 0 || len(inc.PBoxes) == 0 || len(inc.Attribution) == 0 {
+		t.Fatalf("bundle missing sections: events=%d pboxes=%d attribution=%d",
+			len(inc.Events), len(inc.PBoxes), len(inc.Attribution))
+	}
+	var sawDetection, sawNamed bool
+	for _, e := range inc.Events {
+		if e.Kind == "detection" {
+			sawDetection = true
+		}
+		if e.Name == "row_lock" {
+			sawNamed = true
+		}
+	}
+	if !sawDetection || !sawNamed {
+		t.Fatalf("events missing detection (%v) or resource name (%v)", sawDetection, sawNamed)
+	}
+	top := inc.Attribution[0]
+	if top.CulpritLabel != "noisy" {
+		t.Fatalf("attribution top culprit = %q, want noisy", top.CulpritLabel)
+	}
+	if d, err := time.ParseDuration(top.Blocked); err != nil || d <= 0 {
+		t.Fatalf("attribution blocked %q not a positive duration (%v)", top.Blocked, err)
+	}
+}
+
+func TestCooldownLimitsCaptures(t *testing.T) {
+	m, rec, advance := newWorld(t, Config{Cooldown: time.Hour})
+	key := core.ResourceKey(0x8)
+	noisy, victim := newPair(m, "noisy", "victim")
+	for i := 0; i < 5; i++ {
+		driveRound(m, advance, key, noisy, victim)
+	}
+	rec.Close()
+	ids, _ := rec.Incidents()
+	if len(ids) != 1 {
+		t.Fatalf("%d bundles written under a 1h cooldown, want 1", len(ids))
+	}
+}
+
+// TestCooldownIsPerCulprit: a chatty culprit inside its cooldown window must
+// not suppress the first capture of a different culprit.
+func TestCooldownIsPerCulprit(t *testing.T) {
+	m, rec, advance := newWorld(t, Config{Cooldown: time.Hour})
+	key := core.ResourceKey(0x8)
+	chatty, victimA := newPair(m, "chatty", "victim-a")
+	for i := 0; i < 3; i++ {
+		driveRound(m, advance, key, chatty, victimA)
+	}
+	rare, victimB := newPair(m, "rare", "victim-b")
+	driveRound(m, advance, key, rare, victimB)
+	rec.Close()
+
+	ids, _ := rec.Incidents()
+	if len(ids) != 2 {
+		t.Fatalf("%d bundles written, want 2 (one per culprit)", len(ids))
+	}
+	var culprits []string
+	for _, id := range ids {
+		inc, err := rec.Incident(id)
+		if err != nil {
+			t.Fatalf("load %s: %v", id, err)
+		}
+		culprits = append(culprits, inc.CulpritLabel)
+	}
+	if culprits[0] != "chatty" || culprits[1] != "rare" {
+		t.Fatalf("bundle culprits = %v, want [chatty rare]", culprits)
+	}
+}
+
+func TestManualDump(t *testing.T) {
+	m, rec, advance := newWorld(t, Config{})
+	key := core.ResourceKey(0x9)
+	m.NameResource(key, "queue")
+	driveIncident(m, advance, key)
+
+	id, err := rec.Dump("operator paged on p95 burn", 5*time.Second)
+	if err != nil {
+		t.Fatalf("Dump: %v", err)
+	}
+	inc, err := rec.Incident(id)
+	if err != nil {
+		t.Fatalf("load manual dump %s: %v", id, err)
+	}
+	if inc.Trigger != "manual" || !strings.Contains(inc.Reason, "paged") {
+		t.Fatalf("manual dump trigger=%q reason=%q", inc.Trigger, inc.Reason)
+	}
+	if len(inc.Events) == 0 || len(inc.PBoxes) == 0 {
+		t.Fatalf("manual dump missing sections: events=%d pboxes=%d", len(inc.Events), len(inc.PBoxes))
+	}
+}
+
+func TestRetentionPrunesOldest(t *testing.T) {
+	_, rec, _ := newWorld(t, Config{Retention: 2})
+	var ids []string
+	for i := 0; i < 5; i++ {
+		id, err := rec.Dump("fill", 5*time.Second)
+		if err != nil {
+			t.Fatalf("dump %d: %v", i, err)
+		}
+		ids = append(ids, id)
+	}
+	kept, err := rec.Incidents()
+	if err != nil {
+		t.Fatalf("list: %v", err)
+	}
+	if len(kept) != 2 {
+		t.Fatalf("retention kept %d bundles, want 2 (%v)", len(kept), kept)
+	}
+	if kept[0] != ids[3] || kept[1] != ids[4] {
+		t.Fatalf("retention kept %v, want the newest two of %v", kept, ids)
+	}
+}
+
+func TestReadIncidentRejectsPathEscape(t *testing.T) {
+	for _, id := range []string{"../etc/passwd", "a/b", `a\b`} {
+		if _, err := ReadIncident(t.TempDir(), id); err == nil {
+			t.Fatalf("ReadIncident accepted malicious id %q", id)
+		}
+	}
+}
+
+func TestDumpAfterCloseFails(t *testing.T) {
+	_, rec, _ := newWorld(t, Config{})
+	rec.Close()
+	if _, err := rec.Dump("late", time.Second); err == nil {
+		t.Fatal("Dump after Close should fail")
+	}
+	rec.Close() // double Close must not panic
+}
+
+// TestRecordPathAllocFree is the flight-recorder half of the hook-path
+// discipline: recording an event into the ring, and a verdict arriving
+// while the capture cooldown is active, allocate nothing.
+func TestRecordPathAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unreliable under -race")
+	}
+	rec := New(Config{Dir: t.TempDir(), Cooldown: time.Hour})
+	defer rec.Close()
+	key := core.ResourceKey(0x42)
+	// Prime: consume the one capture the cooldown allows.
+	rec.Detection(1, 2, key, 0.9)
+
+	if allocs := testing.AllocsPerRun(1000, func() {
+		rec.StateEvent(1, key, core.Prepare)
+	}); allocs != 0 {
+		t.Fatalf("StateEvent record allocates %.2f objects per op, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		rec.Detection(1, 2, key, 0.9)
+	}); allocs != 0 {
+		t.Fatalf("cooled-down Detection allocates %.2f objects per op, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		rec.Blocked(1, 2, key, 1000)
+	}); allocs != 0 {
+		t.Fatalf("Blocked record allocates %.2f objects per op, want 0", allocs)
+	}
+}

@@ -1,0 +1,208 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pbox/internal/core"
+)
+
+func TestAttributionEndpoint(t *testing.T) {
+	_, exp, _ := newTestWorld(t)
+	srv := httptest.NewServer(exp)
+	defer srv.Close()
+
+	code, body := get(t, srv, "/attribution")
+	if code != http.StatusOK {
+		t.Fatalf("/attribution status = %d", code)
+	}
+	var resp AttributionResponse
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatalf("/attribution JSON: %v\n%s", err, body)
+	}
+	if len(resp.PBoxes) != 2 {
+		t.Fatalf("/attribution returned %d pboxes, want 2", len(resp.PBoxes))
+	}
+	if len(resp.Matrix) == 0 {
+		t.Fatalf("/attribution matrix is empty:\n%s", body)
+	}
+	top := resp.Matrix[0]
+	if top.CulpritLabel != "noisy" || top.VictimLabel != "victim" {
+		t.Fatalf("top matrix entry blames %q → %q, want noisy → victim:\n%s",
+			top.CulpritLabel, top.VictimLabel, body)
+	}
+	if top.Resource != "bufpool" {
+		t.Fatalf("top matrix entry resource = %q, want bufpool", top.Resource)
+	}
+	if top.BlockedNs <= 0 || top.Detections == 0 {
+		t.Fatalf("top matrix entry has no blocked time or detections: %+v", top)
+	}
+	if d, err := time.ParseDuration(top.Blocked); err != nil || d <= 0 {
+		t.Fatalf("blocked %q did not round-trip to a positive duration (%v)", top.Blocked, err)
+	}
+}
+
+// TestAttributedSeriesLabels is the label-cardinality contract: resource
+// labels on the pbox_attributed_* families carry the names registered via
+// Manager.NameResource, and keys without a name are rendered in the stable
+// key-0x… form — raw pointer values never appear as bare label text.
+func TestAttributedSeriesLabels(t *testing.T) {
+	m, exp, advance := newTestWorld(t)
+	srv := httptest.NewServer(exp)
+	defer srv.Close()
+
+	// Drive one interference round on an unnamed resource too.
+	rule := core.DefaultRule()
+	rule.Level = 0.5
+	noisy, _ := m.Create(rule)
+	victim, _ := m.Create(rule)
+	m.Activate(noisy)
+	m.Activate(victim)
+	unnamed := core.ResourceKey(0xbeef)
+	m.Update(noisy, unnamed, core.Hold)
+	m.Update(victim, unnamed, core.Prepare)
+	advance(5 * time.Millisecond)
+	m.Update(noisy, unnamed, core.Unhold)
+	m.Update(victim, unnamed, core.Enter)
+
+	code, body := get(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	if !strings.Contains(body, `pbox_attributed_blocked_nanoseconds_total{culprit="1",victim="2",resource="bufpool"}`) {
+		t.Fatalf("/metrics missing named attributed series:\n%s", body)
+	}
+	if !strings.Contains(body, `resource="key-0xbeef"`) {
+		t.Fatalf("/metrics missing key-0x fallback label for unnamed resource:\n%s", body)
+	}
+	// No attributed series may carry a bare numeric resource label.
+	bare := regexp.MustCompile(`resource="\d`)
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, "pbox_attributed_") && bare.MatchString(line) {
+			t.Fatalf("attributed series leaks a raw key as resource label: %s", line)
+		}
+	}
+	if !strings.Contains(body, "pbox_attributed_detections_total{") {
+		t.Fatalf("/metrics missing attributed detections family:\n%s", body)
+	}
+}
+
+// TestAttributedSeriesCardinalityCap drives more triples than the series cap
+// and checks the overflow is counted instead of exported.
+func TestAttributedSeriesCardinalityCap(t *testing.T) {
+	reg := NewRegistry()
+	c := NewCollector(reg)
+	for i := 0; i < maxAttrSeries+37; i++ {
+		c.Blocked(1, 2, core.ResourceKey(uintptr(i+1)), 100)
+	}
+	c.attrMu.Lock()
+	n := len(c.attrSeries)
+	c.attrMu.Unlock()
+	if n != maxAttrSeries {
+		t.Fatalf("collector caches %d triples, want cap %d", n, maxAttrSeries)
+	}
+	if got := c.attrDropped.Value(); got != 37 {
+		t.Fatalf("dropped counter = %d, want 37", got)
+	}
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	if got := strings.Count(b.String(), "pbox_attributed_blocked_nanoseconds_total{"); got != maxAttrSeries {
+		t.Fatalf("exported %d blocked series, want %d", got, maxAttrSeries)
+	}
+	if !strings.Contains(b.String(), "pbox_attributed_series_dropped_total 37") {
+		t.Fatalf("missing dropped-series counter in exposition:\n%s", b.String())
+	}
+}
+
+// TestStatusEndpointsDuringChurn hammers /pboxes and /attribution while
+// pBoxes are created, driven, and released concurrently. Run under -race in
+// CI, it is the consistency check for the combined Status accessor: the
+// endpoints must never observe a half-updated manager.
+func TestStatusEndpointsDuringChurn(t *testing.T) {
+	reg := NewRegistry()
+	col := NewCollector(reg)
+	opts := core.Options{
+		Observer:    col,
+		Attribution: true,
+		TraceSize:   64,
+		MinPenalty:  10 * time.Microsecond,
+		MaxPenalty:  time.Millisecond,
+		Sleep:       func(time.Duration) {},
+	}
+	m := core.NewManager(opts)
+	col.AttachNamer(m)
+	key := core.ResourceKey(0x11)
+	m.NameResource(key, "churn_lock")
+	exp := NewExporter(reg, m)
+	srv := httptest.NewServer(exp)
+	defer srv.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	// Churner: short-lived noisy/victim pairs.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rule := core.DefaultRule()
+		rule.Level = 0.1
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			noisy, _ := m.Create(rule)
+			victim, _ := m.Create(rule)
+			m.SetLabel(noisy, fmt.Sprintf("noisy-%d", i))
+			m.Activate(noisy)
+			m.Activate(victim)
+			m.Update(noisy, key, core.Hold)
+			m.Update(victim, key, core.Prepare)
+			m.Update(noisy, key, core.Unhold)
+			m.Update(victim, key, core.Enter)
+			m.Freeze(victim)
+			m.Release(noisy)
+			m.Release(victim)
+		}
+	}()
+	// Readers: both JSON status endpoints plus the metrics scrape.
+	for _, path := range []string{"/pboxes", "/attribution", "/metrics"} {
+		wg.Add(1)
+		go func(path string) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get(srv.URL + path)
+				if err != nil {
+					t.Errorf("GET %s: %v", path, err)
+					return
+				}
+				if path == "/attribution" {
+					var ar AttributionResponse
+					if err := json.NewDecoder(resp.Body).Decode(&ar); err != nil {
+						t.Errorf("decode %s: %v", path, err)
+					}
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("GET %s: status %d", path, resp.StatusCode)
+					return
+				}
+			}
+		}(path)
+	}
+	time.Sleep(200 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,62 @@
+package telemetry
+
+import (
+	"net/http"
+	"time"
+
+	"pbox/internal/flightrec"
+)
+
+// dumpTimeout bounds how long a /flightrec/dump request waits for the
+// recorder's writer goroutine.
+const dumpTimeout = 10 * time.Second
+
+// AttachFlightRecorder mounts the flight-recorder API on the exporter:
+//
+//	/flightrec/incidents      JSON list of incident bundle ids, oldest first
+//	/flightrec/incident?id=X  one bundle
+//	/flightrec/dump           POST: freeze a bundle now (operator dump)
+//
+// Call once during wiring, before the exporter starts serving.
+func (e *Exporter) AttachFlightRecorder(rec *flightrec.Recorder) {
+	e.mux.HandleFunc("/flightrec/incidents", func(w http.ResponseWriter, r *http.Request) {
+		ids, err := rec.Incidents()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if ids == nil {
+			ids = []string{}
+		}
+		writeJSON(w, ids)
+	})
+	e.mux.HandleFunc("/flightrec/incident", func(w http.ResponseWriter, r *http.Request) {
+		id := r.URL.Query().Get("id")
+		if id == "" {
+			http.Error(w, "missing id parameter", http.StatusBadRequest)
+			return
+		}
+		inc, err := rec.Incident(id)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		writeJSON(w, inc)
+	})
+	e.mux.HandleFunc("/flightrec/dump", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		reason := r.URL.Query().Get("reason")
+		if reason == "" {
+			reason = "operator dump"
+		}
+		id, err := rec.Dump(reason, dumpTimeout)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		writeJSON(w, map[string]string{"id": id})
+	})
+}

@@ -48,6 +48,50 @@ func statusFromSnapshot(s core.Snapshot) PBoxStatus {
 	}
 }
 
+// AttributionEntry is the wire form of one culprit↔victim ledger record in
+// the /attribution response.
+type AttributionEntry struct {
+	CulpritID        int    `json:"culprit_id"`
+	CulpritLabel     string `json:"culprit_label,omitempty"`
+	VictimID         int    `json:"victim_id"`
+	VictimLabel      string `json:"victim_label,omitempty"`
+	Key              uint64 `json:"key"`
+	Resource         string `json:"resource,omitempty"`
+	Blocked          string `json:"blocked"`
+	BlockedNs        int64  `json:"blocked_ns"`
+	Detections       int64  `json:"detections"`
+	Actions          int64  `json:"actions"`
+	PenaltyScheduled string `json:"penalty_scheduled"`
+	PenaltyServed    string `json:"penalty_served"`
+}
+
+// attributionEntry converts a ledger record to its wire form.
+func attributionEntry(r core.AttributionRecord) AttributionEntry {
+	return AttributionEntry{
+		CulpritID:        r.CulpritID,
+		CulpritLabel:     r.CulpritLabel,
+		VictimID:         r.VictimID,
+		VictimLabel:      r.VictimLabel,
+		Key:              uint64(r.Key),
+		Resource:         r.Resource,
+		Blocked:          r.Blocked.String(),
+		BlockedNs:        int64(r.Blocked),
+		Detections:       r.Detections,
+		Actions:          r.Actions,
+		PenaltyScheduled: r.PenaltyScheduled.String(),
+		PenaltyServed:    r.PenaltyServed.String(),
+	}
+}
+
+// AttributionResponse is the /attribution payload: the combined consistent
+// view — pBoxes and the culprit↔victim matrix read under one manager lock
+// acquisition — plus the ledger's overflow count.
+type AttributionResponse struct {
+	PBoxes  []PBoxStatus       `json:"pboxes"`
+	Matrix  []AttributionEntry `json:"matrix"`
+	Dropped int64              `json:"dropped"`
+}
+
 // TraceEvent is the wire form of one trace-ring entry in the /trace
 // response.
 type TraceEvent struct {
@@ -86,6 +130,7 @@ func NewExporter(reg *Registry, mgr *core.Manager) *Exporter {
 	e.mux.HandleFunc("/", e.handleIndex)
 	e.mux.HandleFunc("/metrics", e.handleMetrics)
 	e.mux.HandleFunc("/pboxes", e.handlePBoxes)
+	e.mux.HandleFunc("/attribution", e.handleAttribution)
 	e.mux.HandleFunc("/trace", e.handleTrace)
 	return e
 }
@@ -108,6 +153,7 @@ func (e *Exporter) handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "pbox telemetry")
 	fmt.Fprintln(w, "  /metrics           Prometheus text metrics")
 	fmt.Fprintln(w, "  /pboxes            live per-pBox accounting (JSON)")
+	fmt.Fprintln(w, "  /attribution       culprit↔victim interference matrix (JSON)")
 	fmt.Fprintln(w, "  /trace             trace ring snapshot (JSON)")
 	fmt.Fprintln(w, "  /trace?since=N&wait=5s  long-poll for entries newer than seq N")
 }
@@ -132,6 +178,26 @@ func (e *Exporter) handlePBoxes(w http.ResponseWriter, r *http.Request) {
 		out = append(out, statusFromSnapshot(s))
 	}
 	writeJSON(w, out)
+}
+
+func (e *Exporter) handleAttribution(w http.ResponseWriter, r *http.Request) {
+	if e.mgr == nil {
+		http.Error(w, "manager not attached", http.StatusNotFound)
+		return
+	}
+	st := e.mgr.Status()
+	resp := AttributionResponse{
+		PBoxes:  make([]PBoxStatus, 0, len(st.Snapshots)),
+		Matrix:  make([]AttributionEntry, 0, len(st.Attribution)),
+		Dropped: st.AttributionDropped,
+	}
+	for _, s := range st.Snapshots {
+		resp.PBoxes = append(resp.PBoxes, statusFromSnapshot(s))
+	}
+	for _, rec := range st.Attribution {
+		resp.Matrix = append(resp.Matrix, attributionEntry(rec))
+	}
+	writeJSON(w, resp)
 }
 
 func (e *Exporter) handleTrace(w http.ResponseWriter, r *http.Request) {

@@ -13,22 +13,26 @@ import (
 	"pbox/internal/core"
 )
 
-// newTestWorld builds a manager with tracing + a collector, drives one
-// small noisy/victim scenario through it (fake clock, recorded sleeps), and
-// returns the exporter serving it.
-func newTestWorld(t *testing.T) (*core.Manager, *Exporter) {
+// newTestWorld builds a manager with tracing, attribution, and a collector,
+// drives one small noisy/victim scenario through it (fake clock, recorded
+// sleeps), and returns the exporter serving it plus a function advancing the
+// fake clock.
+func newTestWorld(t *testing.T) (*core.Manager, *Exporter, func(time.Duration)) {
 	t.Helper()
 	var now int64
 	reg := NewRegistry()
+	col := NewCollector(reg)
 	opts := core.Options{
-		Observer:  NewCollector(reg),
-		TraceSize: 128,
-		Now:       func() int64 { return now },
-		Sleep:     func(d time.Duration) { now += int64(d) },
+		Observer:    col,
+		Attribution: true,
+		TraceSize:   128,
+		Now:         func() int64 { return now },
+		Sleep:       func(d time.Duration) { now += int64(d) },
 	}
 	opts.MinPenalty = 10 * time.Microsecond
 	opts.MaxPenalty = 100 * time.Millisecond
 	m := core.NewManager(opts)
+	col.AttachNamer(m)
 	m.NameResource(core.ResourceKey(1), "bufpool")
 
 	rule := core.DefaultRule()
@@ -46,7 +50,7 @@ func newTestWorld(t *testing.T) (*core.Manager, *Exporter) {
 	m.Update(victim, core.ResourceKey(1), core.Enter)
 	m.Freeze(victim)
 
-	return m, NewExporter(reg, m)
+	return m, NewExporter(reg, m), func(d time.Duration) { now += int64(d) }
 }
 
 func get(t *testing.T, srv *httptest.Server, path string) (int, string) {
@@ -64,7 +68,7 @@ func get(t *testing.T, srv *httptest.Server, path string) (int, string) {
 }
 
 func TestMetricsEndpoint(t *testing.T) {
-	_, exp := newTestWorld(t)
+	_, exp, _ := newTestWorld(t)
 	srv := httptest.NewServer(exp)
 	defer srv.Close()
 
@@ -94,7 +98,7 @@ func TestMetricsEndpoint(t *testing.T) {
 }
 
 func TestPBoxesEndpointJSONRoundTrips(t *testing.T) {
-	_, exp := newTestWorld(t)
+	_, exp, _ := newTestWorld(t)
 	srv := httptest.NewServer(exp)
 	defer srv.Close()
 
@@ -137,7 +141,7 @@ func TestPBoxesEndpointJSONRoundTrips(t *testing.T) {
 }
 
 func TestTraceEndpointSnapshotAndCursor(t *testing.T) {
-	_, exp := newTestWorld(t)
+	_, exp, _ := newTestWorld(t)
 	srv := httptest.NewServer(exp)
 	defer srv.Close()
 
@@ -180,7 +184,7 @@ func TestTraceEndpointSnapshotAndCursor(t *testing.T) {
 }
 
 func TestTraceEndpointLongPollDelivers(t *testing.T) {
-	m, exp := newTestWorld(t)
+	m, exp, _ := newTestWorld(t)
 	srv := httptest.NewServer(exp)
 	defer srv.Close()
 
@@ -225,7 +229,7 @@ func TestTraceEndpointLongPollDelivers(t *testing.T) {
 }
 
 func TestTraceEndpointBadParams(t *testing.T) {
-	_, exp := newTestWorld(t)
+	_, exp, _ := newTestWorld(t)
 	srv := httptest.NewServer(exp)
 	defer srv.Close()
 	if code, _ := get(t, srv, "/trace?since=banana"); code != http.StatusBadRequest {
