@@ -9,9 +9,12 @@
 //	pboxbench -exp fig16 -duration 500ms # longer runs
 //
 // Experiments: fig1 fig2 fig3 fig10 table3 fig11 fig12 fig13 fig14 table4
-// fig15 fig16 table5 mistakes. The extra id cases-json (opt-in, never part
-// of -exp all) writes the per-case victim-p95 records to BENCH_cases.json
-// (-out overrides the path).
+// fig15 fig16 table5 mistakes. Two extra ids are opt-in (never part of
+// -exp all) and write files instead of printing: cases-json writes the
+// per-case victim-p95 records to BENCH_cases.json, and core-json writes the
+// manager hot-path throughput grid (sharded vs. emulated global lock,
+// disjoint vs. contended keys, 1/4/NumCPU goroutines) to BENCH_core.json
+// (-out overrides either path).
 package main
 
 import (
@@ -28,11 +31,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (fig1..fig16, table3..table5, mistakes, ablate, cases-json, all)")
+	exp := flag.String("exp", "all", "experiment id (fig1..fig16, table3..table5, mistakes, ablate, cases-json, core-json, all)")
 	caseList := flag.String("cases", "", "comma-separated case ids to restrict to")
 	duration := flag.Duration("duration", 0, "per-run measurement duration (default 300ms)")
 	quick := flag.Bool("quick", false, "smoke-test scale")
-	out := flag.String("out", "BENCH_cases.json", "output path for -exp cases-json")
+	out := flag.String("out", "", "output path for -exp cases-json / core-json (default BENCH_cases.json / BENCH_core.json)")
 	flag.Parse()
 
 	cfg := experiments.Config{Duration: *duration, Quick: *quick}
@@ -221,15 +224,39 @@ func main() {
 		}
 	})
 
-	// cases-json writes a file rather than printing, so it is opt-in only
-	// (never part of -exp all).
+	// cases-json and core-json write files rather than printing, so they
+	// are opt-in only (never part of -exp all).
 	if *exp == "cases-json" {
+		path := *out
+		if path == "" {
+			path = "BENCH_cases.json"
+		}
 		rows := experiments.BenchCases(cfg, ids)
-		if err := experiments.WriteBenchCases(*out, cfg, rows); err != nil {
+		if err := experiments.WriteBenchCases(path, cfg, rows); err != nil {
 			fmt.Fprintln(os.Stderr, "cases-json:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("wrote %s (%d cases)\n", *out, len(rows))
+		fmt.Printf("wrote %s (%d cases)\n", path, len(rows))
+		return
+	}
+	if *exp == "core-json" {
+		path := *out
+		if path == "" {
+			path = "BENCH_core.json"
+		}
+		doc := experiments.CoreBench(cfg)
+		if err := experiments.WriteCoreBench(path, doc); err != nil {
+			fmt.Fprintln(os.Stderr, "core-json:", err)
+			os.Exit(1)
+		}
+		for _, r := range doc.Rows {
+			fmt.Printf("%-9s %-8s g=%-3d %12.0f ops/s %10.1f ns/op\n",
+				r.Scenario, r.Variant, r.Goroutines, r.OpsPerSec, r.NsPerOp)
+		}
+		for g, s := range doc.DisjointSpeedup {
+			fmt.Printf("disjoint speedup @%s goroutines: %.2fx\n", g, s)
+		}
+		fmt.Printf("wrote %s\n", path)
 		return
 	}
 

@@ -46,6 +46,7 @@ func main() {
 		noTelem   = flag.Bool("no-telemetry", false, "disable the metrics observer (overhead baseline)")
 		capacity  = flag.Int("capacity", 512, "KV store capacity (items)")
 		evictScan = flag.Int("evict-scan", 192, "LRU entries scanned per eviction (lock hold length)")
+		shards    = flag.Int("shards", 0, "manager lock stripes for resource state (0 = 4×GOMAXPROCS)")
 		demo      = flag.Duration("demo", 0, "run a built-in noisy+victim client demo for this long, then exit")
 		victims   = flag.Int("victims", 2, "victim get-clients in -demo mode")
 		incidents = flag.String("incidents", "incidents", "flight-recorder incidents directory (empty disables)")
@@ -65,7 +66,7 @@ func main() {
 		rec *flightrec.Recorder
 		obs core.Observer
 	)
-	opts := core.Options{TraceSize: *traceSize, Attribution: true}
+	opts := core.Options{TraceSize: *traceSize, Attribution: true, Shards: *shards}
 	if !*noTelem {
 		reg = telemetry.NewRegistry()
 		col = telemetry.NewCollector(reg)
@@ -98,8 +99,8 @@ func main() {
 	if err != nil {
 		log.Fatalf("pboxd: listen %s: %v", *addr, err)
 	}
-	log.Printf("pboxd: serving minikv on %s (capacity=%d evict-scan=%d goal=%.2f)",
-		ln.Addr(), cfg.Capacity, cfg.EvictScanItems, rule.Level)
+	log.Printf("pboxd: serving minikv on %s (capacity=%d evict-scan=%d goal=%.2f shards=%d)",
+		ln.Addr(), cfg.Capacity, cfg.EvictScanItems, rule.Level, mgr.ShardCount())
 
 	var httpSrv *http.Server
 	if *httpAddr != "" {

@@ -19,13 +19,15 @@ import (
 // single nil check per site and zero allocations, the same discipline as the
 // Observer hooks. When enabled, the only allocations are the first touch of
 // a new triple; steady-state updates are field increments on an existing
-// entry under the manager lock the call site already holds.
+// entry under the verdict lock the call site already holds — the ledger only
+// ever grows on the cold contention path, never on the no-contention fast
+// path.
 
 // AttributionObserver is an optional extension of Observer. If the Observer
 // passed in Options also implements this interface, the manager delivers the
-// per-triple attribution stream: Blocked fires (under the manager lock, like
+// per-triple attribution stream: Blocked fires (under manager locks, like
 // StateEvent) whenever a culprit's hold is found to have overlapped a
-// victim's wait, and PenaltyServedFor fires (outside the lock, like
+// victim's wait, and PenaltyServedFor fires (outside the locks, like
 // PenaltyServed) when a served penalty is attributable to a specific
 // (victim, resource) — which it always is, because the manager never stacks
 // a second action onto an unserved penalty.
@@ -45,7 +47,8 @@ type attrKey struct {
 	key     ResourceKey
 }
 
-// attrEntry is the mutable accounting for one triple. Guarded by m.mu.
+// attrEntry is the mutable accounting for one triple. Guarded by
+// m.verdictMu.
 type attrEntry struct {
 	blockedNs   int64
 	detections  int64
@@ -63,7 +66,7 @@ type attrEntry struct {
 // limit. New triples beyond the cap are counted, not recorded.
 const maxAttrEntries = 4096
 
-// attributionLedger is the per-manager triple store.
+// attributionLedger is the per-manager triple store. Guarded by m.verdictMu.
 type attributionLedger struct {
 	entries map[attrKey]*attrEntry
 	order   []attrKey // insertion order, for deterministic reports
@@ -74,10 +77,10 @@ func newAttributionLedger() *attributionLedger {
 	return &attributionLedger{entries: make(map[attrKey]*attrEntry)}
 }
 
-// attrLocked finds or creates the ledger entry for (culprit, victim, key)
+// attrVerdict finds or creates the ledger entry for (culprit, victim, key)
 // and refreshes the cached labels. Returns nil when attribution is disabled
-// or the ledger is full. Caller holds m.mu.
-func (m *Manager) attrLocked(culprit, victim *PBox, key ResourceKey) *attrEntry {
+// or the ledger is full. Caller holds m.verdictMu.
+func (m *Manager) attrVerdict(culprit, victim *PBox, key ResourceKey) *attrEntry {
 	if m.attr == nil {
 		return nil
 	}
@@ -92,19 +95,19 @@ func (m *Manager) attrLocked(culprit, victim *PBox, key ResourceKey) *attrEntry 
 		m.attr.entries[k] = e
 		m.attr.order = append(m.attr.order, k)
 	}
-	if culprit.label != "" {
-		e.culpritLabel = culprit.label
+	if l := culprit.labelString(); l != "" {
+		e.culpritLabel = l
 	}
-	if victim.label != "" {
-		e.victimLabel = victim.label
+	if l := victim.labelString(); l != "" {
+		e.victimLabel = l
 	}
 	return e
 }
 
-// attrByIDLocked looks up an existing entry without creating one (used on
+// attrByIDVerdict looks up an existing entry without creating one (used on
 // the served path, where the victim pBox may already be gone). Caller holds
-// m.mu.
-func (m *Manager) attrByIDLocked(culpritID, victimID int, key ResourceKey) *attrEntry {
+// m.verdictMu.
+func (m *Manager) attrByIDVerdict(culpritID, victimID int, key ResourceKey) *attrEntry {
 	if m.attr == nil {
 		return nil
 	}
@@ -134,8 +137,11 @@ type AttributionRecord struct {
 	PenaltyServed    time.Duration
 }
 
-// attributionLocked builds the report. Caller holds m.mu.
-func (m *Manager) attributionLocked() []AttributionRecord {
+// attributionVerdict builds the report. Caller holds m.verdictMu; lookup
+// resolves a pBox id to its live handle (or nil) and is supplied by the
+// caller because the registry lock, which guards the live table, is ordered
+// before verdictMu and must already be held.
+func (m *Manager) attributionVerdict(lookup func(id int) *PBox) []AttributionRecord {
 	if m.attr == nil {
 		return nil
 	}
@@ -156,11 +162,15 @@ func (m *Manager) attributionLocked() []AttributionRecord {
 			PenaltyServed:    time.Duration(e.servedNs),
 		}
 		// Live pBoxes may have been relabeled since the last ledger touch.
-		if p := m.pboxes[k.culprit]; p != nil && p.label != "" {
-			rec.CulpritLabel = p.label
+		if p := lookup(k.culprit); p != nil {
+			if l := p.labelString(); l != "" {
+				rec.CulpritLabel = l
+			}
 		}
-		if p := m.pboxes[k.victim]; p != nil && p.label != "" {
-			rec.VictimLabel = p.label
+		if p := lookup(k.victim); p != nil {
+			if l := p.labelString(); l != "" {
+				rec.VictimLabel = l
+			}
 		}
 		out = append(out, rec)
 	}
@@ -179,19 +189,25 @@ func (m *Manager) attributionLocked() []AttributionRecord {
 	return out
 }
 
+// lookupPBoxRegLocked resolves an id in the live table. Caller holds the
+// registry lock.
+func (m *Manager) lookupPBoxRegLocked(id int) *PBox { return m.reg.pboxes[id] }
+
 // Attribution returns the culprit↔victim ledger, most-blocking triple first.
 // It returns nil when Options.Attribution was not set.
 func (m *Manager) Attribution() []AttributionRecord {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.attributionLocked()
+	m.reg.Lock()
+	defer m.reg.Unlock()
+	m.verdictMu.Lock()
+	defer m.verdictMu.Unlock()
+	return m.attributionVerdict(m.lookupPBoxRegLocked)
 }
 
 // AttributionDropped returns how many triples were not recorded because the
 // ledger hit its size cap.
 func (m *Manager) AttributionDropped() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.verdictMu.Lock()
+	defer m.verdictMu.Unlock()
 	if m.attr == nil {
 		return 0
 	}
@@ -199,8 +215,8 @@ func (m *Manager) AttributionDropped() int64 {
 }
 
 // Status is a consistent combined view of the manager: the per-pBox
-// snapshots and the attribution ledger, read under a single acquisition of
-// the manager lock so an exporter (or incident dump) never pairs a pBox list
+// snapshots and the attribution ledger, read under one stop-the-world
+// acquisition so an exporter (or incident dump) never pairs a pBox list
 // from one instant with a ledger from another.
 type Status struct {
 	Snapshots   []Snapshot
@@ -212,12 +228,25 @@ type Status struct {
 // Status returns the combined snapshot. The HTTP /attribution endpoint and
 // the flight recorder's incident builder use it instead of separate
 // Snapshots/Attribution calls.
+//
+// With the sharded manager there is no single lock whose acquisition makes
+// the view consistent, so Status briefly stops the world: it takes the
+// registry lock (no pBox can appear or vanish), then every shard lock in
+// index order (no event can move a waiter or holder or reach a verdict,
+// since verdicts are only reached from event paths that hold a shard lock),
+// then the verdict lock (the ledger cannot move). The combined view is
+// therefore exactly as consistent as the old single-mutex one. Status is a
+// diagnostics path; its cost is irrelevant next to hot-path scalability.
 func (m *Manager) Status() Status {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.reg.Lock()
+	defer m.reg.Unlock()
+	unlockShards := m.lockAllShards()
+	defer unlockShards()
+	m.verdictMu.Lock()
+	defer m.verdictMu.Unlock()
 	st := Status{
-		Snapshots:   m.snapshotsLocked(),
-		Attribution: m.attributionLocked(),
+		Snapshots:   m.snapshotsRegLocked(),
+		Attribution: m.attributionVerdict(m.lookupPBoxRegLocked),
 	}
 	if m.attr != nil {
 		st.AttributionDropped = m.attr.dropped

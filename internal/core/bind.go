@@ -49,9 +49,9 @@ func (w *Worker) Unbind(k uintptr, flags BindFlags) (int, error) {
 		return 0, fmt.Errorf("pbox: unbind with no bound pBox")
 	}
 	p := w.cur
-	w.mgr.mu.Lock()
+	p.penMu.Lock()
 	p.sharedThread = flags == BindShared
-	w.mgr.mu.Unlock()
+	p.penMu.Unlock()
 	// Lazy unbind: mark detached, pause tracing, no crossing.
 	w.detached = true
 	w.detachedKey = k
@@ -86,9 +86,9 @@ func (w *Worker) Bind(k uintptr, flags BindFlags) (*PBox, error) {
 	if err := w.checkPenalty(p); err != nil {
 		return nil, err
 	}
-	w.mgr.mu.Lock()
+	p.penMu.Lock()
 	p.sharedThread = flags == BindShared
-	w.mgr.mu.Unlock()
+	p.penMu.Unlock()
 	w.cur = p
 	return p, nil
 }
@@ -97,9 +97,9 @@ func (w *Worker) Bind(k uintptr, flags BindFlags) (*PBox, error) {
 // future.
 func (w *Worker) checkPenalty(p *PBox) error {
 	w.mgr.crossingFree() // local check, no crossing
-	w.mgr.mu.Lock()
-	defer w.mgr.mu.Unlock()
 	now := w.mgr.opts.Now()
+	p.penMu.Lock()
+	defer p.penMu.Unlock()
 	if p.penaltyUntil > now {
 		return &ErrPenalized{PBoxID: p.id, Wait: time.Duration(p.penaltyUntil - now)}
 	}
@@ -121,21 +121,21 @@ func (w *Worker) BindDirect(p *PBox) error {
 	return nil
 }
 
-// publishUnbind records the key→pBox association in the manager (the real
-// unbind syscall of the eager path).
+// publishUnbind records the key→pBox association in the manager's registry
+// (the real unbind syscall of the eager path).
 func (m *Manager) publishUnbind(p *PBox, k uintptr) {
 	m.crossings.Add(1)
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if p.state == StateDestroyed {
+	m.reg.Lock()
+	defer m.reg.Unlock()
+	if p.stateIs(StateDestroyed) {
 		return
 	}
-	if p.hasBoundKey && m.bindings[p.boundKey] == p {
-		delete(m.bindings, p.boundKey)
+	if p.hasBoundKey && m.reg.bindings[p.boundKey] == p {
+		delete(m.reg.bindings, p.boundKey)
 	}
 	p.boundKey = k
 	p.hasBoundKey = true
-	m.bindings[k] = p
+	m.reg.bindings[k] = p
 }
 
 // Associate eagerly associates a pBox with a key, for applications that
@@ -147,17 +147,17 @@ func (m *Manager) Associate(p *PBox, k uintptr) {
 // lookupBinding resolves a key to its associated pBox.
 func (m *Manager) lookupBinding(k uintptr) *PBox {
 	m.crossings.Add(1)
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.bindings[k]
+	m.reg.Lock()
+	defer m.reg.Unlock()
+	return m.reg.bindings[k]
 }
 
 // PenaltyWait returns how much longer pBox p must stay queued (shared-thread
 // penalty), zero if runnable. Event loops may use it to schedule requeues.
 func (m *Manager) PenaltyWait(p *PBox) time.Duration {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	now := m.opts.Now()
+	p.penMu.Lock()
+	defer p.penMu.Unlock()
 	if p.penaltyUntil > now {
 		return time.Duration(p.penaltyUntil - now)
 	}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Benchmarks for the manager's event hot path. Run with -cpu=1,4,N to see
+// the scaling the sharded design exists for; BENCH_core.json (written by
+// `pboxbench -exp core-json`) records the same scenarios against an
+// emulated single-global-mutex baseline so regressions are visible across
+// PRs.
+
+// benchManager returns a manager configured for benchmarking: penalties are
+// swallowed (a real sleep would measure the clock, not the manager) and
+// everything else is at production defaults — observer nil, tracing off.
+func benchManager() *Manager {
+	return NewManager(Options{Sleep: func(time.Duration) {}})
+}
+
+// benchPBox creates and activates one pBox for a benchmark goroutine.
+func benchPBox(b *testing.B, m *Manager) *PBox {
+	p, err := m.Create(DefaultRule())
+	if err != nil {
+		b.Fatal(err)
+	}
+	m.Activate(p)
+	return p
+}
+
+// BenchmarkManagerParallelUpdate drives the full PREPARE/ENTER/HOLD/UNHOLD
+// cycle from every goroutine, each on its own pBox and resource — the
+// general shape of many connections doing uncontended work.
+func BenchmarkManagerParallelUpdate(b *testing.B) {
+	m := benchManager()
+	var ctr atomic.Int64
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		key := ResourceKey(0x1000 + ctr.Add(1))
+		p := benchPBox(b, m)
+		for pb.Next() {
+			m.Update(p, key, Prepare)
+			m.Update(p, key, Enter)
+			m.Update(p, key, Hold)
+			m.Update(p, key, Unhold)
+		}
+	})
+}
+
+// BenchmarkManagerDisjointResources is the scaling benchmark: hold/unhold
+// cycles on per-goroutine resources. With the old global manager mutex this
+// was fully serialized; sharded, the goroutines share nothing but atomic
+// counters and should scale with cores.
+func BenchmarkManagerDisjointResources(b *testing.B) {
+	m := benchManager()
+	var ctr atomic.Int64
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		key := ResourceKey(0x9000 + ctr.Add(1))
+		p := benchPBox(b, m)
+		for pb.Next() {
+			m.Update(p, key, Hold)
+			m.Update(p, key, Unhold)
+		}
+	})
+}
+
+// BenchmarkManagerContendedResource hammers one resource from every
+// goroutine — the worst case for striping (all traffic lands on one shard)
+// and the floor the sharded design must not regress below.
+func BenchmarkManagerContendedResource(b *testing.B) {
+	m := benchManager()
+	const key = ResourceKey(0x42)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		p := benchPBox(b, m)
+		for pb.Next() {
+			m.Update(p, key, Hold)
+			m.Update(p, key, Unhold)
+		}
+	})
+}
+
+// BenchmarkUpdateHotPathAllocs gates the hot path at zero allocations: with
+// the observer disabled, a steady-state hold/unhold cycle must not allocate
+// at all. The assertion runs before the timed loop so `go test -bench` fails
+// loudly if the sharding refactor (or any later change) sneaks an allocation
+// into the event path.
+func BenchmarkUpdateHotPathAllocs(b *testing.B) {
+	m := benchManager()
+	p := benchPBox(b, m)
+	const key = ResourceKey(0xbeef)
+	// Warm the per-key structures (shard map entries, holder map) so the
+	// measurement sees steady state, not first-touch setup.
+	m.Update(p, key, Hold)
+	m.Update(p, key, Unhold)
+	if !raceEnabled {
+		if allocs := testing.AllocsPerRun(1000, func() {
+			m.Update(p, key, Hold)
+			m.Update(p, key, Unhold)
+		}); allocs != 0 {
+			b.Fatalf("Update hot path allocates %.1f allocs per hold/unhold cycle; want 0", allocs)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Update(p, key, Hold)
+		m.Update(p, key, Unhold)
+	}
+}

@@ -75,6 +75,13 @@ type Options struct {
 	// resource) interference ledger (see AttributionRecord). Disabled it
 	// costs one nil check per site and zero allocations.
 	Attribution bool
+
+	// Shards is the number of lock stripes for resource-side state
+	// (waiter lists, holder indexes, resource names). It is rounded up to
+	// a power of two; zero selects 4×GOMAXPROCS clamped to [8, 256].
+	// More shards mean less contention between events on unrelated
+	// resources at a fixed small memory cost per shard.
+	Shards int
 }
 
 func (o Options) withDefaults() Options {
@@ -99,6 +106,11 @@ func (o Options) withDefaults() Options {
 	if o.GapPolicyFactor <= 0 {
 		o.GapPolicyFactor = 2
 	}
+	if o.Shards <= 0 {
+		o.Shards = defaultShardCount()
+	} else {
+		o.Shards = nextPow2(o.Shards)
+	}
 	return o
 }
 
@@ -106,36 +118,53 @@ func (o Options) withDefaults() Options {
 // state events, runs the interference detection of Algorithm 1, and applies
 // penalty actions (Section 4.4). One Manager corresponds to the kernel-side
 // component of the paper; an application process creates exactly one.
+//
+// Concurrency (DESIGN.md §8): the manager has no global event lock. The
+// event hot path takes the calling pBox's own mutex plus the lock stripe of
+// the one resource involved, so events from different pBoxes on different
+// resources proceed fully in parallel. Only the cold verdict path — an
+// UNHOLD that found waiters, or the freeze-time monitor deciding to act —
+// serializes on verdictMu, which also guards the action history and the
+// attribution ledger. The documented lock order is
+//
+//	registry → pbox.mu → shard.mu → verdictMu → leaves (actMu, penMu, …)
+//
+// and a shard lock is never held while acquiring the registry lock.
 type Manager struct {
 	opts Options
 
-	mu          sync.Mutex
-	nextID      int
-	pboxes      map[int]*PBox
-	competitors map[ResourceKey]*competitorList
-	// holdersByKey indexes current holders per resource so PREPARE can
-	// attribute blame and tests can inspect contention.
-	holdersByKey map[ResourceKey]map[*PBox]int64
-	// bindings maps unbind keys to detached pBoxes (event-driven model).
-	bindings map[uintptr]*PBox
+	// reg is the pBox registry: id allocation, the live-pBox table, and
+	// the unbind-key associations of the event-driven model. All registry
+	// operations (Create, Release, Associate, Bind lookups) are cold
+	// relative to the event path.
+	reg struct {
+		sync.Mutex
+		nextID   int
+		pboxes   map[int]*PBox
+		bindings map[uintptr]*PBox
+	}
 
-	// resourceNames maps virtual-resource keys to human-readable names
-	// registered via NameResource, for traces and telemetry. It is guarded
-	// by its own lock (not m.mu) so Observer implementations may resolve
-	// names from inside hook callbacks without deadlocking; the only lock
-	// ordering is m.mu → namesMu, never the reverse.
-	namesMu       sync.RWMutex
-	resourceNames map[ResourceKey]string
+	// shards stripe the resource-side state by ResourceKey hash.
+	shards     []*shard
+	shardShift uint
 
-	actions *actionHistory
-	trace   *traceRing
-	obs     Observer
-	// attrObs is opts.Observer's AttributionObserver side, cached at
-	// construction so hook sites pay a nil check instead of a type assert.
-	attrObs AttributionObserver
+	// verdictMu is the cold-path epoch lock: it serializes detection
+	// verdicts and penalty scheduling so the multi-pBox view Algorithm 1
+	// compares (victim ratios against noisy state) is consistent, and it
+	// guards actions and attr. It is only ever taken when contention has
+	// already been observed, so it cannot become the scaling bottleneck
+	// the old global mutex was.
+	verdictMu sync.Mutex
+	actions   *actionHistory
 	// attr is the interference attribution ledger (nil unless
 	// Options.Attribution).
 	attr *attributionLedger
+
+	trace *traceRing
+	obs   Observer
+	// attrObs is opts.Observer's AttributionObserver side, cached at
+	// construction so hook sites pay a nil check instead of a type assert.
+	attrObs AttributionObserver
 
 	// crossings counts conceptual user/kernel boundary crossings: every
 	// manager entry point increments it. The lazy-unbind optimization
@@ -147,14 +176,13 @@ type Manager struct {
 func NewManager(opts Options) *Manager {
 	opts = opts.withDefaults()
 	m := &Manager{
-		opts:         opts,
-		pboxes:       make(map[int]*PBox),
-		competitors:  make(map[ResourceKey]*competitorList),
-		holdersByKey: make(map[ResourceKey]map[*PBox]int64),
-		bindings:     make(map[uintptr]*PBox),
-		actions:      newActionHistory(),
-		obs:          opts.Observer,
+		opts:    opts,
+		actions: newActionHistory(),
+		obs:     opts.Observer,
 	}
+	m.reg.pboxes = make(map[int]*PBox)
+	m.reg.bindings = make(map[uintptr]*PBox)
+	m.shards, m.shardShift = newShards(opts.Shards)
 	if ao, ok := opts.Observer.(AttributionObserver); ok {
 		m.attrObs = ao
 	}
@@ -167,6 +195,9 @@ func NewManager(opts Options) *Manager {
 	return m
 }
 
+// ShardCount returns the number of resource-side lock stripes.
+func (m *Manager) ShardCount() int { return len(m.shards) }
+
 // ErrReleased is returned when an operation references a destroyed pBox.
 var ErrReleased = errors.New("pbox: operation on released pBox")
 
@@ -177,18 +208,17 @@ func (m *Manager) Create(rule IsolationRule) (*PBox, error) {
 		return nil, fmt.Errorf("pbox: invalid isolation rule %+v", rule)
 	}
 	m.crossings.Add(1)
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.nextID++
 	p := &PBox{
-		id:        m.nextID,
 		rule:      rule,
 		mgr:       m,
-		state:     StateStarted,
 		holders:   make(map[ResourceKey]holdInfo),
 		preparing: make(map[ResourceKey]int),
 	}
-	m.pboxes[p.id] = p
+	m.reg.Lock()
+	m.reg.nextID++
+	p.id = m.reg.nextID
+	m.reg.pboxes[p.id] = p
+	m.reg.Unlock()
 	m.traceEvent(p, 0, "create", 0)
 	if m.obs != nil {
 		m.obs.PBoxCreated(p.id, rule)
@@ -201,29 +231,42 @@ func (m *Manager) Create(rule IsolationRule) (*PBox, error) {
 // would have delayed no longer exists.
 func (m *Manager) Release(p *PBox) error {
 	m.crossings.Add(1)
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if p.state == StateDestroyed {
+	p.mu.Lock()
+	if p.stateIs(StateDestroyed) {
+		p.mu.Unlock()
 		return ErrReleased
 	}
-	p.state = StateDestroyed
+	p.setState(StateDestroyed)
 	for key := range p.preparing {
-		if cl := m.competitors[key]; cl != nil {
+		s := m.shardFor(key)
+		s.mu.Lock()
+		if cl := s.competitors[key]; cl != nil {
 			cl.removeAllFor(p)
 		}
+		s.mu.Unlock()
 	}
 	for key := range p.holders {
-		m.dropHolderLocked(key, p)
+		s := m.shardFor(key)
+		s.mu.Lock()
+		if hm := s.holdersByKey[key]; hm != nil {
+			delete(hm, p)
+		}
+		s.mu.Unlock()
 	}
-	p.holders = make(map[ResourceKey]holdInfo)
-	p.preparing = make(map[ResourceKey]int)
+	// Clear in place rather than allocating fresh maps: the pBox is dead,
+	// so the release path should shed work, not create garbage.
+	clear(p.holders)
+	clear(p.preparing)
+	p.mu.Unlock()
+	m.reg.Lock()
 	if p.hasBoundKey {
-		if m.bindings[p.boundKey] == p {
-			delete(m.bindings, p.boundKey)
+		if m.reg.bindings[p.boundKey] == p {
+			delete(m.reg.bindings, p.boundKey)
 		}
 		p.hasBoundKey = false
 	}
-	delete(m.pboxes, p.id)
+	delete(m.reg.pboxes, p.id)
+	m.reg.Unlock()
 	m.traceEvent(p, 0, "release", 0)
 	if m.obs != nil {
 		m.obs.PBoxReleased(p.id)
@@ -237,28 +280,30 @@ func (m *Manager) Release(p *PBox) error {
 // the penalty delays the noisy pBox without polluting its own metrics.
 func (m *Manager) Activate(p *PBox) {
 	m.crossings.Add(1)
-	m.mu.Lock()
-	if p.state == StateDestroyed {
-		m.mu.Unlock()
+	p.mu.Lock()
+	if p.stateIs(StateDestroyed) {
+		p.mu.Unlock()
 		return
 	}
 	var pen time.Duration
 	if len(p.holders) == 0 && len(p.preparing) == 0 {
-		pen = m.takePendingLocked(p)
+		pen = m.takePending(p)
 	}
-	m.mu.Unlock()
+	p.mu.Unlock()
 	if pen > 0 {
 		m.sleepPenalty(p, pen)
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if p.state == StateDestroyed {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.stateIs(StateDestroyed) {
 		return
 	}
-	p.state = StateActive
-	p.activityStart = m.opts.Now()
+	p.setState(StateActive)
+	p.activityStart.Store(m.opts.Now())
+	p.actMu.Lock()
 	p.deferTime = 0
 	p.blame = nil
+	p.actMu.Unlock()
 	m.traceEvent(p, 0, "activate", 0)
 }
 
@@ -270,47 +315,62 @@ func (m *Manager) Activate(p *PBox) {
 func (m *Manager) Freeze(p *PBox) {
 	m.crossings.Add(1)
 	now := m.opts.Now()
-	m.mu.Lock()
-	if p.state != StateActive {
-		m.mu.Unlock()
+	p.mu.Lock()
+	if !p.stateIs(StateActive) {
+		p.mu.Unlock()
 		return
 	}
-	p.state = StateFrozen
-	te := now - p.activityStart
+	p.setState(StateFrozen)
+	te := now - p.activityStart.Load()
+
+	// Fold the activity into the history and, in the same actMu hold,
+	// pick the pBox-level monitor's target: the largest contributor to
+	// this pBox's deferring time. The action itself is taken after actMu
+	// is released — verdictMu is never acquired while holding a leaf lock.
+	p.actMu.Lock()
 	td := p.deferTime
 	if td > te {
 		td = te
 	}
 	p.recordActivityLocked(td, te)
-	if m.obs != nil {
-		m.obs.ActivityEnd(p.id, td, te)
-	}
-	// Remove stale PREPARE records that never saw a matching ENTER
-	// (e.g. the activity bailed out of a wait loop).
-	for key := range p.preparing {
-		if cl := m.competitors[key]; cl != nil {
-			cl.removeAllFor(p)
-		}
-		delete(m.preparingOf(p), key)
-	}
-	m.traceEvent(p, 0, "freeze", time.Duration(td))
-
-	// The pBox-level monitor penalizes the largest contributor to this
-	// pBox's deferring time when the aggregate level nears the goal.
+	var noisy *PBox
+	var info blameInfo
+	var level float64
 	if !m.opts.DisablePBoxLevel && !m.opts.DisableDetection {
-		level := p.interferenceLevelLocked()
+		level = p.interferenceLevelLocked()
 		if level >= m.opts.PBoxLevelThreshold*p.rule.Level {
-			var noisy *PBox
-			var info blameInfo
 			for b, bi := range p.blame {
-				if b != p && b.state != StateDestroyed && bi.deferNs > info.deferNs {
+				if b != p && !b.stateIs(StateDestroyed) && bi.deferNs > info.deferNs {
 					noisy, info = b, bi
 				}
 			}
-			if noisy != nil {
-				m.takeActionLocked(noisy, p, info.key, now, info.deferNs, level)
-			}
 		}
+	}
+	p.actMu.Unlock()
+	if m.obs != nil {
+		m.obs.ActivityEnd(p.id, td, te)
+	}
+
+	// Remove stale PREPARE records that never saw a matching ENTER
+	// (e.g. the activity bailed out of a wait loop): drop the shard-side
+	// waiter records first, then clear the map in one sweep.
+	if len(p.preparing) > 0 {
+		for key := range p.preparing {
+			s := m.shardFor(key)
+			s.mu.Lock()
+			if cl := s.competitors[key]; cl != nil {
+				cl.removeAllFor(p)
+			}
+			s.mu.Unlock()
+		}
+		clear(p.preparing)
+	}
+	m.traceEvent(p, 0, "freeze", time.Duration(td))
+
+	if noisy != nil {
+		m.verdictMu.Lock()
+		m.takeActionVerdict(noisy, p, info.key, now, info.deferNs, level)
+		m.verdictMu.Unlock()
 	}
 	// Serve this pBox's own pending penalty (scheduled while it held
 	// resources) now that its activity is over — unless it still holds
@@ -318,33 +378,37 @@ func (m *Manager) Freeze(p *PBox) {
 	// statements), in which case the delay must keep waiting.
 	var pen time.Duration
 	if len(p.holders) == 0 && len(p.preparing) == 0 {
-		pen = m.takePendingLocked(p)
+		pen = m.takePending(p)
 	}
-	m.mu.Unlock()
+	p.mu.Unlock()
 	if pen > 0 {
 		m.sleepPenalty(p, pen)
 	}
 }
 
-// preparingOf returns p.preparing (indirection so Freeze can mutate it while
-// ranging safely).
-func (m *Manager) preparingOf(p *PBox) map[ResourceKey]int { return p.preparing }
-
 // Update is the update_pbox API: the application informs the manager of a
 // state event about virtual resource key in pBox p. It runs Algorithm 1 and
 // may execute a penalty delay on the calling goroutine (which is, by
 // construction, the goroutine running p's activity) before returning.
+//
+// This is the hot path. A pBox outside an active window is rejected with a
+// single atomic load — no lock at all. An accepted event takes p's own
+// mutex and the lock stripe of key; two pBoxes updating unrelated resources
+// share nothing but atomic counters.
 func (m *Manager) Update(p *PBox, key ResourceKey, ev EventType) {
 	if m.opts.EventFilter != nil && !m.opts.EventFilter(key, ev) {
 		return
 	}
 	m.crossings.Add(1)
+	// Lock-free fast reject: events outside an active window are ignored,
+	// matching the manager tracing only between activate and freeze.
+	if !p.stateIs(StateActive) {
+		return
+	}
 	now := m.opts.Now()
-	m.mu.Lock()
-	if p.state != StateActive {
-		// Events outside an active window are ignored, matching the
-		// manager tracing only between activate and freeze.
-		m.mu.Unlock()
+	p.mu.Lock()
+	if !p.stateIs(StateActive) {
+		p.mu.Unlock()
 		return
 	}
 	m.traceEvent(p, key, ev.String(), 0)
@@ -353,48 +417,56 @@ func (m *Manager) Update(p *PBox, key ResourceKey, ev EventType) {
 	}
 	switch ev {
 	case Prepare:
-		m.onPrepareLocked(p, key, now)
+		m.onPrepare(p, key, now)
 	case Enter:
-		m.onEnterLocked(p, key, now)
+		m.onEnter(p, key, now)
 	case Hold:
-		m.onHoldLocked(p, key, now)
+		m.onHold(p, key, now)
 	case Unhold:
-		m.onUnholdLocked(p, key, now)
+		m.onUnhold(p, key, now)
 	}
 	// Safe-point check: a penalty scheduled for p (by this event's
 	// detection pass or an earlier one) can run only when p holds nothing
 	// and waits for nothing, so delaying it cannot defer anyone else or
-	// inflate p's own deferring time.
+	// inflate p's own deferring time. The pending amount is an atomic so
+	// the common no-penalty case is a single load.
 	var pen time.Duration
-	if p.pendingPenalty > 0 && len(p.holders) == 0 && len(p.preparing) == 0 {
-		pen = m.takePendingLocked(p)
+	if p.pendingPenalty.Load() > 0 && len(p.holders) == 0 && len(p.preparing) == 0 {
+		pen = m.takePending(p)
 	}
-	m.mu.Unlock()
+	p.mu.Unlock()
 	if pen > 0 {
 		m.sleepPenalty(p, pen)
 	}
 }
 
-// onPrepareLocked implements the PREPARE arm of Algorithm 1: note the pBox
-// in the competitor map for the resource.
-func (m *Manager) onPrepareLocked(p *PBox, key ResourceKey, now int64) {
-	cl := m.competitors[key]
+// onPrepare implements the PREPARE arm of Algorithm 1: note the pBox in the
+// competitor map for the resource. Caller holds p.mu.
+func (m *Manager) onPrepare(p *PBox, key ResourceKey, now int64) {
+	s := m.shardFor(key)
+	s.mu.Lock()
+	cl := s.competitors[key]
 	if cl == nil {
 		cl = &competitorList{}
-		m.competitors[key] = cl
+		s.competitors[key] = cl
 	}
 	cl.add(waiter{pbox: p, since: now})
+	s.mu.Unlock()
 	p.preparing[key]++
 }
 
-// onEnterLocked implements the ENTER arm: the deferred state ends and the
-// deferring time is folded into the pBox's activity accounting.
-func (m *Manager) onEnterLocked(p *PBox, key ResourceKey, now int64) {
-	cl := m.competitors[key]
-	if cl == nil {
-		return
+// onEnter implements the ENTER arm: the deferred state ends and the
+// deferring time is folded into the pBox's activity accounting. Caller
+// holds p.mu.
+func (m *Manager) onEnter(p *PBox, key ResourceKey, now int64) {
+	s := m.shardFor(key)
+	s.mu.Lock()
+	var w waiter
+	var ok bool
+	if cl := s.competitors[key]; cl != nil {
+		w, ok = cl.removeFor(p)
 	}
-	w, ok := cl.removeFor(p)
+	s.mu.Unlock()
 	if !ok {
 		return
 	}
@@ -407,34 +479,42 @@ func (m *Manager) onEnterLocked(p *PBox, key ResourceKey, now int64) {
 	if defer_ < 0 {
 		defer_ = 0
 	}
+	p.actMu.Lock()
 	p.deferTime += defer_
+	p.actMu.Unlock()
 }
 
-// onHoldLocked implements the HOLD arm: record the pBox in the holder map.
+// onHold implements the HOLD arm: record the pBox in the holder map.
 // holdInfo is stored by value: the hold/unhold cycle is the hottest hook
-// path, and a pointer entry would allocate on every re-acquisition.
-func (m *Manager) onHoldLocked(p *PBox, key ResourceKey, now int64) {
+// path, and a pointer entry would allocate on every re-acquisition. Caller
+// holds p.mu.
+func (m *Manager) onHold(p *PBox, key ResourceKey, now int64) {
 	h, held := p.holders[key]
 	if !held {
 		p.holders[key] = holdInfo{count: 1, since: now}
-		hm := m.holdersByKey[key]
+		s := m.shardFor(key)
+		s.mu.Lock()
+		hm := s.holdersByKey[key]
 		if hm == nil {
 			hm = make(map[*PBox]int64)
-			m.holdersByKey[key] = hm
+			s.holdersByKey[key] = hm
 		}
 		hm[p] = now
+		s.mu.Unlock()
 		return
 	}
 	h.count++
 	p.holders[key] = h
 }
 
-// onUnholdLocked implements the UNHOLD arm of Algorithm 1: if the pBox was
-// the holder, scan the waiting pBoxes, estimate each waiter's interference
+// onUnhold implements the UNHOLD arm of Algorithm 1: if the pBox was the
+// holder, scan the waiting pBoxes, estimate each waiter's interference
 // level with the worst-case projection tf = td/(te-td), and if a waiter's
 // goal is endangered and this pBox held the resource before the waiter
-// arrived, identify (noisy=p, victim=waiter) and take action.
-func (m *Manager) onUnholdLocked(p *PBox, key ResourceKey, now int64) {
+// arrived, identify (noisy=p, victim=waiter) and take action. Caller holds
+// p.mu; with no waiters present this releases only shard state — the
+// verdict lock is touched exclusively when contention already happened.
+func (m *Manager) onUnhold(p *PBox, key ResourceKey, now int64) {
 	h, held := p.holders[key]
 	if !held {
 		return
@@ -446,32 +526,56 @@ func (m *Manager) onUnholdLocked(p *PBox, key ResourceKey, now int64) {
 	}
 	heldSince := h.since
 	delete(p.holders, key)
-	m.dropHolderLocked(key, p)
-
-	cl := m.competitors[key]
+	s := m.shardFor(key)
+	s.mu.Lock()
+	// The inner holder map is kept when it empties — resources are held
+	// and released in a tight loop, and recreating the map on every
+	// re-acquisition would allocate on the hook path; like competitors,
+	// the index is bounded by the number of distinct resources touched.
+	if hm := s.holdersByKey[key]; hm != nil {
+		delete(hm, p)
+	}
+	cl := s.competitors[key]
 	if cl == nil || len(cl.waiters) == 0 {
+		s.mu.Unlock()
 		return
 	}
+	// Cold verdict path: waiters exist, so this release must attribute
+	// blame and may take action. verdictMu serializes the multi-pBox view.
+	m.verdictMu.Lock()
+	m.settleWaiters(p, s, cl, key, heldSince, now)
+	m.verdictMu.Unlock()
+	s.mu.Unlock()
+}
+
+// settleWaiters runs the blame and detection passes over key's waiter list
+// after p released its hold. Caller holds p.mu, the key's shard lock, and
+// verdictMu; victim-side accounting is touched one leaf lock at a time.
+func (m *Manager) settleWaiters(p *PBox, s *shard, cl *competitorList, key ResourceKey, heldSince, now int64) {
 	// Attribute to this holder the part of each waiter's wait that its
 	// hold overlapped, for the pBox-level monitor's blame accounting.
-	for _, c := range cl.waiters {
+	for i := range cl.waiters {
+		c := &cl.waiters[i]
 		since := c.since
 		if heldSince > since {
 			since = heldSince
 		}
 		if overlap := now - since; overlap > 0 {
-			if c.pbox.blame == nil {
-				c.pbox.blame = make(map[*PBox]blameInfo)
+			v := c.pbox
+			v.actMu.Lock()
+			if v.blame == nil {
+				v.blame = make(map[*PBox]blameInfo)
 			}
-			bi := c.pbox.blame[p]
+			bi := v.blame[p]
 			bi.deferNs += overlap
 			bi.key = key
-			c.pbox.blame[p] = bi
-			if e := m.attrLocked(p, c.pbox, key); e != nil {
+			v.blame[p] = bi
+			v.actMu.Unlock()
+			if e := m.attrVerdict(p, v, key); e != nil {
 				e.blockedNs += overlap
 			}
 			if m.attrObs != nil {
-				m.attrObs.Blocked(p.id, c.pbox.id, key, overlap)
+				m.attrObs.Blocked(p.id, v.id, key, overlap)
 			}
 		}
 	}
@@ -479,15 +583,17 @@ func (m *Manager) onUnholdLocked(p *PBox, key ResourceKey, now int64) {
 	for i := range cl.waiters {
 		c := &cl.waiters[i]
 		victim := c.pbox
-		if victim == p || victim.state != StateActive {
+		if victim == p || !victim.stateIs(StateActive) {
 			continue
 		}
-		te := now - victim.activityStart
+		te := now - victim.activityStart.Load()
 		defer_ := now - c.since
 		if defer_ < 0 {
 			defer_ = 0
 		}
+		victim.actMu.Lock()
 		td := victim.deferTime + defer_
+		victim.actMu.Unlock()
 		if td > te {
 			td = te
 		}
@@ -514,7 +620,7 @@ func (m *Manager) onUnholdLocked(p *PBox, key ResourceKey, now int64) {
 			// shared holders, back-to-back re-acquirers) all remain
 			// accountable.
 			if tf > victim.rule.Level && overlap > 0 && overlap*10 >= defer_ {
-				m.takeActionLocked(p, victim, key, now, overlap, tf)
+				m.takeActionVerdict(p, victim, key, now, overlap, tf)
 			}
 		}
 		// Futex-style re-arm: a release wakes the waiters; one that
@@ -524,32 +630,28 @@ func (m *Manager) onUnholdLocked(p *PBox, key ResourceKey, now int64) {
 		// and the fresh timestamp makes a holder that re-acquires past
 		// the sleeping waiter blameable at its next release —
 		// back-to-back re-acquisition must not exonerate the holder.
+		victim.actMu.Lock()
 		victim.deferTime += defer_
+		victim.actMu.Unlock()
 		c.since = now
 	}
 }
 
-// dropHolderLocked removes p from the reverse holder index for key. The
-// inner map is kept when it empties — resources are held and released in a
-// tight loop, and recreating the map on every re-acquisition would allocate
-// on the hook path; like m.competitors, the index is bounded by the number
-// of distinct resources the application touches.
-func (m *Manager) dropHolderLocked(key ResourceKey, p *PBox) {
-	if hm := m.holdersByKey[key]; hm != nil {
-		delete(hm, p)
+// takePending consumes p's pending penalty. Caller holds p.mu. The pending
+// attribution triple is copied aside for the serve that follows, so a new
+// action scheduled between the consume and the sleep cannot misattribute
+// the served time.
+func (m *Manager) takePending(p *PBox) time.Duration {
+	if p.pendingPenalty.Load() <= 0 {
+		return 0
 	}
-}
-
-// takePendingLocked consumes p's pending penalty. Caller holds m.mu. The
-// pending attribution triple is copied aside for the serve that follows, so
-// a new action scheduled between the consume and the sleep cannot
-// misattribute the served time.
-func (m *Manager) takePendingLocked(p *PBox) time.Duration {
-	pen := p.pendingPenalty
+	p.penMu.Lock()
+	defer p.penMu.Unlock()
+	pen := p.pendingPenalty.Load()
 	if pen <= 0 {
 		return 0
 	}
-	p.pendingPenalty = 0
+	p.pendingPenalty.Store(0)
 	p.servingAttrVictim = p.pendingAttrVictim
 	p.servingAttrKey = p.pendingAttrKey
 	if p.sharedThread {
@@ -565,22 +667,26 @@ func (m *Manager) takePendingLocked(p *PBox) time.Duration {
 }
 
 // sleepPenalty executes a penalty delay on the calling goroutine (the noisy
-// pBox's own goroutine) and accounts it.
+// pBox's own goroutine) and accounts it. Caller holds no locks.
 func (m *Manager) sleepPenalty(p *PBox, d time.Duration) {
-	m.mu.Lock()
+	p.penMu.Lock()
 	p.penaltySleeping = true
 	p.penaltiesReceived++
 	p.penaltyTotal += int64(d)
 	victimID, key := p.servingAttrVictim, p.servingAttrKey
-	if e := m.attrByIDLocked(p.id, victimID, key); e != nil {
-		e.servedNs += int64(d)
+	p.penMu.Unlock()
+	if m.attr != nil {
+		m.verdictMu.Lock()
+		if e := m.attrByIDVerdict(p.id, victimID, key); e != nil {
+			e.servedNs += int64(d)
+		}
+		m.verdictMu.Unlock()
 	}
 	m.traceEvent(p, 0, "penalty", d)
-	m.mu.Unlock()
 	m.opts.Sleep(d)
-	m.mu.Lock()
+	p.penMu.Lock()
 	p.penaltySleeping = false
-	m.mu.Unlock()
+	p.penMu.Unlock()
 	if m.obs != nil {
 		m.obs.PenaltyServed(p.id, d)
 	}
@@ -598,8 +704,8 @@ func (m *Manager) sleepPenalty(p *PBox, d time.Duration) {
 // become requeue deadlines (see Worker.Bind and PenaltyWait) instead of
 // direct delays, so a penalty never stalls the thread other pBoxes share.
 func (m *Manager) MarkShared(p *PBox) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	p.penMu.Lock()
+	defer p.penMu.Unlock()
 	p.sharedThread = true
 }
 
@@ -608,9 +714,10 @@ func (m *Manager) Crossings() int64 { return m.crossings.Load() }
 
 // Waiters returns how many pBoxes currently wait on key (tests/diagnostics).
 func (m *Manager) Waiters(key ResourceKey) int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if cl := m.competitors[key]; cl != nil {
+	s := m.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cl := s.competitors[key]; cl != nil {
 		return len(cl.waiters)
 	}
 	return 0
@@ -618,70 +725,74 @@ func (m *Manager) Waiters(key ResourceKey) int {
 
 // Holders returns how many pBoxes currently hold key (tests/diagnostics).
 func (m *Manager) Holders(key ResourceKey) int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return len(m.holdersByKey[key])
+	s := m.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.holdersByKey[key])
 }
 
 // Live returns the number of non-destroyed pBoxes.
 func (m *Manager) Live() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return len(m.pboxes)
+	m.reg.Lock()
+	defer m.reg.Unlock()
+	return len(m.reg.pboxes)
 }
 
 // NameResource registers a human-readable name for a virtual-resource key,
 // so traces and telemetry print "bufpool" instead of a raw pointer value.
-// An empty name removes the registration. Names live under their own lock,
-// so ResourceName is safe to call from Observer hook callbacks.
+// An empty name removes the registration. Names live under their shard's
+// dedicated name lock, so ResourceName is safe to call from Observer hook
+// callbacks.
 func (m *Manager) NameResource(key ResourceKey, name string) {
-	m.namesMu.Lock()
-	defer m.namesMu.Unlock()
+	s := m.shardFor(key)
+	s.namesMu.Lock()
+	defer s.namesMu.Unlock()
 	if name == "" {
-		delete(m.resourceNames, key)
+		delete(s.names, key)
 		return
 	}
-	if m.resourceNames == nil {
-		m.resourceNames = make(map[ResourceKey]string)
+	if s.names == nil {
+		s.names = make(map[ResourceKey]string)
 	}
-	m.resourceNames[key] = name
+	s.names[key] = name
 }
 
 // ResourceName returns the registered name for key ("" when unnamed).
-// Unlike most Manager methods it does not take the manager lock, so
-// Observer implementations may call it from inside hook callbacks.
+// It takes only the owning shard's name lock, so Observer implementations
+// may call it from inside hook callbacks.
 func (m *Manager) ResourceName(key ResourceKey) string {
 	return m.resourceName(key)
 }
 
-// resourceName looks up a registered resource name under the names lock.
+// resourceName looks up a registered resource name under the shard's name
+// lock.
 func (m *Manager) resourceName(key ResourceKey) string {
-	m.namesMu.RLock()
-	defer m.namesMu.RUnlock()
-	return m.resourceNames[key]
+	s := m.shardFor(key)
+	s.namesMu.RLock()
+	defer s.namesMu.RUnlock()
+	return s.names[key]
 }
 
 // SetLabel attaches a diagnostic label to the pBox (connection name,
 // background-task name). Labels appear in Snapshots and telemetry.
 func (m *Manager) SetLabel(p *PBox, label string) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	p.label = label
+	p.label.Store(&label)
 }
 
 // Snapshots returns the accounting of every live pBox, ordered by id. It is
 // the data source of the telemetry exporter's /pboxes endpoint.
 func (m *Manager) Snapshots() []Snapshot {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.snapshotsLocked()
+	m.reg.Lock()
+	defer m.reg.Unlock()
+	return m.snapshotsRegLocked()
 }
 
-// snapshotsLocked builds the ordered snapshot list. Caller holds m.mu.
-func (m *Manager) snapshotsLocked() []Snapshot {
-	out := make([]Snapshot, 0, len(m.pboxes))
-	for _, p := range m.pboxes {
-		out = append(out, p.snapshotLocked())
+// snapshotsRegLocked builds the ordered snapshot list. Caller holds the
+// registry lock; per-pBox accounting is read under each pBox's leaf locks.
+func (m *Manager) snapshotsRegLocked() []Snapshot {
+	out := make([]Snapshot, 0, len(m.reg.pboxes))
+	for _, p := range m.reg.pboxes {
+		out = append(out, p.snapshot())
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out

@@ -758,3 +758,36 @@ func TestMaxMetricRule(t *testing.T) {
 		t.Fatalf("max-metric level = %v, want ≈4", snapLevel)
 	}
 }
+
+// TestReleaseClearsBookkeepingInPlace: Release must leave the destroyed
+// pBox's holder/prepare maps empty (cleared in place, not reallocated — the
+// release path should shed work, not create garbage) and drop every
+// shard-side record the pBox still had.
+func TestReleaseClearsBookkeepingInPlace(t *testing.T) {
+	h := newHarness(t)
+	p := h.pbox(1)
+	h.m.Activate(p)
+	h.m.Update(p, 1, Prepare) // never entered: stale waiter
+	h.m.Update(p, 2, Prepare)
+	h.m.Update(p, 2, Enter)
+	h.m.Update(p, 2, Hold)
+	h.m.Update(p, 3, Hold) // held at release time
+	if err := h.m.Release(p); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	if p.State() != StateDestroyed {
+		t.Fatalf("state after release = %v", p.State())
+	}
+	if len(p.holders) != 0 || len(p.preparing) != 0 {
+		t.Fatalf("released pBox keeps bookkeeping: holders=%d preparing=%d",
+			len(p.holders), len(p.preparing))
+	}
+	if p.holders == nil || p.preparing == nil {
+		t.Fatal("release should clear the maps in place, not nil them")
+	}
+	for _, key := range []ResourceKey{1, 2, 3} {
+		if h.m.Waiters(key) != 0 || h.m.Holders(key) != 0 {
+			t.Fatalf("dangling shard bookkeeping on key %v after release", key)
+		}
+	}
+}

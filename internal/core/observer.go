@@ -9,14 +9,16 @@ import "time"
 // event stream doubles as a diagnosis aid, and these callbacks are that
 // stream surfaced programmatically rather than via post-hoc trace dumps.
 //
-// All callbacks except PenaltyServed are invoked synchronously while the
-// manager lock is held, so they observe a consistent ordering: PBoxCreated
-// precedes every other callback for an id, nothing follows PBoxReleased for
-// it, and a PenaltyAction is always preceded by its Detection. In exchange,
-// implementations must be fast, must not block, and must not call back into
-// the Manager (doing so deadlocks) — the one exception is ResourceName,
-// which uses a separate lock precisely so observers can resolve resource
-// names for labels. Counter bumps and other atomic updates are the intended
+// All callbacks except PenaltyServed are invoked synchronously while manager
+// locks are held (the calling pBox's mutex, and on verdict callbacks the
+// shard and verdict locks too — see DESIGN.md §8), so they observe a
+// consistent per-pBox ordering: PBoxCreated precedes every other callback
+// for an id, nothing follows PBoxReleased for it, and a PenaltyAction is
+// always preceded by its Detection. In exchange, implementations must be
+// fast, must not block, and must not call back into the Manager (doing so
+// deadlocks) — the one exception is ResourceName, which uses a dedicated
+// per-shard name lock precisely so observers can resolve resource names for
+// labels. Counter bumps and other atomic updates are the intended
 // use. PenaltyServed is invoked on the penalized pBox's own goroutine after
 // the delay completes, outside the lock.
 //

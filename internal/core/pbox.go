@@ -2,6 +2,8 @@ package core
 
 import (
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -9,21 +11,35 @@ import (
 // used by the tail and max metrics.
 const ratioHistorySize = 64
 
-// PBox is one performance isolation domain. All mutable fields are guarded
-// by the owning Manager's lock; applications interact with a PBox only
-// through Manager methods and treat the handle as opaque.
+// PBox is one performance isolation domain. Applications interact with a
+// PBox only through Manager methods and treat the handle as opaque.
+//
+// Field grouping follows the lock architecture of DESIGN.md §8: the
+// lifecycle fields the event hot path checks are atomics (readable with no
+// lock at all); the event-structural maps live under the pBox's own mu; the
+// per-activity accounting lives under the actMu leaf lock; the penalty
+// plumbing lives under the penMu leaf lock; and the binding association is
+// part of the manager's registry.
 type PBox struct {
 	id   int
 	rule IsolationRule
 	mgr  *Manager
 	// label is a diagnostic name (connection or task name) set via
-	// Manager.SetLabel; it appears in Snapshots and telemetry.
-	label string
+	// Manager.SetLabel; it appears in Snapshots and telemetry. An atomic
+	// pointer so SetLabel never contends with the event path.
+	label atomic.Pointer[string]
 
-	state         State
-	activityStart int64 // manager-clock ns; valid while StateActive
-	deferTime     int64 // deferring time accumulated in the current activity
+	// state and activityStart are atomics so Update can reject events
+	// outside an active window — the dominant disabled/idle case — with a
+	// single load and zero locks. Writes happen with mu held (setState),
+	// so mu holders see a stable value.
+	state         atomic.Int32
+	activityStart atomic.Int64 // manager-clock ns; valid while StateActive
 
+	// mu guards the pBox's event-structural state (holders, preparing)
+	// and orders its lifecycle transitions. It nests inside the manager
+	// registry lock and outside shard locks; see DESIGN.md §8.
+	mu sync.Mutex
 	// holders tracks virtual resources currently held by this pBox
 	// (the holder_map of Algorithm 1), with nesting counts and the
 	// earliest hold timestamp, which line 23 of Algorithm 1 compares
@@ -35,6 +51,16 @@ type PBox struct {
 	// would pollute the deferring-time metric and re-trigger detection —
 	// the cascaded-penalty hazard of Section 4.4.1).
 	preparing map[ResourceKey]int
+
+	// actMu is a leaf lock guarding the activity accounting: the live
+	// deferring time, the cross-activity history, and the blame map.
+	// It is a separate lock (not mu) because the detection path must
+	// read a *victim's* accounting while holding the *releasing* pBox's
+	// mu — taking a second pBox mu there would deadlock, a second leaf
+	// cannot. Nothing is ever acquired while holding an actMu, and no
+	// two actMus are ever held together.
+	actMu     sync.Mutex
+	deferTime int64 // deferring time accumulated in the current activity
 
 	// History across frozen activities, for the pBox-level monitor.
 	totalDefer int64
@@ -55,7 +81,15 @@ type PBox struct {
 
 	// pendingPenalty is delay (ns) scheduled by take_action but not yet
 	// executed because the pBox still held resources at decision time.
-	pendingPenalty int64
+	// It is an atomic so every event's safe-point check is one load in
+	// the (overwhelmingly common) no-penalty case; writes happen with
+	// penMu held.
+	pendingPenalty atomic.Int64
+
+	// penMu is a leaf lock guarding the penalty plumbing below. Like
+	// actMu it exists so the verdict path can schedule a penalty on a
+	// *different* pBox than the one whose mu it holds.
+	penMu sync.Mutex
 	// pendingAttrVictim/Key identify the victim and resource whose
 	// detection scheduled the pending penalty — well-defined because
 	// take_action never stacks a second action onto an unserved penalty.
@@ -78,10 +112,19 @@ type PBox struct {
 	penaltyTotal      int64
 
 	// boundKey is the association key set by unbind_pbox for event-driven
-	// hand-off (not a virtual resource key).
+	// hand-off (not a virtual resource key). Guarded by the manager's
+	// registry lock along with the bindings table it indexes.
 	boundKey    uintptr
 	hasBoundKey bool
 }
+
+// stateIs reports whether the pBox is currently in s, with a single atomic
+// load. Safe with no locks held; callers needing the state to stay put
+// across a sequence must hold p.mu.
+func (p *PBox) stateIs(s State) bool { return State(p.state.Load()) == s }
+
+// setState publishes a lifecycle transition. Caller holds p.mu.
+func (p *PBox) setState(s State) { p.state.Store(int32(s)) }
 
 type holdInfo struct {
 	count int
@@ -107,10 +150,14 @@ func (p *PBox) ID() int { return p.id }
 func (p *PBox) Rule() IsolationRule { return p.rule }
 
 // State returns the current lifecycle state.
-func (p *PBox) State() State {
-	p.mgr.mu.Lock()
-	defer p.mgr.mu.Unlock()
-	return p.state
+func (p *PBox) State() State { return State(p.state.Load()) }
+
+// labelString returns the diagnostic label ("" when unset).
+func (p *PBox) labelString() string {
+	if l := p.label.Load(); l != nil {
+		return *l
+	}
+	return ""
 }
 
 // Snapshot is a read-only view of a pBox's accounting, used by tests, the
@@ -130,31 +177,33 @@ type Snapshot struct {
 }
 
 // Snapshot returns the pBox's current accounting.
-func (p *PBox) Snapshot() Snapshot {
-	p.mgr.mu.Lock()
-	defer p.mgr.mu.Unlock()
-	return p.snapshotLocked()
-}
+func (p *PBox) Snapshot() Snapshot { return p.snapshot() }
 
-// snapshotLocked builds the snapshot. Caller holds mgr.mu.
-func (p *PBox) snapshotLocked() Snapshot {
-	return Snapshot{
-		ID:                p.id,
-		Label:             p.label,
-		State:             p.state,
-		Goal:              p.rule.Level,
-		Metric:            p.rule.Metric,
-		Activities:        p.activities,
-		TotalDefer:        time.Duration(p.totalDefer),
-		TotalExec:         time.Duration(p.totalExec),
-		InterferenceLevel: p.interferenceLevelLocked(),
-		PenaltiesReceived: p.penaltiesReceived,
-		PenaltyTotal:      time.Duration(p.penaltyTotal),
+// snapshot builds the snapshot under the pBox's leaf locks (taken one at a
+// time); it needs no manager-wide lock.
+func (p *PBox) snapshot() Snapshot {
+	s := Snapshot{
+		ID:     p.id,
+		Label:  p.labelString(),
+		State:  State(p.state.Load()),
+		Goal:   p.rule.Level,
+		Metric: p.rule.Metric,
 	}
+	p.actMu.Lock()
+	s.Activities = p.activities
+	s.TotalDefer = time.Duration(p.totalDefer)
+	s.TotalExec = time.Duration(p.totalExec)
+	s.InterferenceLevel = p.interferenceLevelLocked()
+	p.actMu.Unlock()
+	p.penMu.Lock()
+	s.PenaltiesReceived = p.penaltiesReceived
+	s.PenaltyTotal = time.Duration(p.penaltyTotal)
+	p.penMu.Unlock()
+	return s
 }
 
 // interferenceLevelLocked computes the pBox's aggregate interference level
-// according to its rule's metric. Caller holds mgr.mu.
+// according to its rule's metric. Caller holds p.actMu.
 func (p *PBox) interferenceLevelLocked() float64 {
 	switch p.rule.Metric {
 	case MetricTail:
@@ -172,16 +221,16 @@ func (p *PBox) interferenceLevelLocked() float64 {
 // its 90-second runs; at the reproduction's millisecond scale an all-time
 // cumulative average reacts too slowly for the feedback loop to converge, so
 // the score is windowed over the recent per-activity ratio history plus the
-// live activity. Caller holds mgr.mu.
+// live activity. Caller holds p.actMu.
 func (p *PBox) currentRatioLocked(now int64) float64 {
 	var td, te int64
 	for _, r := range p.history {
 		td += r.td
 		te += r.te
 	}
-	if p.state == StateActive {
+	if p.stateIs(StateActive) {
 		ltd := p.deferTime
-		lte := now - p.activityStart
+		lte := now - p.activityStart.Load()
 		if ltd > lte {
 			ltd = lte
 		}
@@ -213,7 +262,7 @@ func averageRatio(td, te int64) float64 {
 }
 
 // recordActivityLocked folds a finished activity into the history rings.
-// Caller holds mgr.mu.
+// Caller holds p.actMu.
 func (p *PBox) recordActivityLocked(td, te int64) {
 	p.totalDefer += td
 	p.totalExec += te
@@ -229,7 +278,7 @@ func (p *PBox) recordActivityLocked(td, te int64) {
 }
 
 // ratioPercentileLocked returns the q-quantile (0<q<=1) of the per-activity
-// ratio history. Caller holds mgr.mu.
+// ratio history. Caller holds p.actMu.
 func (p *PBox) ratioPercentileLocked(q float64) float64 {
 	if len(p.history) == 0 {
 		return 0

@@ -60,7 +60,7 @@ type actionState struct {
 }
 
 // actionHistory records every action the manager has taken, for both the
-// adaptive policies and the evaluation figures.
+// adaptive policies and the evaluation figures. Guarded by m.verdictMu.
 type actionHistory struct {
 	states map[actionKey]*actionState
 	order  []actionKey // insertion order for deterministic reports
@@ -80,30 +80,35 @@ func (h *actionHistory) get(k actionKey) *actionState {
 	return st
 }
 
-// takeActionLocked is take_action(noisy, victim) from Algorithm 1: compute a
-// penalty length for the noisy pBox and schedule it. triggerDefer is the
+// takeActionVerdict is take_action(noisy, victim) from Algorithm 1: compute
+// a penalty length for the noisy pBox and schedule it. triggerDefer is the
 // deferring time of the wait that triggered this action; the dynamic policy
 // choice compares it against the previous penalty ("If the deferring time
 // is much larger than the penalty, it chooses the second policy",
 // Section 4.4.2). projected is the interference level the detector saw cross
 // the victim's goal, reported to the Observer as the detection verdict. The
 // penalty is not executed here — the noisy pBox may still hold resources; it
-// is applied at the noisy pBox's next safe point. Caller holds m.mu.
-func (m *Manager) takeActionLocked(noisy, victim *PBox, key ResourceKey, now, triggerDefer int64, projected float64) {
-	if noisy == nil || noisy.state == StateDestroyed || noisy == victim {
+// is applied at the noisy pBox's next safe point.
+//
+// Caller holds m.verdictMu (the cold-path epoch lock), which guards the
+// action history and serializes the policy feedback loop; per-pBox reads
+// and writes take the relevant leaf lock (victim.actMu, noisy.actMu,
+// noisy.penMu) one at a time.
+func (m *Manager) takeActionVerdict(noisy, victim *PBox, key ResourceKey, now, triggerDefer int64, projected float64) {
+	if noisy == nil || noisy.stateIs(StateDestroyed) || noisy == victim {
 		return
 	}
 	if m.obs != nil {
 		m.obs.Detection(noisy.id, victim.id, key, projected)
 	}
-	if e := m.attrLocked(noisy, victim, key); e != nil {
+	if e := m.attrVerdict(noisy, victim, key); e != nil {
 		e.detections++
 	}
 	// A penalty that has not been served yet must not be stacked: the
 	// adaptation compares the victim's state before and after a penalty
 	// (Section 4.4.2), so a new action only makes sense once the previous
 	// one has had a chance to take effect.
-	if noisy.pendingPenalty > 0 {
+	if noisy.pendingPenalty.Load() > 0 {
 		return
 	}
 	st := m.actions.get(actionKey{noisyID: noisy.id, key: key})
@@ -113,15 +118,22 @@ func (m *Manager) takeActionLocked(noisy, victim *PBox, key ResourceKey, now, tr
 	// s(i): the victim's interference score. The windowed aggregate covers
 	// sustained interference; the live activity's ratio (including the
 	// wait that triggered this action) covers episodic starvation that a
-	// healthy history would otherwise dilute.
+	// healthy history would otherwise dilute. Also read the victim-side
+	// inputs of the initial-penalty model in the same hold.
+	victim.actMu.Lock()
 	sNow := victim.currentRatioLocked(now)
-	if victim.state == StateActive {
+	if victim.stateIs(StateActive) {
 		ltd := victim.deferTime + triggerDefer
-		lte := now - victim.activityStart
+		lte := now - victim.activityStart.Load()
 		if sLive := averageRatio(ltd, lte); sLive > sNow {
 			sNow = sLive
 		}
 	}
+	victimAvgDefer := float64(0)
+	if victim.activities > 0 {
+		victimAvgDefer = float64(victim.totalDefer) / float64(victim.activities)
+	}
+	victim.actMu.Unlock()
 
 	var penalty float64
 	var kind PolicyKind
@@ -129,7 +141,7 @@ func (m *Manager) takeActionLocked(noisy, victim *PBox, key ResourceKey, now, tr
 	case m.opts.FixedPenalty > 0:
 		penalty, kind = float64(m.opts.FixedPenalty), PolicyFixed
 	case st.count == 0:
-		penalty, kind = m.initialPenaltyLocked(noisy, victim, now, triggerDefer), PolicyInitial
+		penalty, kind = m.initialPenalty(noisy, now, triggerDefer, victimAvgDefer), PolicyInitial
 		st.p1 = penalty
 	default:
 		// Dynamic policy choice: gap-based when the triggering wait
@@ -155,13 +167,16 @@ func (m *Manager) takeActionLocked(noisy, victim *PBox, key ResourceKey, now, tr
 	st.lengths = append(st.lengths, penalty)
 	st.policies = append(st.policies, kind)
 
-	noisy.pendingPenalty += int64(penalty)
-	if limit := int64(m.opts.MaxPenalty); noisy.pendingPenalty > limit {
-		noisy.pendingPenalty = limit
+	noisy.penMu.Lock()
+	pending := noisy.pendingPenalty.Load() + int64(penalty)
+	if limit := int64(m.opts.MaxPenalty); pending > limit {
+		pending = limit
 	}
+	noisy.pendingPenalty.Store(pending)
 	noisy.pendingAttrVictim = victim.id
 	noisy.pendingAttrKey = key
-	if e := m.attrLocked(noisy, victim, key); e != nil {
+	noisy.penMu.Unlock()
+	if e := m.attrVerdict(noisy, victim, key); e != nil {
 		e.actions++
 		e.scheduledNs += int64(penalty)
 	}
@@ -171,22 +186,28 @@ func (m *Manager) takeActionLocked(noisy, victim *PBox, key ResourceKey, now, tr
 	}
 }
 
-// initialPenaltyLocked computes p1 = sqrt(td(victim) × te(noisy)) −
-// te(noisy) (Section 4.4.2), falling back to MinPenalty when the model
-// degenerates. Caller holds m.mu.
-func (m *Manager) initialPenaltyLocked(noisy, victim *PBox, now, triggerDefer int64) float64 {
+// initialPenalty computes p1 = sqrt(td(victim) × te(noisy)) − te(noisy)
+// (Section 4.4.2), falling back to MinPenalty when the model degenerates.
+// victimAvgDefer is the victim's per-activity average deferring time, read
+// by the caller under the victim's actMu; the noisy pBox's side is read
+// here under its own leaf lock.
+func (m *Manager) initialPenalty(noisy *PBox, now, triggerDefer int64, victimAvgDefer float64) float64 {
 	// The deferring time attributed to this noisy pBox is the wait that
 	// triggered the action — using the victim's whole activity defer here
 	// would charge this pBox for delays other pBoxes caused.
 	tdVictim := float64(triggerDefer)
 	if tdVictim <= 0 {
-		tdVictim = float64(victim.totalDefer) / math.Max(1, float64(victim.activities))
+		tdVictim = victimAvgDefer
 	}
 	teNoisy := float64(0)
-	if noisy.state == StateActive {
-		teNoisy = float64(now - noisy.activityStart)
-	} else if noisy.activities > 0 {
-		teNoisy = float64(noisy.totalExec) / float64(noisy.activities)
+	if noisy.stateIs(StateActive) {
+		teNoisy = float64(now - noisy.activityStart.Load())
+	} else {
+		noisy.actMu.Lock()
+		if noisy.activities > 0 {
+			teNoisy = float64(noisy.totalExec) / float64(noisy.activities)
+		}
+		noisy.actMu.Unlock()
 	}
 	if tdVictim <= 0 || teNoisy <= 0 {
 		return float64(m.opts.MinPenalty)
@@ -275,8 +296,8 @@ type ActionRecord struct {
 // ActionReport returns one record per (noisy, resource) pair, in first-action
 // order.
 func (m *Manager) ActionReport() []ActionRecord {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.verdictMu.Lock()
+	defer m.verdictMu.Unlock()
 	out := make([]ActionRecord, 0, len(m.actions.order))
 	for _, k := range m.actions.order {
 		st := m.actions.states[k]
@@ -303,8 +324,8 @@ func (m *Manager) ActionReport() []ActionRecord {
 
 // TotalActions returns the total number of penalty actions taken.
 func (m *Manager) TotalActions() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.verdictMu.Lock()
+	defer m.verdictMu.Unlock()
 	n := 0
 	for _, st := range m.actions.states {
 		n += st.count
@@ -315,8 +336,8 @@ func (m *Manager) TotalActions() int {
 // PenaltyLengths returns every penalty length applied, sorted ascending
 // (Figure 14's distribution).
 func (m *Manager) PenaltyLengths() []time.Duration {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.verdictMu.Lock()
+	defer m.verdictMu.Unlock()
 	var out []time.Duration
 	for _, st := range m.actions.states {
 		for _, l := range st.lengths {

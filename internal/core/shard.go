@@ -1,0 +1,113 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+)
+
+// The manager's resource-side state (who waits on a resource, who holds it,
+// what it is called) is striped across a power-of-two number of shards keyed
+// by a hash of the ResourceKey, so PREPARE/ENTER/HOLD/UNHOLD traffic on
+// unrelated resources never touches the same lock. See DESIGN.md §8 for the
+// full lock-order contract:
+//
+//	registry → pbox.mu → shard.mu → verdictMu → leaf locks (actMu, penMu,
+//	shard.namesMu, trace ring)
+//
+// with two extra rules: a shard lock is never held while acquiring the
+// registry lock, and at most one pBox's actMu (or penMu) is held at a time.
+
+// shard is one stripe of the resource-side state. The trailing pad keeps
+// hot shards on different cache lines so disjoint-resource traffic does not
+// false-share.
+type shard struct {
+	mu sync.Mutex
+	// competitors holds the per-resource waiter lists (the competitor map
+	// of Algorithm 1) for keys hashing to this shard.
+	competitors map[ResourceKey]*competitorList
+	// holdersByKey indexes current holders per resource so UNHOLD can
+	// attribute blame and tests can inspect contention.
+	holdersByKey map[ResourceKey]map[*PBox]int64
+
+	// names maps virtual-resource keys to human-readable names registered
+	// via NameResource. It lives under its own lock (not shard.mu) so
+	// Observer implementations may resolve names from inside hook
+	// callbacks — including callbacks fired while shard.mu is held —
+	// without deadlocking. namesMu is a leaf lock: nothing is acquired
+	// under it.
+	namesMu sync.RWMutex
+	names   map[ResourceKey]string
+
+	_ [64]byte // cache-line padding against false sharing
+}
+
+// fibMix is the 64-bit golden-ratio multiplier of Fibonacci hashing. Raw
+// ResourceKeys are usually pointer values whose low bits are all zero from
+// alignment; the multiply spreads them across the high bits, which shardFor
+// then shifts down.
+const fibMix = 0x9e3779b97f4a7c15
+
+// shardFor returns the shard owning key.
+func (m *Manager) shardFor(key ResourceKey) *shard {
+	// shardShift is 64 - log2(len(shards)); a shift of 64 (single shard)
+	// yields index 0 by Go's defined >=width shift semantics.
+	return m.shards[(uint64(key)*fibMix)>>m.shardShift]
+}
+
+// newShards allocates n shards (n must be a power of two) and returns them
+// with the matching index shift.
+func newShards(n int) ([]*shard, uint) {
+	shards := make([]*shard, n)
+	for i := range shards {
+		shards[i] = &shard{
+			competitors:  make(map[ResourceKey]*competitorList),
+			holdersByKey: make(map[ResourceKey]map[*PBox]int64),
+		}
+	}
+	bits := uint(0)
+	for 1<<bits < n {
+		bits++
+	}
+	return shards, 64 - bits
+}
+
+// defaultShardCount sizes the stripe set when Options.Shards is zero:
+// 4× the scheduler's parallelism, rounded up to a power of two and clamped
+// to [8, 256]. Oversubscribing the core count keeps two hot resources from
+// colliding in one stripe by birthday accident.
+func defaultShardCount() int {
+	n := nextPow2(4 * runtime.GOMAXPROCS(0))
+	if n < 8 {
+		n = 8
+	}
+	if n > 256 {
+		n = 256
+	}
+	return n
+}
+
+// nextPow2 rounds n up to the next power of two (minimum 1).
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// lockAllShards acquires every shard lock in index order (the only order in
+// which more than one shard lock may ever be held) and returns the matching
+// reverse-order unlock. It is the stop-the-world half of Status(): with all
+// shards held, no event can move a waiter or holder, so the combined
+// snapshot can never pair a pBox list from one instant with resource-side
+// state from another.
+func (m *Manager) lockAllShards() func() {
+	for _, s := range m.shards {
+		s.mu.Lock()
+	}
+	return func() {
+		for i := len(m.shards) - 1; i >= 0; i-- {
+			m.shards[i].mu.Unlock()
+		}
+	}
+}

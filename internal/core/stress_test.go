@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -127,5 +128,162 @@ func TestPenaltySleepRunsOffManagerLock(t *testing.T) {
 	<-done
 	if noisy.Snapshot().PenaltiesReceived != 1 {
 		t.Fatal("penalty was not served")
+	}
+}
+
+// reconcileObserver counts the attribution-relevant observer stream with
+// atomics only (the callbacks fire under manager locks and must not call
+// back into the Manager).
+type reconcileObserver struct {
+	created, released atomic.Int64
+	blockedNs         atomic.Int64
+	servedNs          atomic.Int64
+	servedForNs       atomic.Int64
+}
+
+func (o *reconcileObserver) PBoxCreated(int, IsolationRule)                  { o.created.Add(1) }
+func (o *reconcileObserver) PBoxReleased(int)                                { o.released.Add(1) }
+func (o *reconcileObserver) StateEvent(int, ResourceKey, EventType)          {}
+func (o *reconcileObserver) ActivityEnd(int, int64, int64)                   {}
+func (o *reconcileObserver) Detection(int, int, ResourceKey, float64)        {}
+func (o *reconcileObserver) PenaltyAction(int, int, ResourceKey, PolicyKind, time.Duration) {}
+func (o *reconcileObserver) PenaltyServed(_ int, d time.Duration)            { o.servedNs.Add(int64(d)) }
+func (o *reconcileObserver) Blocked(_, _ int, _ ResourceKey, deferNs int64)  { o.blockedNs.Add(deferNs) }
+func (o *reconcileObserver) PenaltyServedFor(_, _ int, _ ResourceKey, d time.Duration) {
+	o.servedForNs.Add(int64(d))
+}
+
+// TestConcurrentStressReconciles runs the full lifecycle mix — concurrent
+// Create/Release/Activate/Update/Freeze across 8 worker goroutines, 64 cold
+// per-worker resource keys plus a small hot contended set, with attribution
+// and tracing on and diagnostic readers (Status, Snapshots, ActionReport)
+// polling throughout — then checks the books balance after quiescence:
+// every holder and waiter record is gone, and the attribution ledger's
+// blocked/served totals equal what the observer stream saw. Run under
+// -race this exercises the sharded lock order end to end.
+func TestConcurrentStressReconciles(t *testing.T) {
+	obs := &reconcileObserver{}
+	m := NewManager(Options{
+		MinPenalty:  20 * time.Microsecond,
+		MaxPenalty:  100 * time.Microsecond,
+		Attribution: true,
+		Observer:    obs,
+		TraceSize:   512,
+	})
+	// 8 workers × 8 distinct cold keys each = 64 disjoint resource keys,
+	// plus the shared hot set below.
+	const (
+		workers = 8
+		rounds  = 8
+	)
+	hotKeys := []ResourceKey{0x10, 0x11} // the contended set
+	var (
+		handleMu sync.Mutex
+		handles  []*PBox
+	)
+
+	stopReaders := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stopReaders:
+				return
+			default:
+			}
+			_ = m.Status()
+			_ = m.Snapshots()
+			_ = m.ActionReport()
+			_ = m.Trace()
+			_ = m.Attribution()
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				p, err := m.Create(DefaultRule())
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				handleMu.Lock()
+				handles = append(handles, p)
+				handleMu.Unlock()
+				m.SetLabel(p, "w")
+				for i := 0; i < 20; i++ {
+					m.Activate(p)
+					cold := ResourceKey(0x1000 + g*8 + i%8)
+					m.Update(p, cold, Hold)
+					hot := hotKeys[(g+i)%len(hotKeys)]
+					m.Update(p, hot, Prepare)
+					m.Update(p, hot, Enter)
+					m.Update(p, hot, Hold)
+					if i%4 == 0 {
+						time.Sleep(30 * time.Microsecond)
+					}
+					m.Update(p, hot, Unhold)
+					m.Update(p, cold, Unhold)
+					m.Freeze(p)
+				}
+				if err := m.Release(p); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stopReaders)
+	readers.Wait()
+
+	// Quiescent: the books must balance.
+	if live := m.Live(); live != 0 {
+		t.Fatalf("live pboxes after stress = %d", live)
+	}
+	if obs.created.Load() != int64(workers*rounds) || obs.released.Load() != int64(workers*rounds) {
+		t.Fatalf("lifecycle stream: created=%d released=%d want %d each",
+			obs.created.Load(), obs.released.Load(), workers*rounds)
+	}
+	for g := 0; g < workers; g++ {
+		for i := 0; i < 8; i++ {
+			if key := ResourceKey(0x1000 + g*8 + i); m.Waiters(key) != 0 || m.Holders(key) != 0 {
+				t.Fatalf("dangling bookkeeping on cold key %#x", uintptr(key))
+			}
+		}
+	}
+	for _, key := range hotKeys {
+		if m.Waiters(key) != 0 || m.Holders(key) != 0 {
+			t.Fatalf("dangling bookkeeping on hot key %#x", uintptr(key))
+		}
+	}
+	if d := m.AttributionDropped(); d != 0 {
+		t.Fatalf("attribution ledger dropped %d triples; totals would not reconcile", d)
+	}
+	var ledgerBlocked, ledgerServed time.Duration
+	for _, rec := range m.Attribution() {
+		ledgerBlocked += rec.Blocked
+		ledgerServed += rec.PenaltyServed
+	}
+	if got, want := int64(ledgerBlocked), obs.blockedNs.Load(); got != want {
+		t.Fatalf("blocked time: ledger=%d observer=%d", got, want)
+	}
+	if got, want := int64(ledgerServed), obs.servedForNs.Load(); got != want {
+		t.Fatalf("served time: ledger=%d attribution observer=%d", got, want)
+	}
+	if got, want := obs.servedForNs.Load(), obs.servedNs.Load(); got != want {
+		t.Fatalf("served time: attribution observer=%d observer=%d", got, want)
+	}
+	var snapshotServed time.Duration
+	for _, p := range handles {
+		snapshotServed += p.Snapshot().PenaltyTotal
+	}
+	if got, want := int64(snapshotServed), obs.servedNs.Load(); got != want {
+		t.Fatalf("served time: per-pbox snapshots=%d observer=%d", got, want)
 	}
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -34,13 +35,16 @@ func (t TraceEntry) String() string {
 // traceRing is a fixed-capacity concurrent ring buffer of trace entries.
 // Every entry carries a sequence number, and adds signal a notification
 // channel, so readers can snapshot incrementally and long-poll for new
-// entries (the /trace streaming endpoint).
+// entries (the /trace streaming endpoint). The ring has its own mutex (a
+// leaf in the manager's lock order); the sequence counter is an atomic so
+// long-poll readers can check for progress without touching the lock the
+// event path appends under.
 type traceRing struct {
 	mu      sync.Mutex
 	entries []TraceEntry
 	pos     int
 	full    bool
-	seq     uint64        // total entries ever added
+	seq     atomic.Uint64 // total entries ever added
 	notify  chan struct{} // closed and replaced on every add
 }
 
@@ -60,8 +64,7 @@ func newTraceRing(n int) *traceRing {
 func (r *traceRing) add(e TraceEntry) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.seq++
-	e.Seq = r.seq
+	e.Seq = r.seq.Add(1)
 	if len(r.entries) < cap(r.entries) {
 		r.entries = append(r.entries, e)
 	} else {
@@ -102,18 +105,25 @@ func (r *traceRing) snapshotSince(since uint64) ([]TraceEntry, uint64) {
 	all := r.orderedLocked()
 	for i, e := range all {
 		if e.Seq > since {
-			return all[i:], r.seq
+			return all[i:], r.seq.Load()
 		}
 	}
-	return nil, r.seq
+	return nil, r.seq.Load()
 }
 
 // waitCh returns a channel that is closed once the ring's sequence advances
-// past since. If it already has, the returned channel is already closed.
+// past since. If it already has, the returned channel is already closed —
+// decided on the atomic alone, so a caught-up long-poller never contends
+// with the event path for the ring lock.
 func (r *traceRing) waitCh(since uint64) <-chan struct{} {
+	if r.seq.Load() > since {
+		ch := make(chan struct{})
+		close(ch)
+		return ch
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.seq > since {
+	if r.seq.Load() > since {
 		ch := make(chan struct{})
 		close(ch)
 		return ch
@@ -121,8 +131,9 @@ func (r *traceRing) waitCh(since uint64) <-chan struct{} {
 	return r.notify
 }
 
-// traceEvent appends to the ring when tracing is enabled. Caller holds m.mu
-// (or is otherwise race-free with respect to the pBox fields it reads).
+// traceEvent appends to the ring when tracing is enabled. Safe from any
+// call site: the ring and the resource-name lookup use their own leaf
+// locks, and the pBox fields read here (id) are immutable.
 func (m *Manager) traceEvent(p *PBox, key ResourceKey, what string, extra time.Duration) {
 	if m.trace == nil {
 		return

@@ -1,0 +1,204 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"pbox/internal/core"
+)
+
+// Core-hot-path throughput benchmark: how many Update events per second the
+// manager sustains at 1, 4, and NumCPU goroutines, on disjoint versus
+// contended resource keys, for the sharded manager versus an emulated
+// single-global-mutex manager. The "global" variant routes every Update
+// through one external mutex — the serialization discipline the manager had
+// before the sharding refactor — so BENCH_core.json carries its own
+// before/after comparison and later PRs can spot hot-path regressions
+// without reconstructing the old code.
+
+// CoreBenchRow is one (scenario, variant, goroutine-count) measurement.
+type CoreBenchRow struct {
+	// Scenario is "disjoint" (per-goroutine resources; the scaling case)
+	// or "contended" (every goroutine on one resource; the striping
+	// worst case).
+	Scenario string `json:"scenario"`
+	// Variant is "sharded" (the manager as built) or "global" (every
+	// Update wrapped in one process-wide mutex, emulating the pre-shard
+	// manager).
+	Variant    string  `json:"variant"`
+	Goroutines int     `json:"goroutines"`
+	Ops        int64   `json:"ops"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+}
+
+// CoreBenchFile is the BENCH_core.json document. Interpret the speedups
+// against NumCPU: on a single-core host the disjoint scenario can only show
+// the serialization savings (no parallel execution exists to unlock), while
+// on a multi-core host it additionally shows the cores the old global lock
+// was wasting.
+type CoreBenchFile struct {
+	GOMAXPROCS      int            `json:"gomaxprocs"`
+	NumCPU          int            `json:"numcpu"`
+	Shards          int            `json:"shards"`
+	OpsPerGoroutine int            `json:"ops_per_goroutine"`
+	Rows            []CoreBenchRow `json:"rows"`
+	// DisjointSpeedup maps "<goroutines>" to sharded ops/sec ÷ global
+	// ops/sec on the disjoint scenario — the headline scaling number.
+	DisjointSpeedup map[string]float64 `json:"disjoint_speedup"`
+	// SingleGoroutineOverhead is sharded ns/op ÷ global ns/op at one
+	// goroutine on the disjoint scenario: the price of the finer locking
+	// when there is nothing to parallelize (acceptance bound: ≤ 1.10).
+	SingleGoroutineOverhead float64 `json:"single_goroutine_overhead"`
+}
+
+// coreBenchGoroutineCounts returns the goroutine counts to measure:
+// 1, 4, NumCPU — deduplicated and ascending.
+func coreBenchGoroutineCounts() []int {
+	counts := []int{1, 4, runtime.NumCPU()}
+	seen := map[int]bool{}
+	var out []int
+	for _, c := range counts {
+		if c > 0 && !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// runCoreBench measures one row: g goroutines, each running opsPer Update
+// events (hold/unhold cycles) against its pBox. Penalties are swallowed —
+// the benchmark measures the manager, not the clock.
+func runCoreBench(scenario, variant string, g, opsPer int) CoreBenchRow {
+	m := core.NewManager(core.Options{Sleep: func(time.Duration) {}})
+	var globalMu sync.Mutex
+	update := m.Update
+	if variant == "global" {
+		update = func(p *core.PBox, key core.ResourceKey, ev core.EventType) {
+			globalMu.Lock()
+			m.Update(p, key, ev)
+			globalMu.Unlock()
+		}
+	}
+
+	pboxes := make([]*core.PBox, g)
+	keys := make([]core.ResourceKey, g)
+	for i := range pboxes {
+		p, err := m.Create(core.DefaultRule())
+		if err != nil {
+			panic(err)
+		}
+		m.Activate(p)
+		pboxes[i] = p
+		keys[i] = core.ResourceKey(0x100) // contended: one key for all
+		if scenario == "disjoint" {
+			keys[i] = core.ResourceKey(0x1000 + i)
+		}
+	}
+
+	var start, stop sync.WaitGroup
+	gate := make(chan struct{})
+	start.Add(g)
+	stop.Add(g)
+	for i := 0; i < g; i++ {
+		go func(p *core.PBox, key core.ResourceKey) {
+			defer stop.Done()
+			start.Done()
+			<-gate
+			for n := 0; n < opsPer; n++ {
+				update(p, key, core.Hold)
+				update(p, key, core.Unhold)
+			}
+		}(pboxes[i], keys[i])
+	}
+	start.Wait()
+	t0 := time.Now()
+	close(gate)
+	stop.Wait()
+	elapsed := time.Since(t0)
+
+	ops := int64(g) * int64(opsPer) * 2 // two Update events per cycle
+	sec := elapsed.Seconds()
+	row := CoreBenchRow{
+		Scenario:   scenario,
+		Variant:    variant,
+		Goroutines: g,
+		Ops:        ops,
+	}
+	if sec > 0 {
+		row.OpsPerSec = float64(ops) / sec
+		row.NsPerOp = float64(elapsed.Nanoseconds()) / float64(ops)
+	}
+	return row
+}
+
+// CoreBench runs the full grid and assembles the document. Quick mode cuts
+// the per-goroutine op count for smoke tests.
+func CoreBench(cfg Config) CoreBenchFile {
+	opsPer := 200_000
+	if cfg.Quick {
+		opsPer = 20_000
+	}
+	doc := CoreBenchFile{
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		NumCPU:          runtime.NumCPU(),
+		Shards:          core.NewManager(core.Options{}).ShardCount(),
+		OpsPerGoroutine: opsPer,
+		DisjointSpeedup: map[string]float64{},
+	}
+	type cell struct{ global, sharded CoreBenchRow }
+	disjoint := map[int]*cell{}
+	for _, scenario := range []string{"disjoint", "contended"} {
+		for _, g := range coreBenchGoroutineCounts() {
+			for _, variant := range []string{"global", "sharded"} {
+				row := runCoreBench(scenario, variant, g, opsPer)
+				doc.Rows = append(doc.Rows, row)
+				if scenario == "disjoint" {
+					c := disjoint[g]
+					if c == nil {
+						c = &cell{}
+						disjoint[g] = c
+					}
+					if variant == "global" {
+						c.global = row
+					} else {
+						c.sharded = row
+					}
+				}
+			}
+		}
+	}
+	for g, c := range disjoint {
+		if c.global.OpsPerSec > 0 {
+			doc.DisjointSpeedup[fmt.Sprintf("%d", g)] = c.sharded.OpsPerSec / c.global.OpsPerSec
+		}
+		if g == 1 && c.global.NsPerOp > 0 {
+			doc.SingleGoroutineOverhead = c.sharded.NsPerOp / c.global.NsPerOp
+		}
+	}
+	return doc
+}
+
+// WriteCoreBench writes the document at path (write-then-rename, so a
+// concurrent reader never sees a torn file).
+func WriteCoreBench(path string, doc CoreBenchFile) error {
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
