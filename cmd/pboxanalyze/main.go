@@ -1,7 +1,14 @@
 // Command pboxanalyze runs the pBox companion static analyzer (Section 4.5,
-// Algorithm 2) over Go source trees, printing the candidate locations where
+// Algorithm 2) over Go packages, printing the candidate locations where
 // update_pbox state events should be added and the shared variables (likely
 // virtual resources) each location involves.
+//
+// It is a front-end over the same loading and reporting stack as
+// cmd/pboxlint: arguments are package patterns resolved by the pboxlint
+// loader, and the analysis itself is the waitloop pass. Analysis is
+// per-package (each package is parsed and type-checked on its own), where
+// earlier versions parsed whole directory trees as one soup; for a single
+// package the output is identical, and a regression test pins that.
 //
 // Usage:
 //
@@ -13,9 +20,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"pbox/internal/analyzer"
+	"pbox/internal/lint/analysis"
+	"pbox/internal/lint/driver"
+	"pbox/internal/lint/loader"
+	"pbox/internal/lint/waitloop"
 )
 
 func main() {
@@ -25,26 +37,29 @@ func main() {
 
 	dirs := flag.Args()
 	if len(dirs) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: pboxanalyze [flags] dir...")
+		fmt.Fprintln(os.Stderr, "usage: pboxanalyze [flags] pattern...")
 		os.Exit(2)
 	}
-	var waitFuncs []string
 	if *waitList != "" {
-		waitFuncs = strings.Split(*waitList, ",")
+		waitloop.WaitFuncs = strings.Split(*waitList, ",")
 	}
-	a := analyzer.New(waitFuncs)
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pboxanalyze: %v\n", err)
+		os.Exit(1)
+	}
 
 	exit := 0
 	for _, dir := range dirs {
-		dir = strings.TrimSuffix(dir, "/...")
-		res, err := a.AnalyzeDir(dir)
+		res, err := analyzePattern(cwd, dir)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "pboxanalyze: %v\n", err)
 			exit = 1
 			continue
 		}
+		label := strings.TrimSuffix(dir, "/...")
 		fmt.Printf("%s: %d files, %d functions inspected, %d candidate locations\n",
-			dir, res.Files, res.InspectedFuncs, len(res.Locations))
+			label, res.Files, res.InspectedFuncs, len(res.Locations))
 		if *verbose && len(res.Wrappers) > 0 {
 			fmt.Printf("  wrappers of waiting functions: %s\n", strings.Join(res.Wrappers, ", "))
 		}
@@ -53,4 +68,43 @@ func main() {
 		}
 	}
 	os.Exit(exit)
+}
+
+// analyzePattern loads every package the pattern matches through the shared
+// loader, runs the waitloop pass through the shared driver, and merges the
+// per-package results into the legacy aggregate shape.
+func analyzePattern(cwd, pattern string) (*analyzer.Result, error) {
+	pkgs, err := loader.Load(cwd, pattern)
+	if err != nil {
+		return nil, err
+	}
+	res, err := driver.Run(pkgs, []*analysis.Analyzer{waitloop.Analyzer})
+	if err != nil {
+		return nil, err
+	}
+	merged := &analyzer.Result{}
+	wrappers := map[string]bool{}
+	for _, ret := range res.Returns {
+		r, ok := ret.Value.(*analyzer.Result)
+		if !ok {
+			continue
+		}
+		merged.Files += r.Files
+		merged.InspectedFuncs += r.InspectedFuncs
+		merged.Locations = append(merged.Locations, r.Locations...)
+		for _, w := range r.Wrappers {
+			wrappers[w] = true
+		}
+	}
+	for w := range wrappers {
+		merged.Wrappers = append(merged.Wrappers, w)
+	}
+	sort.Strings(merged.Wrappers)
+	sort.Slice(merged.Locations, func(i, j int) bool {
+		if merged.Locations[i].File != merged.Locations[j].File {
+			return merged.Locations[i].File < merged.Locations[j].File
+		}
+		return merged.Locations[i].Line < merged.Locations[j].Line
+	})
+	return merged, nil
 }

@@ -1,0 +1,98 @@
+// Command pboxlint is the multichecker for the pbox static-analysis suite:
+// it loads packages, runs the enforcing passes (lockorder, hotpathalloc,
+// eventpair, reentry), applies //pboxlint:ignore suppressions, and prints
+// findings as file:line:col diagnostics.
+//
+// Usage:
+//
+//	pboxlint [flags] [packages]
+//
+// Packages default to ./... relative to the current directory. Exit status
+// is 0 when the tree is clean, 1 when any finding survives suppression, and
+// 2 on loading or internal errors — the same convention as go vet, so CI
+// can gate on it directly:
+//
+//	go run ./cmd/pboxlint ./...
+//
+// Flags:
+//
+//	-passes p1,p2   run only the named passes (see -list)
+//	-list           print every registered pass with its doc and exit
+//	-suppressed     also report the count of suppressed findings
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pbox/internal/lint"
+	"pbox/internal/lint/analysis"
+	"pbox/internal/lint/driver"
+	"pbox/internal/lint/loader"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("pboxlint", flag.ContinueOnError)
+	passes := fs.String("passes", "", "comma-separated pass names to run (default: all enforcing passes)")
+	list := fs.Bool("list", false, "list registered passes and exit")
+	showSuppressed := fs.Bool("suppressed", false, "report the number of suppressed findings")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	var selected []*analysis.Analyzer
+	if *passes == "" {
+		selected = lint.Default()
+	} else {
+		for _, name := range strings.Split(*passes, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			a := lint.ByName(name)
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "pboxlint: unknown pass %q (try -list)\n", name)
+				return 2
+			}
+			selected = append(selected, a)
+		}
+	}
+
+	patterns := fs.Args()
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pboxlint: %v\n", err)
+		return 2
+	}
+	pkgs, err := loader.Load(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pboxlint: %v\n", err)
+		return 2
+	}
+
+	res, err := driver.Run(pkgs, selected)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pboxlint: %v\n", err)
+		return 2
+	}
+	if *showSuppressed {
+		fmt.Fprintf(os.Stderr, "pboxlint: %d finding(s) suppressed by //pboxlint:ignore\n", res.Suppressed)
+	}
+	if driver.Render(os.Stdout, res) {
+		return 1
+	}
+	return 0
+}

@@ -124,6 +124,14 @@ func (a *Analyzer) AnalyzeSource(filename, src string) (*Result, error) {
 	return a.analyze(fset, []*ast.File{f}), nil
 }
 
+// AnalyzeFiles analyzes already-parsed files against fset — the entry point
+// used by the pboxlint waitloop pass, so the hand-rolled Algorithm 2
+// implementation and the go/analysis-style passes share one loading and
+// reporting stack.
+func (a *Analyzer) AnalyzeFiles(fset *token.FileSet, files []*ast.File) *Result {
+	return a.analyze(fset, files)
+}
+
 func (a *Analyzer) analyze(fset *token.FileSet, files []*ast.File) *Result {
 	res := &Result{Files: len(files)}
 

@@ -395,6 +395,8 @@ func (m *Manager) Freeze(p *PBox) {
 // single atomic load — no lock at all. An accepted event takes p's own
 // mutex and the lock stripe of key; two pBoxes updating unrelated resources
 // share nothing but atomic counters.
+//
+//pbox:hotpath
 func (m *Manager) Update(p *PBox, key ResourceKey, ev EventType) {
 	if m.opts.EventFilter != nil && !m.opts.EventFilter(key, ev) {
 		return
@@ -641,6 +643,8 @@ func (m *Manager) settleWaiters(p *PBox, s *shard, cl *competitorList, key Resou
 // attribution triple is copied aside for the serve that follows, so a new
 // action scheduled between the consume and the sleep cannot misattribute
 // the served time.
+//
+//pbox:hotpath
 func (m *Manager) takePending(p *PBox) time.Duration {
 	if p.pendingPenalty.Load() <= 0 {
 		return 0

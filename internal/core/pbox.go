@@ -121,6 +121,8 @@ type PBox struct {
 // stateIs reports whether the pBox is currently in s, with a single atomic
 // load. Safe with no locks held; callers needing the state to stay put
 // across a sequence must hold p.mu.
+//
+//pbox:hotpath
 func (p *PBox) stateIs(s State) bool { return State(p.state.Load()) == s }
 
 // setState publishes a lifecycle transition. Caller holds p.mu.

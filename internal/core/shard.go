@@ -48,6 +48,8 @@ type shard struct {
 const fibMix = 0x9e3779b97f4a7c15
 
 // shardFor returns the shard owning key.
+//
+//pbox:hotpath
 func (m *Manager) shardFor(key ResourceKey) *shard {
 	// shardShift is 64 - log2(len(shards)); a shift of 64 (single shard)
 	// yields index 0 by Go's defined >=width shift semantics.
@@ -103,6 +105,7 @@ func nextPow2(n int) int {
 // state from another.
 func (m *Manager) lockAllShards() func() {
 	for _, s := range m.shards {
+		//pboxlint:ignore lockorder stop-the-world sweep: shard locks are taken in ascending index order, the one sanctioned multi-shard hold (DESIGN.md §8)
 		s.mu.Lock()
 	}
 	return func() {

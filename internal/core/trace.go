@@ -134,6 +134,8 @@ func (r *traceRing) waitCh(since uint64) <-chan struct{} {
 // traceEvent appends to the ring when tracing is enabled. Safe from any
 // call site: the ring and the resource-name lookup use their own leaf
 // locks, and the pBox fields read here (id) are immutable.
+//
+//pbox:hotpath
 func (m *Manager) traceEvent(p *PBox, key ResourceKey, what string, extra time.Duration) {
 	if m.trace == nil {
 		return

@@ -1,0 +1,61 @@
+// Package analysis is a self-contained reimplementation of the
+// golang.org/x/tools/go/analysis vocabulary — Analyzer, Pass, Diagnostic —
+// for the pboxlint suite. The repo vendors no third-party modules, so the
+// x/tools driver cannot be imported; this package keeps the same shape
+// (an Analyzer is a named Run function over a type-checked package, a Pass
+// is the per-package invocation, diagnostics carry token positions) so the
+// passes read like stock go/analysis passes and could be ported onto the
+// upstream driver by swapping one import.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static analysis pass and its invariant.
+type Analyzer struct {
+	// Name identifies the pass in diagnostics and in
+	// //pboxlint:ignore comments (e.g. "lockorder").
+	Name string
+	// Doc is the one-paragraph description printed by pboxlint -list.
+	Doc string
+	// Run executes the pass over one package. Findings are delivered
+	// through pass.Report; the return value is reserved for pass-to-pass
+	// facts (unused today, kept for x/tools signature compatibility).
+	Run func(*Pass) (any, error)
+}
+
+// Pass is one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. The driver fills in the analyzer
+	// name and applies suppression comments.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+	// Analyzer is the reporting pass's name, filled in by the driver.
+	Analyzer string
+}
+
+// Position resolves the diagnostic's file position against fset.
+func (d Diagnostic) Position(fset *token.FileSet) token.Position {
+	return fset.Position(d.Pos)
+}

@@ -1,0 +1,185 @@
+// Package driver runs a set of analysis passes over loaded packages,
+// applies //pboxlint:ignore suppressions, and renders diagnostics — the
+// multichecker behind cmd/pboxlint and the shared reporting stack behind
+// cmd/pboxanalyze.
+//
+// Suppression syntax:
+//
+//	//pboxlint:ignore <pass> <reason>
+//
+// placed on the diagnostic's line or the line directly above it. The pass
+// name must match the reporting analyzer ("*" matches every pass) and the
+// reason is mandatory: an undocumented exception is itself a finding.
+package driver
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"io"
+	"sort"
+	"strings"
+
+	"pbox/internal/lint/analysis"
+	"pbox/internal/lint/loader"
+)
+
+// ignorePrefix is the suppression comment marker.
+const ignorePrefix = "//pboxlint:ignore"
+
+// Result is the outcome of one Run.
+type Result struct {
+	// Diagnostics are the surviving (unsuppressed) findings in file/line
+	// order.
+	Diagnostics []analysis.Diagnostic
+	// Suppressed counts findings silenced by //pboxlint:ignore comments.
+	Suppressed int
+	Fset       *token.FileSet
+	// Returns holds each pass's run-value per package, for drivers (like
+	// pboxanalyze) that consume structured results rather than diagnostics.
+	Returns []PassReturn
+}
+
+// PassReturn is one analyzer's return value for one package.
+type PassReturn struct {
+	Analyzer   string
+	ImportPath string
+	Value      any
+}
+
+// Run executes every analyzer over every package and merges the findings.
+func Run(pkgs []*loader.Package, analyzers []*analysis.Analyzer) (*Result, error) {
+	res := &Result{}
+	for _, pkg := range pkgs {
+		res.Fset = pkg.Fset
+		sup := collectIgnores(pkg)
+		for _, a := range analyzers {
+			var diags []analysis.Diagnostic
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				Report: func(d analysis.Diagnostic) {
+					d.Analyzer = a.Name
+					diags = append(diags, d)
+				},
+			}
+			val, err := a.Run(pass)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.ImportPath, err)
+			}
+			if val != nil {
+				res.Returns = append(res.Returns, PassReturn{
+					Analyzer: a.Name, ImportPath: pkg.ImportPath, Value: val,
+				})
+			}
+			for _, d := range diags {
+				if sup.matches(pkg.Fset, d) {
+					res.Suppressed++
+					continue
+				}
+				res.Diagnostics = append(res.Diagnostics, d)
+			}
+		}
+		// Malformed suppressions are findings too: an ignore with no
+		// reason, or one that silenced nothing, is a stale exception.
+		for _, bad := range sup.malformed {
+			res.Diagnostics = append(res.Diagnostics, bad)
+		}
+	}
+	if res.Fset != nil {
+		sort.SliceStable(res.Diagnostics, func(i, j int) bool {
+			pi, pj := res.Fset.Position(res.Diagnostics[i].Pos), res.Fset.Position(res.Diagnostics[j].Pos)
+			if pi.Filename != pj.Filename {
+				return pi.Filename < pj.Filename
+			}
+			if pi.Line != pj.Line {
+				return pi.Line < pj.Line
+			}
+			return res.Diagnostics[i].Analyzer < res.Diagnostics[j].Analyzer
+		})
+	}
+	return res, nil
+}
+
+// Render writes diagnostics in the conventional file:line:col form and
+// reports whether any were written.
+func Render(w io.Writer, res *Result) bool {
+	for _, d := range res.Diagnostics {
+		pos := res.Fset.Position(d.Pos)
+		fmt.Fprintf(w, "%s:%d:%d: [%s] %s\n", pos.Filename, pos.Line, pos.Column, d.Analyzer, d.Message)
+	}
+	return len(res.Diagnostics) > 0
+}
+
+// ignoreEntry is one parsed //pboxlint:ignore comment.
+type ignoreEntry struct {
+	file string
+	line int
+	pass string
+}
+
+// suppressions is the per-package ignore index.
+type suppressions struct {
+	entries   []ignoreEntry
+	malformed []analysis.Diagnostic
+}
+
+// collectIgnores scans a package's comments for suppression markers.
+func collectIgnores(pkg *loader.Package) *suppressions {
+	s := &suppressions{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					s.malformed = append(s.malformed, analysis.Diagnostic{
+						Pos:      c.Pos(),
+						Analyzer: "pboxlint",
+						Message:  "malformed suppression: want //pboxlint:ignore <pass> <reason>",
+					})
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				s.entries = append(s.entries, ignoreEntry{
+					file: pos.Filename,
+					line: pos.Line,
+					pass: fields[0],
+				})
+			}
+		}
+	}
+	return s
+}
+
+// matches reports whether d is silenced by an ignore on its own line or the
+// line directly above.
+func (s *suppressions) matches(fset *token.FileSet, d analysis.Diagnostic) bool {
+	pos := fset.Position(d.Pos)
+	for _, e := range s.entries {
+		if e.file != pos.Filename {
+			continue
+		}
+		if e.line != pos.Line && e.line != pos.Line-1 {
+			continue
+		}
+		if e.pass == "*" || e.pass == d.Analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// InspectFiles walks every file of a pass with ast.Inspect — a convenience
+// shared by the passes.
+func InspectFiles(files []*ast.File, fn func(ast.Node) bool) {
+	for _, f := range files {
+		ast.Inspect(f, fn)
+	}
+}

@@ -1,0 +1,50 @@
+package lint_test
+
+import (
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pbox/internal/lint/analysis"
+	"pbox/internal/lint/driver"
+	"pbox/internal/lint/linttest"
+	"pbox/internal/lint/loader"
+	"pbox/internal/lint/lockorder"
+)
+
+// TestSuppression exercises the //pboxlint:ignore machinery end to end: a
+// documented ignore silences its finding and increments Suppressed; a
+// malformed ignore (no reason) suppresses nothing and is itself reported.
+func TestSuppression(t *testing.T) {
+	srcRoot := linttest.TestData(t)
+	fset := token.NewFileSet()
+	pkg, err := loader.CheckSource(srcRoot, filepath.Join(srcRoot, "suppress"), fset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := driver.Run([]*loader.Package{pkg}, []*analysis.Analyzer{lockorder.Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Suppressed != 1 {
+		t.Errorf("Suppressed = %d, want 1", res.Suppressed)
+	}
+	var gotViolation, gotMalformed bool
+	for _, d := range res.Diagnostics {
+		switch {
+		case d.Analyzer == "lockorder" && strings.Contains(d.Message, "Manager.reg"):
+			gotViolation = true
+		case d.Analyzer == "pboxlint" && strings.Contains(d.Message, "malformed suppression"):
+			gotMalformed = true
+		default:
+			t.Errorf("unexpected diagnostic [%s] %s", d.Analyzer, d.Message)
+		}
+	}
+	if !gotViolation {
+		t.Error("malformed ignore wrongly suppressed the underlying violation")
+	}
+	if !gotMalformed {
+		t.Error("malformed ignore was not reported")
+	}
+}

@@ -1,0 +1,520 @@
+// Package eventpair checks that pBox lifecycle events are emitted in
+// matched pairs: every Hold must be matched by an Unhold and every Prepare
+// by an Enter on all control-flow paths of the enclosing function
+// (DESIGN.md §4 — an unmatched Prepare strands the state machine in
+// Preparing and an unmatched Hold leaks a holder entry, deadlocking
+// every later competitor on the resource).
+//
+// Modeled on x/tools' lostcancel: the pass finds calls whose argument list
+// contains an opener constant (Prepare or Hold) of the core EventType type,
+// derives a pairing key from the callee and the remaining arguments (so
+// r.event(a, core.Hold) pairs with r.event(a, core.Unhold) but not with
+// q.event(a, core.Unhold)), and then checks that a matching closer call is
+// reached on every path that leaves the function, honoring defers.
+//
+// Split-phase APIs are the one legitimate exception: Mutex.Lock emits Hold
+// and returns, with Unhold emitted later by Mutex.Unlock. The pass
+// therefore only enforces intra-function pairing when the function itself
+// contains BOTH sides of a pair for the same key — a function that opens
+// and also closes on some path must close on all paths; a function that
+// only opens is a split-phase API and is left to the dynamic state-machine
+// checks.
+package eventpair
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"pbox/internal/lint/analysis"
+)
+
+// Analyzer is the eventpair pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "eventpair",
+	Doc: "Hold/Unhold and Prepare/Enter events must pair on every " +
+		"control-flow path of a function that emits both sides",
+	Run: run,
+}
+
+// pairs maps opener event name to its closer.
+var pairs = map[string]string{
+	"Prepare": "Enter",
+	"Hold":    "Unhold",
+}
+
+// closers is the reverse index.
+var closers = map[string]string{
+	"Enter":  "Prepare",
+	"Unhold": "Hold",
+}
+
+// eventTypeName is the named type whose constants are lifecycle events.
+// Matching by type name rather than by import path keeps fixtures
+// self-contained while never misfiring in the real tree: core.EventType is
+// the only such type in the module.
+const eventTypeName = "EventType"
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+		// Function literals get the same treatment, independently.
+		ast.Inspect(f, func(n ast.Node) bool {
+			if fl, ok := n.(*ast.FuncLit); ok {
+				checkBody(pass, fl.Body)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	checkBody(pass, fd.Body)
+}
+
+// eventCall is one recognized event emission.
+type eventCall struct {
+	key   string // pairing key: callee + non-event args
+	event string // Prepare | Enter | Hold | Unhold
+	pos   token.Pos
+}
+
+// checkBody runs the pairing analysis over one function body. Nested
+// function literals are skipped here (they are analyzed as their own
+// bodies): an event emitted in a deferred or spawned closure belongs to
+// that closure's control flow.
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	// First sweep: which pairing keys have both sides present?
+	opened := map[string]map[string]bool{} // key → set of events seen
+	inspectSkipFuncLits(body, func(n ast.Node) {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if ec, ok := classify(pass, call); ok {
+				if opened[ec.key] == nil {
+					opened[ec.key] = map[string]bool{}
+				}
+				opened[ec.key][ec.event] = true
+			}
+		}
+	})
+	enforced := map[string]bool{} // key|opener → enforce all-paths pairing
+	for key, evs := range opened {
+		for opener, closer := range pairs {
+			if evs[opener] && evs[closer] {
+				enforced[key+"|"+opener] = true
+			}
+		}
+	}
+	if len(enforced) == 0 {
+		return
+	}
+	w := &walker{pass: pass, enforced: enforced}
+	open := map[string]token.Pos{}
+	exit, terminated := w.block(body.List, open)
+	if !terminated {
+		w.flagOpen(w.atExit(exit), "function returns")
+	}
+}
+
+// classify recognizes a call that passes a lifecycle-event constant and
+// derives its pairing key.
+func classify(pass *analysis.Pass, call *ast.CallExpr) (eventCall, bool) {
+	eventIdx := -1
+	var event string
+	for i, arg := range call.Args {
+		name, ok := eventConst(pass, arg)
+		if !ok {
+			continue
+		}
+		if _, opener := pairs[name]; !opener {
+			if _, closer := closers[name]; !closer {
+				continue
+			}
+		}
+		eventIdx, event = i, name
+		break
+	}
+	if eventIdx < 0 {
+		return eventCall{}, false
+	}
+	key := render(call.Fun)
+	for i, arg := range call.Args {
+		if i == eventIdx {
+			continue
+		}
+		key += "," + render(arg)
+	}
+	return eventCall{key: key, event: event, pos: call.Pos()}, true
+}
+
+// eventConst reports whether expr is a constant of the EventType named type
+// and returns its declared name.
+func eventConst(pass *analysis.Pass, expr ast.Expr) (string, bool) {
+	var id *ast.Ident
+	switch x := expr.(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return "", false
+	}
+	c, ok := pass.TypesInfo.Uses[id].(*types.Const)
+	if !ok {
+		return "", false
+	}
+	named, ok := c.Type().(*types.Named)
+	if !ok || named.Obj().Name() != eventTypeName {
+		return "", false
+	}
+	return c.Name(), true
+}
+
+// render produces a stable textual form of an expression for pairing keys.
+func render(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return render(x.X) + "." + x.Sel.Name
+	case *ast.CallExpr:
+		s := render(x.Fun) + "("
+		for i, a := range x.Args {
+			if i > 0 {
+				s += ","
+			}
+			s += render(a)
+		}
+		return s + ")"
+	case *ast.IndexExpr:
+		return render(x.X) + "[" + render(x.Index) + "]"
+	case *ast.BasicLit:
+		return x.Value
+	case *ast.UnaryExpr:
+		return x.Op.String() + render(x.X)
+	case *ast.StarExpr:
+		return "*" + render(x.X)
+	case *ast.ParenExpr:
+		return render(x.X)
+	default:
+		return fmt.Sprintf("<%T>", e)
+	}
+}
+
+// walker tracks open (unclosed) enforced pairs along control-flow paths.
+type walker struct {
+	pass     *analysis.Pass
+	enforced map[string]bool
+	deferred []eventCall // closers emitted via defer — apply at every exit
+	reported map[token.Pos]bool
+}
+
+func (w *walker) flagOpen(open map[string]token.Pos, how string) {
+	for ek, pos := range open {
+		if w.reported == nil {
+			w.reported = map[token.Pos]bool{}
+		}
+		if w.reported[pos] {
+			continue
+		}
+		// ek is key|opener.
+		opener := ek[lastBar(ek)+1:]
+		if w.reported[pos] {
+			continue
+		}
+		w.reported[pos] = true
+		w.pass.Reportf(pos, "%s emitted here is not matched by %s on every path (%s with the pair still open)",
+			opener, pairs[opener], how)
+	}
+}
+
+func lastBar(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '|' {
+			return i
+		}
+	}
+	return -1
+}
+
+// apply processes one event call against the open-set.
+func (w *walker) apply(ec eventCall, open map[string]token.Pos) {
+	if closer, ok := pairs[ec.event]; ok {
+		_ = closer
+		if w.enforced[ec.key+"|"+ec.event] {
+			open[ec.key+"|"+ec.event] = ec.pos
+		}
+		return
+	}
+	if opener, ok := closers[ec.event]; ok {
+		delete(open, ec.key+"|"+opener)
+	}
+}
+
+// exprEvents applies every event call inside an expression, skipping nested
+// function literals.
+func (w *walker) exprEvents(e ast.Expr, open map[string]token.Pos) {
+	if e == nil {
+		return
+	}
+	inspectSkipFuncLits(e, func(n ast.Node) {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if ec, ok := classify(w.pass, call); ok {
+				w.apply(ec, open)
+			}
+		}
+	})
+}
+
+// atExit returns the open-set at a function exit after deferred closers run.
+func (w *walker) atExit(open map[string]token.Pos) map[string]token.Pos {
+	out := clonePos(open)
+	for _, ec := range w.deferred {
+		w.apply(ec, out)
+	}
+	return out
+}
+
+func clonePos(m map[string]token.Pos) map[string]token.Pos {
+	c := make(map[string]token.Pos, len(m))
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}
+
+// mergeOpen unions two open-sets: a pair open on either incoming path is
+// open after the join.
+func mergeOpen(a, b map[string]token.Pos) map[string]token.Pos {
+	u := clonePos(a)
+	for k, v := range b {
+		if _, ok := u[k]; !ok {
+			u[k] = v
+		}
+	}
+	return u
+}
+
+// block interprets a statement list; reports at each return. The returned
+// bool is true when every path terminates before falling off the end.
+func (w *walker) block(stmts []ast.Stmt, open map[string]token.Pos) (map[string]token.Pos, bool) {
+	for _, s := range stmts {
+		var terminated bool
+		open, terminated = w.stmt(s, open)
+		if terminated {
+			return open, true
+		}
+	}
+	return open, false
+}
+
+func (w *walker) stmt(s ast.Stmt, open map[string]token.Pos) (map[string]token.Pos, bool) {
+	switch x := s.(type) {
+	case *ast.ExprStmt:
+		w.exprEvents(x.X, open)
+	case *ast.AssignStmt:
+		for _, e := range x.Rhs {
+			w.exprEvents(e, open)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := x.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.exprEvents(v, open)
+					}
+				}
+			}
+		}
+	case *ast.DeferStmt:
+		// defer emit(Unhold) — the closer runs at every subsequent exit.
+		if ec, ok := classify(w.pass, x.Call); ok {
+			w.deferred = append(w.deferred, ec)
+			return open, false
+		}
+		// defer func(){ emit(Unhold) }() — closers inside count the same
+		// way; openers inside a deferred closure are its own business.
+		if fl, ok := x.Call.Fun.(*ast.FuncLit); ok {
+			inspectSkipFuncLits(fl.Body, func(n ast.Node) {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if ec, ok := classify(w.pass, call); ok {
+						if _, isCloser := closers[ec.event]; isCloser {
+							w.deferred = append(w.deferred, ec)
+						}
+					}
+				}
+			})
+		}
+	case *ast.ReturnStmt:
+		for _, e := range x.Results {
+			w.exprEvents(e, open)
+		}
+		w.flagOpen(w.atExit(open), "returns")
+		return open, true
+	case *ast.BranchStmt:
+		// goto/break/continue: approximate by stopping the path without an
+		// exit check — the loop-level merge covers the common shapes.
+		if x.Tok == token.BREAK || x.Tok == token.CONTINUE || x.Tok == token.GOTO {
+			return open, true
+		}
+	case *ast.IfStmt:
+		if x.Init != nil {
+			open, _ = w.stmt(x.Init, open)
+		}
+		w.exprEvents(x.Cond, open)
+		thenO, thenT := w.block(x.Body.List, clonePos(open))
+		elseO, elseT := open, false
+		if x.Else != nil {
+			switch e := x.Else.(type) {
+			case *ast.BlockStmt:
+				elseO, elseT = w.block(e.List, clonePos(open))
+			case *ast.IfStmt:
+				elseO, elseT = w.stmt(e, clonePos(open))
+			}
+		}
+		switch {
+		case thenT && elseT:
+			return open, true
+		case thenT:
+			return elseO, false
+		case elseT:
+			return thenO, false
+		default:
+			return mergeOpen(thenO, elseO), false
+		}
+	case *ast.BlockStmt:
+		return w.block(x.List, open)
+	case *ast.ForStmt:
+		if x.Init != nil {
+			open, _ = w.stmt(x.Init, open)
+		}
+		w.exprEvents(x.Cond, open)
+		bodyO, _ := w.block(x.Body.List, clonePos(open))
+		if x.Cond == nil && !hasBreak(x.Body) {
+			// for{} with no exit: control never falls through. The returns
+			// inside the body were already checked.
+			return open, true
+		}
+		return mergeOpen(open, bodyO), false
+	case *ast.RangeStmt:
+		w.exprEvents(x.X, open)
+		bodyO, _ := w.block(x.Body.List, clonePos(open))
+		return mergeOpen(open, bodyO), false
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			open, _ = w.stmt(x.Init, open)
+		}
+		w.exprEvents(x.Tag, open)
+		return w.caseBodies(x.Body, open, hasDefault(x.Body))
+	case *ast.TypeSwitchStmt:
+		if x.Init != nil {
+			open, _ = w.stmt(x.Init, open)
+		}
+		return w.caseBodies(x.Body, open, hasDefault(x.Body))
+	case *ast.SelectStmt:
+		return w.caseBodies(x.Body, open, true)
+	case *ast.LabeledStmt:
+		return w.stmt(x.Stmt, open)
+	case *ast.GoStmt:
+		if _, ok := x.Call.Fun.(*ast.FuncLit); !ok {
+			w.exprEvents(x.Call, open)
+		}
+	case *ast.SendStmt:
+		w.exprEvents(x.Value, open)
+	}
+	return open, false
+}
+
+// caseBodies merges clause bodies; exhaustive reports whether a default
+// clause guarantees one body runs.
+func (w *walker) caseBodies(body *ast.BlockStmt, open map[string]token.Pos, exhaustive bool) (map[string]token.Pos, bool) {
+	var out map[string]token.Pos
+	if !exhaustive {
+		out = clonePos(open)
+	}
+	allTerminated := true
+	for _, cs := range body.List {
+		var stmts []ast.Stmt
+		switch c := cs.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				w.exprEvents(e, open)
+			}
+			stmts = c.Body
+		case *ast.CommClause:
+			if c.Comm != nil {
+				w.stmt(c.Comm, clonePos(open))
+			}
+			stmts = c.Body
+		}
+		co, terminated := w.block(stmts, clonePos(open))
+		if !terminated {
+			allTerminated = false
+			if out == nil {
+				out = co
+			} else {
+				out = mergeOpen(out, co)
+			}
+		}
+	}
+	if exhaustive && allTerminated && len(body.List) > 0 {
+		return open, true
+	}
+	if out == nil {
+		out = clonePos(open)
+	}
+	return out, false
+}
+
+func hasDefault(body *ast.BlockStmt) bool {
+	for _, cs := range body.List {
+		if c, ok := cs.(*ast.CaseClause); ok && c.List == nil {
+			return true
+		}
+		if c, ok := cs.(*ast.CommClause); ok && c.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// hasBreak reports whether a block contains a break that would exit the
+// enclosing for statement (not one belonging to a nested loop or switch).
+func hasBreak(body *ast.BlockStmt) bool {
+	found := false
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.BranchStmt:
+			if x.Tok == token.BREAK {
+				found = true
+			}
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt, *ast.FuncLit:
+			return false // breaks inside bind to the inner statement
+		}
+		return true
+	}
+	for _, s := range body.List {
+		ast.Inspect(s, walk)
+	}
+	return found
+}
+
+// inspectSkipFuncLits walks n, calling fn on every node outside nested
+// function literals.
+func inspectSkipFuncLits(n ast.Node, fn func(ast.Node)) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok && m != n {
+			return false
+		}
+		fn(m)
+		return true
+	})
+}

@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"pbox/internal/lint/eventpair"
+	"pbox/internal/lint/linttest"
+)
+
+func TestEventPair(t *testing.T) {
+	linttest.Run(t, linttest.TestData(t), "eventpair", eventpair.Analyzer)
+}

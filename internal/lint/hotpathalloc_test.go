@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"pbox/internal/lint/hotpathalloc"
+	"pbox/internal/lint/linttest"
+)
+
+func TestHotPathAlloc(t *testing.T) {
+	linttest.Run(t, linttest.TestData(t), "hotpathalloc", hotpathalloc.Analyzer)
+}

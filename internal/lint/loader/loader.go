@@ -1,0 +1,270 @@
+// Package loader loads and type-checks Go packages for the pboxlint passes
+// without golang.org/x/tools. It is the offline equivalent of
+// go/packages.Load(NeedSyntax|NeedTypes): one `go list -export -deps -json`
+// invocation enumerates the target packages and compiles export data for
+// every dependency into the build cache, and the stdlib gc importer
+// (go/importer with a lookup function) then resolves imports from those
+// export files while the targets themselves are parsed and type-checked
+// from source.
+package loader
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// listedPackage mirrors the fields of `go list -json` the loader consumes.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Match      []string
+	Error      *struct{ Err string }
+}
+
+// Load lists patterns in module directory dir (repo root usually), builds
+// export data for the dependency graph, and returns the packages the
+// patterns matched, parsed with comments and fully type-checked. Packages
+// that fail to list or type-check return an error: the linter refuses to
+// bless a tree it could not fully see.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,Match,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("loader: go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+
+	exports := make(map[string]string)
+	var targets []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("loader: decoding go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("loader: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if len(p.Match) > 0 {
+			targets = append(targets, p)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports)
+	var pkgs []*Package
+	for _, t := range targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := check(fset, imp, t.ImportPath, t.Dir, t.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// exportImporter returns a gc importer resolving import paths through the
+// export-data files go list reported.
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("loader: no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+}
+
+// check parses and type-checks one package from source.
+func check(fset *token.FileSet, imp types.Importer, importPath, dir string, goFiles []string) (*Package, error) {
+	files := make([]*ast.File, 0, len(goFiles))
+	for _, g := range goFiles {
+		name := g
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(dir, g)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("loader: %v", err)
+		}
+		files = append(files, f)
+	}
+	info := NewInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("loader: type-checking %s: %v", importPath, err)
+	}
+	return &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}
+
+// NewInfo allocates a types.Info with every map the passes consult.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// stdExports caches export-data paths for standard-library packages, shared
+// by every CheckSource call in one process (the linttest fixtures).
+var stdExports = make(map[string]string)
+
+// CheckSource parses and type-checks an ad-hoc package given explicit file
+// paths — the fixture loader behind the analysistest-style golden tests.
+// Imports are resolved against sibling fixture directories under srcRoot
+// first (GOPATH-style: import "x" loads srcRoot/x), then against the
+// standard library via on-demand `go list -export`.
+func CheckSource(srcRoot, pkgDir string, fset *token.FileSet) (*Package, error) {
+	loading := make(map[string]bool)
+	pkgs := make(map[string]*Package)
+	var load func(dir, path string) (*Package, error)
+
+	var imp types.Importer
+	impFn := importFunc(func(path string) (*types.Package, error) {
+		if fixDir := filepath.Join(srcRoot, filepath.FromSlash(path)); isDir(fixDir) {
+			p, err := load(fixDir, path)
+			if err != nil {
+				return nil, err
+			}
+			return p.Types, nil
+		}
+		return stdImport(fset, path)
+	})
+	imp = impFn
+
+	load = func(dir, path string) (*Package, error) {
+		if p, ok := pkgs[path]; ok {
+			return p, nil
+		}
+		if loading[path] {
+			return nil, fmt.Errorf("loader: fixture import cycle through %q", path)
+		}
+		loading[path] = true
+		defer delete(loading, path)
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		var goFiles []string
+		for _, e := range ents {
+			if !e.IsDir() && filepath.Ext(e.Name()) == ".go" {
+				goFiles = append(goFiles, filepath.Join(dir, e.Name()))
+			}
+		}
+		if len(goFiles) == 0 {
+			return nil, fmt.Errorf("loader: no .go files in %s", dir)
+		}
+		sort.Strings(goFiles)
+		p, err := check(fset, imp, path, dir, goFiles)
+		if err != nil {
+			return nil, err
+		}
+		pkgs[path] = p
+		return p, nil
+	}
+
+	rel, err := filepath.Rel(srcRoot, pkgDir)
+	if err != nil {
+		rel = filepath.Base(pkgDir)
+	}
+	return load(pkgDir, filepath.ToSlash(rel))
+}
+
+// importFunc adapts a function to types.Importer.
+type importFunc func(path string) (*types.Package, error)
+
+func (f importFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// stdImp is the process-wide gc importer for standard-library packages. One
+// shared instance (with its own FileSet — export data carries no usable
+// positions anyway) keeps type identity consistent: every fixture package
+// loaded in one test binary sees the same *types.Package for "sync".
+var (
+	stdFset = token.NewFileSet()
+	stdImp  = exportImporter(stdFset, stdExports)
+)
+
+// stdImport imports a standard-library package from compiler export data,
+// shelling out to `go list -export` the first time a root is needed.
+func stdImport(_ *token.FileSet, path string) (*types.Package, error) {
+	if _, ok := stdExports[path]; !ok {
+		cmd := exec.Command("go", "list", "-export", "-deps", "-json=ImportPath,Export", path)
+		var stderr bytes.Buffer
+		cmd.Stderr = &stderr
+		out, err := cmd.Output()
+		if err != nil {
+			return nil, fmt.Errorf("loader: go list -export %s: %v\n%s", path, err, stderr.String())
+		}
+		dec := json.NewDecoder(bytes.NewReader(out))
+		for {
+			var p listedPackage
+			if err := dec.Decode(&p); err == io.EOF {
+				break
+			} else if err != nil {
+				return nil, err
+			}
+			if p.Export != "" {
+				stdExports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	return stdImp.Import(path)
+}
+
+func isDir(p string) bool {
+	st, err := os.Stat(p)
+	return err == nil && st.IsDir()
+}

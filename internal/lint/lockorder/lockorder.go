@@ -1,0 +1,490 @@
+// Package lockorder statically enforces the manager's lock-acquisition
+// order (DESIGN.md §8):
+//
+//	registry → pbox.mu → shard.mu → verdictMu → leaves (actMu, penMu,
+//	                                             shard.namesMu, trace ring)
+//
+// plus the extra rules: a shard lock is never held while acquiring the
+// registry lock (subsumed by the rank order), at most one lock of a class
+// is held at a time (no second PBox.mu, no second shard.mu outside the
+// index-ordered stop-the-world sweep, no two actMus), and leaves are
+// terminal — nothing is acquired while holding a leaf, which subsumes "no
+// leaf is held while acquiring verdictMu".
+//
+// The pass extracts the static lock graph: every Lock/RLock/Unlock/RUnlock
+// call on a sync.Mutex or sync.RWMutex field is classified by the named
+// type that owns the field (Manager.reg, PBox.mu, shard.mu,
+// Manager.verdictMu, PBox.actMu, PBox.penMu, shard.namesMu, traceRing.mu).
+// A linear abstract interpretation tracks the held-set through each
+// function body (branches merge by union, early returns leave the merge),
+// and a fixpoint over same-package calls summarizes which classes each
+// function may acquire, so "Freeze calls takeActionVerdict while holding
+// pbox.mu" is checked against everything takeActionVerdict transitively
+// locks. Unknown mutexes (types outside the configured table) are ignored:
+// the order is a contract between the manager's own locks.
+package lockorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"pbox/internal/lint/analysis"
+)
+
+// Analyzer is the lockorder pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc: "enforce the DESIGN.md §8 lock order of the manager " +
+		"(registry → pbox.mu → shard.mu → verdictMu → leaves)",
+	Run: run,
+}
+
+// Rank positions in the documented order. Leaves share leafRank and are
+// terminal.
+const (
+	rankRegistry = 0
+	rankPBoxMu   = 10
+	rankShardMu  = 20
+	rankVerdict  = 30
+	leafRank     = 40
+)
+
+// classSpec ranks one lock class, keyed by the owning named type and field.
+type classSpec struct {
+	owner string // named type that declares the mutex field
+	field string // mutex field name
+}
+
+// lockTable is the §8 order. Fixture packages declaring types and fields of
+// the same names are ranked identically, which is what the golden tests
+// exercise.
+var lockTable = map[classSpec]int{
+	{"Manager", "reg"}:       rankRegistry,
+	{"PBox", "mu"}:           rankPBoxMu,
+	{"shard", "mu"}:          rankShardMu,
+	{"Manager", "verdictMu"}: rankVerdict,
+	{"PBox", "actMu"}:        leafRank,
+	{"PBox", "penMu"}:        leafRank,
+	{"shard", "namesMu"}:     leafRank,
+	{"traceRing", "mu"}:      leafRank,
+}
+
+// orderDoc is appended to order-violation messages.
+const orderDoc = "DESIGN.md §8 order: registry → pbox.mu → shard.mu → verdictMu → leaves"
+
+// lockClass is one recognized lock class.
+type lockClass struct {
+	spec classSpec
+	rank int
+}
+
+func (c lockClass) String() string { return c.spec.owner + "." + c.spec.field }
+func (c lockClass) leaf() bool     { return c.rank >= leafRank }
+
+// lockOp is a classified Lock/Unlock call.
+type lockOp struct {
+	class   lockClass
+	acquire bool // Lock/RLock vs Unlock/RUnlock
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	st := &state{
+		pass:      pass,
+		decls:     make(map[*types.Func]*ast.FuncDecl),
+		summaries: make(map[*types.Func]map[lockClass]bool),
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				st.decls[fn] = fd
+			}
+		}
+	}
+	st.summarize()
+	for fn, fd := range st.decls {
+		_ = fn
+		w := &walker{st: st}
+		w.block(fd.Body.List, newHeld())
+		for _, fl := range w.funcLits {
+			inner := &walker{st: st}
+			inner.block(fl.Body.List, newHeld())
+		}
+	}
+	return nil, nil
+}
+
+// state is the per-package analysis state.
+type state struct {
+	pass      *analysis.Pass
+	decls     map[*types.Func]*ast.FuncDecl
+	summaries map[*types.Func]map[lockClass]bool
+}
+
+// summarize computes, to a fixpoint, the set of lock classes each function
+// may acquire directly or through same-package calls.
+func (st *state) summarize() {
+	for fn := range st.decls {
+		st.summaries[fn] = make(map[lockClass]bool)
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, fd := range st.decls {
+			sum := st.summaries[fn]
+			before := len(sum)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if op, ok := st.classifyLockCall(call); ok && op.acquire {
+					sum[op.class] = true
+					return true
+				}
+				if callee := st.callee(call); callee != nil {
+					for c := range st.summaries[callee] {
+						sum[c] = true
+					}
+				}
+				return true
+			})
+			if len(sum) != before {
+				changed = true
+			}
+		}
+	}
+}
+
+// callee resolves a call to a same-package declared function, or nil.
+func (st *state) callee(call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		obj = st.pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = st.pass.TypesInfo.Uses[fun.Sel]
+	default:
+		return nil
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	if _, have := st.decls[fn]; !have {
+		return nil
+	}
+	return fn
+}
+
+// syncLockMethods are the mutex methods the pass models. TryLock is treated
+// as an acquisition: the §8 order must hold even for opportunistic paths.
+var syncLockMethods = map[string]bool{
+	"Lock": true, "RLock": true, "TryLock": true, "TryRLock": true,
+	"Unlock": false, "RUnlock": false,
+}
+
+// classifyLockCall recognizes expr as a Lock/Unlock-family call on a
+// configured lock class.
+func (st *state) classifyLockCall(call *ast.CallExpr) (lockOp, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockOp{}, false
+	}
+	acquire, isLockMethod := syncLockMethods[sel.Sel.Name]
+	if !isLockMethod {
+		return lockOp{}, false
+	}
+	// The method must come from package sync (Mutex/RWMutex, possibly via
+	// embedding).
+	obj := st.pass.TypesInfo.Uses[sel.Sel]
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return lockOp{}, false
+	}
+	// The mutex expression must itself be a field selection owner.field so
+	// it can be classified; anything else (local mutex, parameter) is
+	// outside the table.
+	base, ok := sel.X.(*ast.SelectorExpr)
+	if !ok {
+		return lockOp{}, false
+	}
+	ownerType := st.pass.TypesInfo.Types[base.X].Type
+	if ownerType == nil {
+		return lockOp{}, false
+	}
+	for {
+		p, ok := ownerType.Underlying().(*types.Pointer)
+		if !ok {
+			break
+		}
+		ownerType = p.Elem()
+	}
+	named, ok := ownerType.(*types.Named)
+	if !ok {
+		return lockOp{}, false
+	}
+	spec := classSpec{owner: named.Obj().Name(), field: base.Sel.Name}
+	rank, ok := lockTable[spec]
+	if !ok {
+		return lockOp{}, false
+	}
+	return lockOp{class: lockClass{spec: spec, rank: rank}, acquire: acquire}, true
+}
+
+// held is the abstract held-set: class → first acquisition position.
+type held map[lockClass]token.Pos
+
+func newHeld() held { return make(held) }
+
+func (h held) clone() held {
+	c := make(held, len(h))
+	for k, v := range h {
+		c[k] = v
+	}
+	return c
+}
+
+func (h held) union(o held) held {
+	u := h.clone()
+	for k, v := range o {
+		if _, ok := u[k]; !ok {
+			u[k] = v
+		}
+	}
+	return u
+}
+
+// walker interprets one function body.
+type walker struct {
+	st       *state
+	funcLits []*ast.FuncLit
+	reported map[token.Pos]bool
+}
+
+func (w *walker) reportOnce(pos token.Pos, format string, args ...any) {
+	if w.reported == nil {
+		w.reported = make(map[token.Pos]bool)
+	}
+	if w.reported[pos] {
+		return
+	}
+	w.reported[pos] = true
+	w.st.pass.Reportf(pos, format, args...)
+}
+
+// checkAcquire validates acquiring class c while h is held.
+func (w *walker) checkAcquire(pos token.Pos, c lockClass, h held, via string) {
+	for hc := range h {
+		switch {
+		case hc == c:
+			w.reportOnce(pos, "%sacquires %s while a %s is already held (%s)",
+				via, c, hc, "at most one lock of a class may be held")
+		case hc.leaf():
+			w.reportOnce(pos, "%sacquires %s while holding leaf lock %s (leaves are terminal: nothing may be acquired under them)",
+				via, c, hc)
+		case c.rank < hc.rank:
+			w.reportOnce(pos, "%sacquires %s while holding %s, against the order (%s)",
+				via, c, hc, orderDoc)
+		}
+	}
+}
+
+// exprCalls processes every call in an expression tree in inspection order:
+// lock operations mutate the held-set, same-package calls are checked
+// against their summaries. Function literals are queued for separate
+// analysis with an empty held-set (they run on their own goroutine or at a
+// later time; §8 violations inside them still surface).
+func (w *walker) exprCalls(e ast.Expr, h held) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			w.funcLits = append(w.funcLits, x)
+			return false
+		case *ast.CallExpr:
+			if op, ok := w.st.classifyLockCall(x); ok {
+				if op.acquire {
+					w.checkAcquire(x.Pos(), op.class, h, "")
+					h[op.class] = x.Pos()
+				} else {
+					delete(h, op.class)
+				}
+				return true
+			}
+			if callee := w.st.callee(x); callee != nil {
+				for c := range w.st.summaries[callee] {
+					w.checkAcquire(x.Pos(), c, h, "call to "+callee.Name()+" ")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// block interprets a statement list, returning the exit held-set and
+// whether every path through the list terminates (returns/panics) before
+// falling off the end.
+func (w *walker) block(stmts []ast.Stmt, h held) (held, bool) {
+	for _, s := range stmts {
+		var terminated bool
+		h, terminated = w.stmt(s, h)
+		if terminated {
+			return h, true
+		}
+	}
+	return h, false
+}
+
+// stmt interprets one statement.
+func (w *walker) stmt(s ast.Stmt, h held) (held, bool) {
+	switch x := s.(type) {
+	case *ast.ExprStmt:
+		w.exprCalls(x.X, h)
+	case *ast.AssignStmt:
+		for _, e := range x.Rhs {
+			w.exprCalls(e, h)
+		}
+		for _, e := range x.Lhs {
+			w.exprCalls(e, h)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := x.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.exprCalls(v, h)
+					}
+				}
+			}
+		}
+	case *ast.DeferStmt:
+		// A deferred Unlock keeps the lock held for the remainder of the
+		// body (correct: later acquisitions happen under it). A deferred
+		// anonymous function is analyzed separately.
+		if op, ok := w.st.classifyLockCall(x.Call); ok && op.acquire {
+			// defer mu.Lock() — acquisition at exit; check against the
+			// current held-set as an approximation.
+			w.checkAcquire(x.Call.Pos(), op.class, h, "deferred ")
+		}
+		if fl, ok := x.Call.Fun.(*ast.FuncLit); ok {
+			w.funcLits = append(w.funcLits, fl)
+		}
+	case *ast.GoStmt:
+		if fl, ok := x.Call.Fun.(*ast.FuncLit); ok {
+			w.funcLits = append(w.funcLits, fl)
+		} else {
+			w.exprCalls(x.Call, h)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range x.Results {
+			w.exprCalls(e, h)
+		}
+		return h, true
+	case *ast.IfStmt:
+		if x.Init != nil {
+			h, _ = w.stmt(x.Init, h)
+		}
+		w.exprCalls(x.Cond, h)
+		thenH, thenTerm := w.block(x.Body.List, h.clone())
+		elseH, elseTerm := h, false
+		if x.Else != nil {
+			switch e := x.Else.(type) {
+			case *ast.BlockStmt:
+				elseH, elseTerm = w.block(e.List, h.clone())
+			case *ast.IfStmt:
+				var eh held
+				eh, elseTerm = w.stmt(e, h.clone())
+				elseH = eh
+			}
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return h, true
+		case thenTerm:
+			return elseH, false
+		case elseTerm:
+			return thenH, false
+		default:
+			return thenH.union(elseH), false
+		}
+	case *ast.BlockStmt:
+		return w.block(x.List, h)
+	case *ast.ForStmt:
+		if x.Init != nil {
+			h, _ = w.stmt(x.Init, h)
+		}
+		w.exprCalls(x.Cond, h)
+		bodyH := w.loopBody(x.Body.List, h)
+		if x.Post != nil {
+			w.stmt(x.Post, bodyH)
+		}
+		// The body runs zero or more times; merge both possibilities.
+		return h.union(bodyH), false
+	case *ast.RangeStmt:
+		w.exprCalls(x.X, h)
+		bodyH := w.loopBody(x.Body.List, h)
+		return h.union(bodyH), false
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			h, _ = w.stmt(x.Init, h)
+		}
+		w.exprCalls(x.Tag, h)
+		return w.caseBodies(x.Body, h)
+	case *ast.TypeSwitchStmt:
+		if x.Init != nil {
+			h, _ = w.stmt(x.Init, h)
+		}
+		return w.caseBodies(x.Body, h)
+	case *ast.SelectStmt:
+		return w.caseBodies(x.Body, h)
+	case *ast.LabeledStmt:
+		return w.stmt(x.Stmt, h)
+	case *ast.SendStmt:
+		w.exprCalls(x.Chan, h)
+		w.exprCalls(x.Value, h)
+	case *ast.IncDecStmt:
+		w.exprCalls(x.X, h)
+	}
+	return h, false
+}
+
+// loopBody interprets a loop body twice: once from the loop-entry state and
+// once from the merged back-edge state, so a lock acquired in iteration N
+// and still held when iteration N+1 re-acquires it is caught (the
+// stop-the-world sweep shape). reportOnce dedups the double visit.
+func (w *walker) loopBody(stmts []ast.Stmt, h held) held {
+	first, _ := w.block(stmts, h.clone())
+	again, _ := w.block(stmts, h.union(first))
+	return first.union(again)
+}
+
+// caseBodies merges the clause bodies of a switch/select.
+func (w *walker) caseBodies(body *ast.BlockStmt, h held) (held, bool) {
+	out := h.clone()
+	for _, cs := range body.List {
+		var stmts []ast.Stmt
+		switch c := cs.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				w.exprCalls(e, h)
+			}
+			stmts = c.Body
+		case *ast.CommClause:
+			if c.Comm != nil {
+				w.stmt(c.Comm, h.clone())
+			}
+			stmts = c.Body
+		}
+		ch, terminated := w.block(stmts, h.clone())
+		if !terminated {
+			out = out.union(ch)
+		}
+	}
+	return out, false
+}

@@ -1,0 +1,72 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"pbox/internal/analyzer"
+	"pbox/internal/lint/analysis"
+	"pbox/internal/lint/driver"
+	"pbox/internal/lint/loader"
+	"pbox/internal/lint/waitloop"
+)
+
+// TestWaitloopPortMatchesLegacy pins the Algorithm 2 port: running the
+// analyzer through the shared loader/driver stack must produce exactly the
+// candidate locations the legacy directory walker produced on internal/vres
+// (same files, lines, wait calls, and shared-variable sets — compared via
+// the stable Location.String() rendering pboxanalyze prints).
+func TestWaitloopPortMatchesLegacy(t *testing.T) {
+	repoRoot, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vresDir := filepath.Join(repoRoot, "internal", "vres")
+
+	legacy, err := analyzer.New(nil).AnalyzeDir(vresDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pkgs, err := loader.Load(repoRoot, "./internal/vres")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := driver.Run(pkgs, []*analysis.Analyzer{waitloop.Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ported *analyzer.Result
+	for _, ret := range res.Returns {
+		if r, ok := ret.Value.(*analyzer.Result); ok {
+			ported = r
+		}
+	}
+	if ported == nil {
+		t.Fatal("waitloop pass returned no result for internal/vres")
+	}
+
+	if ported.Files != legacy.Files {
+		t.Errorf("Files = %d, legacy %d", ported.Files, legacy.Files)
+	}
+	if ported.InspectedFuncs != legacy.InspectedFuncs {
+		t.Errorf("InspectedFuncs = %d, legacy %d", ported.InspectedFuncs, legacy.InspectedFuncs)
+	}
+	if got, want := render(ported), render(legacy); got != want {
+		t.Errorf("ported locations differ from legacy:\nported:\n%s\nlegacy:\n%s", got, want)
+	}
+	// Every candidate location must also surface as a driver diagnostic, so
+	// pboxlint -passes waitloop reports the same information.
+	if len(res.Diagnostics) != len(legacy.Locations) {
+		t.Errorf("driver reported %d diagnostics, legacy found %d locations",
+			len(res.Diagnostics), len(legacy.Locations))
+	}
+}
+
+func render(r *analyzer.Result) string {
+	out := ""
+	for _, l := range r.Locations {
+		out += l.String() + "\n"
+	}
+	return out
+}

@@ -1,0 +1,208 @@
+// Package reentry forbids observer re-entry into the manager. Observer and
+// AttributionObserver callbacks fire while manager locks are held
+// (internal/core/observer.go documents the contract), so a callback that
+// calls back into a Manager method that takes those locks deadlocks — or,
+// with RLock, silently reorders the §8 lock graph.
+//
+// The pass finds every concrete type in the package that implements an
+// interface named Observer or AttributionObserver (looked up in the package
+// itself and its direct imports), takes each callback method as an entry
+// point — except PenaltyServed and PenaltyServedFor, which the contract
+// runs outside all locks — and walks the same-package static call closure.
+// Any reachable call to a method on the Manager type is a finding unless
+// the method is one of the documented lock-free accessors: ResourceName,
+// Crossings, ShardCount. Calls through non-Manager interfaces (e.g. a
+// ResourceNamer field) are not flagged: the indirection is exactly how
+// observers are supposed to defer manager access to safe contexts.
+package reentry
+
+import (
+	"go/ast"
+	"go/types"
+
+	"pbox/internal/lint/analysis"
+)
+
+// Analyzer is the reentry pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "reentry",
+	Doc: "observer callbacks run under manager locks and must not call " +
+		"back into Manager methods that take those locks",
+	Run: run,
+}
+
+// observerInterfaces are the interface names whose implementations are
+// checked.
+var observerInterfaces = map[string]bool{
+	"Observer":            true,
+	"AttributionObserver": true,
+}
+
+// lockFree are the Manager methods observers may call: documented to take
+// no manager locks (atomic counters and immutable registration data).
+var lockFree = map[string]bool{
+	"ResourceName": true,
+	"Crossings":    true,
+	"ShardCount":   true,
+}
+
+// outsideLocks are callback methods the Observer contract invokes with no
+// manager lock held (penalty sleeps happen outside the event mutexes), so
+// re-entry from them is safe.
+var outsideLocks = map[string]bool{
+	"PenaltyServed":    true,
+	"PenaltyServedFor": true,
+}
+
+// managerTypeName is the type whose methods are protected.
+const managerTypeName = "Manager"
+
+func run(pass *analysis.Pass) (any, error) {
+	ifaces := observerIfaces(pass.Pkg)
+	if len(ifaces) == 0 {
+		return nil, nil
+	}
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					decls[fn] = fd
+				}
+			}
+		}
+	}
+
+	// Entry points: callback methods of implementing types.
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		for _, iface := range ifaces {
+			if !types.Implements(named, iface) && !types.Implements(types.NewPointer(named), iface) {
+				continue
+			}
+			for i := 0; i < iface.NumMethods(); i++ {
+				m := iface.Method(i)
+				if outsideLocks[m.Name()] {
+					continue
+				}
+				obj, _, _ := types.LookupFieldOrMethod(named, true, pass.Pkg, m.Name())
+				entry, ok := obj.(*types.Func)
+				if !ok {
+					continue
+				}
+				if _, have := decls[entry]; !have {
+					continue // promoted from an embedded external type
+				}
+				check(pass, decls, entry, named.Obj().Name()+"."+m.Name())
+			}
+		}
+	}
+	return nil, nil
+}
+
+// observerIfaces collects interface types named Observer/AttributionObserver
+// visible to the package (its own scope and its direct imports).
+func observerIfaces(pkg *types.Package) []*types.Interface {
+	var out []*types.Interface
+	collect := func(p *types.Package) {
+		for name := range observerInterfaces {
+			if tn, ok := p.Scope().Lookup(name).(*types.TypeName); ok {
+				if iface, ok := tn.Type().Underlying().(*types.Interface); ok {
+					out = append(out, iface)
+				}
+			}
+		}
+	}
+	collect(pkg)
+	for _, imp := range pkg.Imports() {
+		collect(imp)
+	}
+	return out
+}
+
+// check walks the same-package call closure from entry, flagging reachable
+// Manager method calls.
+func check(pass *analysis.Pass, decls map[*types.Func]*ast.FuncDecl, entry *types.Func, callback string) {
+	seen := map[*types.Func]bool{}
+	var visit func(fn *types.Func, via string)
+	visit = func(fn *types.Func, via string) {
+		if seen[fn] {
+			return
+		}
+		seen[fn] = true
+		fd := decls[fn]
+		if fd == nil {
+			return
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(pass, call)
+			if callee == nil {
+				return true
+			}
+			if isManagerMethod(callee) && !lockFree[callee.Name()] {
+				pass.Reportf(call.Pos(),
+					"observer callback %s%s calls Manager.%s, which takes manager locks already held at the callback site",
+					callback, via, callee.Name())
+				return true
+			}
+			if _, samePkg := decls[callee]; samePkg {
+				next := via
+				if next == "" {
+					next = " (via " + callee.Name() + ")"
+				}
+				visit(callee, next)
+			}
+			return true
+		})
+	}
+	visit(entry, "")
+}
+
+// calleeFunc resolves the static callee of a call, if any.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[fun.Sel]
+	default:
+		return nil
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// isManagerMethod reports whether fn is a method declared on the concrete
+// Manager type (interface methods don't count: calling through an
+// abstraction like ResourceNamer is the sanctioned pattern).
+func isManagerMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	if _, isIface := named.Underlying().(*types.Interface); isIface {
+		return false
+	}
+	return named.Obj().Name() == managerTypeName
+}

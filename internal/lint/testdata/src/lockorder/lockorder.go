@@ -1,0 +1,149 @@
+// Fixture for the lockorder pass: types mirror the internal/core lock
+// classes (the pass ranks by owner-type and field name, so the fixture
+// exercises the exact production table).
+package lockorder
+
+import "sync"
+
+type Manager struct {
+	reg       sync.Mutex
+	verdictMu sync.Mutex
+	shards    []*shard
+}
+
+type PBox struct {
+	mu    sync.Mutex
+	actMu sync.Mutex
+	penMu sync.Mutex
+}
+
+type shard struct {
+	mu      sync.Mutex
+	namesMu sync.RWMutex
+}
+
+type traceRing struct {
+	mu sync.Mutex
+}
+
+// goodDescent walks the documented order top to bottom: clean.
+func goodDescent(m *Manager, p *PBox, s *shard) {
+	m.reg.Lock()
+	p.mu.Lock()
+	s.mu.Lock()
+	m.verdictMu.Lock()
+	p.actMu.Lock()
+	p.actMu.Unlock()
+	m.verdictMu.Unlock()
+	s.mu.Unlock()
+	p.mu.Unlock()
+	m.reg.Unlock()
+}
+
+// badShardThenRegistry inverts the order.
+func badShardThenRegistry(m *Manager, s *shard) {
+	s.mu.Lock()
+	m.reg.Lock() // want `acquires Manager\.reg while holding shard\.mu`
+	m.reg.Unlock()
+	s.mu.Unlock()
+}
+
+// badTwoPBoxes holds two pbox locks at once.
+func badTwoPBoxes(a, b *PBox) {
+	a.mu.Lock()
+	b.mu.Lock() // want `while a PBox\.mu is already held`
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// badLeafThenVerdict acquires under a terminal leaf.
+func badLeafThenVerdict(m *Manager, p *PBox) {
+	p.actMu.Lock()
+	m.verdictMu.Lock() // want `while holding leaf lock PBox\.actMu`
+	m.verdictMu.Unlock()
+	p.actMu.Unlock()
+}
+
+// badTwoLeaves holds two leaves at once.
+func badTwoLeaves(p *PBox) {
+	p.actMu.Lock()
+	p.penMu.Lock() // want `while holding leaf lock PBox\.actMu`
+	p.penMu.Unlock()
+	p.actMu.Unlock()
+}
+
+// goodSequentialLeaves takes leaves one at a time: clean.
+func goodSequentialLeaves(p *PBox) {
+	p.actMu.Lock()
+	p.actMu.Unlock()
+	p.penMu.Lock()
+	p.penMu.Unlock()
+}
+
+// takeVerdict is a helper whose summary contains Manager.verdictMu.
+func takeVerdict(m *Manager) {
+	m.verdictMu.Lock()
+	m.verdictMu.Unlock()
+}
+
+// badCallUnderLeaf reaches verdictMu interprocedurally with a leaf held.
+func badCallUnderLeaf(m *Manager, p *PBox) {
+	p.penMu.Lock()
+	takeVerdict(m) // want `call to takeVerdict acquires Manager\.verdictMu while holding leaf lock PBox\.penMu`
+	p.penMu.Unlock()
+}
+
+// goodDefer: deferred unlocks keep the locks held to function end, which is
+// still a clean descent.
+func goodDefer(m *Manager, p *PBox) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	m.verdictMu.Lock()
+	defer m.verdictMu.Unlock()
+}
+
+// badBranchMerge: a lock taken on one branch is conservatively held after
+// the join.
+func badBranchMerge(p *PBox, s *shard, cond bool) {
+	if cond {
+		s.mu.Lock()
+	}
+	p.mu.Lock() // want `acquires PBox\.mu while holding shard\.mu`
+	p.mu.Unlock()
+	if cond {
+		s.mu.Unlock()
+	}
+}
+
+// badLoopReacquire is the unsanctioned version of the stop-the-world sweep.
+func badLoopReacquire(m *Manager) {
+	for _, s := range m.shards {
+		s.mu.Lock() // want `while a shard\.mu is already held`
+	}
+}
+
+// suppressedLoopReacquire carries the documented exception comment and is
+// silenced by the driver (exercised end-to-end through linttest).
+func suppressedLoopReacquire(m *Manager) {
+	for _, s := range m.shards {
+		//pboxlint:ignore lockorder index-ordered sweep, documented exception
+		s.mu.Lock()
+	}
+}
+
+// badRLockUnderLeaf: read locks rank the same as writes.
+func badRLockUnderLeaf(s *shard) {
+	s.namesMu.RLock()
+	s.mu.Lock() // want `acquires shard\.mu while holding leaf lock shard\.namesMu`
+	s.mu.Unlock()
+	s.namesMu.RUnlock()
+}
+
+// localMutex: locks outside the class table are ignored.
+func localMutex(r *traceRing) {
+	var mu sync.Mutex
+	mu.Lock()
+	r.mu.Lock()
+	r.mu.Unlock()
+	mu.Unlock()
+}

@@ -1,0 +1,68 @@
+// Fixture for the reentry pass: a local Observer interface and Manager type
+// stand in for internal/core's (the pass matches by name, in the package
+// scope or its imports).
+package reentry
+
+type Observer interface {
+	StateEvent(id int)
+	PenaltyServed(id int)
+}
+
+type Manager struct{}
+
+func (m *Manager) Status() int                   { return 0 }
+func (m *Manager) ResourceName(k uintptr) string { return "" }
+func (m *Manager) Crossings() int64              { return 0 }
+func (m *Manager) ShardCount() int               { return 0 }
+
+// badCollector re-enters the manager from a locked callback.
+type badCollector struct {
+	mgr *Manager
+}
+
+func (c *badCollector) StateEvent(id int) {
+	_ = c.mgr.Status() // want `observer callback badCollector\.StateEvent calls Manager\.Status`
+}
+
+func (c *badCollector) PenaltyServed(id int) {
+	_ = c.mgr.Status() // PenaltyServed runs outside manager locks: allowed
+}
+
+// indirectCollector hides the re-entry behind a helper; the call closure
+// still reaches it.
+type indirectCollector struct {
+	mgr *Manager
+}
+
+func (c *indirectCollector) StateEvent(id int) {
+	c.helper()
+}
+
+func (c *indirectCollector) helper() {
+	_ = c.mgr.Status() // want `observer callback indirectCollector\.StateEvent \(via helper\) calls Manager\.Status`
+}
+
+func (c *indirectCollector) PenaltyServed(id int) {}
+
+// goodCollector sticks to the documented lock-free accessors.
+type goodCollector struct {
+	mgr *Manager
+}
+
+func (c *goodCollector) StateEvent(id int) {
+	_ = c.mgr.ResourceName(0)
+	_ = c.mgr.Crossings()
+	_ = c.mgr.ShardCount()
+}
+
+func (c *goodCollector) PenaltyServed(id int) {}
+
+// plainUser is not an observer (method set doesn't satisfy the interface):
+// free to call anything.
+type plainUser struct {
+	mgr *Manager
+}
+
+func (p *plainUser) poll() {
+	_ = p.mgr.Status()
+}

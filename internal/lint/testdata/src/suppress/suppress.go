@@ -1,0 +1,30 @@
+// Fixture for the driver's suppression handling: one documented ignore that
+// silences a real violation, and one malformed ignore (no reason) that both
+// fails to suppress and is itself reported.
+package suppress
+
+import "sync"
+
+type Manager struct {
+	reg sync.Mutex
+}
+
+type shard struct {
+	mu sync.Mutex
+}
+
+func properlySuppressed(m *Manager, s *shard) {
+	s.mu.Lock()
+	//pboxlint:ignore lockorder documented exception exercised by the driver test
+	m.reg.Lock()
+	m.reg.Unlock()
+	s.mu.Unlock()
+}
+
+func malformedIgnore(m *Manager, s *shard) {
+	s.mu.Lock()
+	//pboxlint:ignore lockorder
+	m.reg.Lock()
+	m.reg.Unlock()
+	s.mu.Unlock()
+}

@@ -1,0 +1,23 @@
+// Fixture for the waitloop pass (Algorithm 2 on the shared driver).
+package waitloop
+
+import "time"
+
+type worker struct {
+	done bool
+}
+
+// spin blocks in a loop whose exit depends on shared state — the paper's
+// candidate shape for pbox state events.
+func (w *worker) spin() {
+	for !w.done {
+		time.Sleep(time.Millisecond) // want `wait via time\.Sleep inside loop gated on shared vars`
+	}
+}
+
+// localOnly waits in a loop gated purely on a local counter: no candidate.
+func localOnly() {
+	for i := 0; i < 3; i++ {
+		time.Sleep(time.Millisecond)
+	}
+}

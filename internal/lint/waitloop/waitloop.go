@@ -1,0 +1,71 @@
+// Package waitloop adapts the hand-rolled Algorithm 2 analyzer
+// (internal/analyzer — wait-in-loop candidate locations for state-event
+// annotation) onto the pboxlint driver, so pboxanalyze and pboxlint share
+// one package-loading and diagnostic-reporting stack.
+//
+// Unlike the other passes, waitloop reports advisory candidates, not
+// violations: each finding marks a loop that blocks on a waiting call and
+// whose exit depends on shared state — the paper's signal that pBox state
+// events belong there. cmd/pboxlint therefore excludes it from the default
+// set; it runs when selected explicitly (-passes waitloop), which is what
+// cmd/pboxanalyze does.
+package waitloop
+
+import (
+	"go/token"
+
+	"pbox/internal/analyzer"
+	"pbox/internal/lint/analysis"
+)
+
+// Analyzer is the waitloop pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "waitloop",
+	Doc: "Algorithm 2: flag waiting calls inside loops gated on shared " +
+		"state as candidate pBox state-event locations (advisory)",
+	Run: run,
+}
+
+// WaitFuncs overrides the waiting-function list (nil selects
+// analyzer.DefaultWaitFuncs). Set by cmd/pboxanalyze's -waitfuncs flag
+// before the driver runs.
+var WaitFuncs []string
+
+func run(pass *analysis.Pass) (any, error) {
+	a := analyzer.New(WaitFuncs)
+	res := a.AnalyzeFiles(pass.Fset, pass.Files)
+	for _, loc := range res.Locations {
+		// Re-derive the token position from the file/line the legacy
+		// analyzer reports: scan the pass files for the matching position.
+		pos := findPos(pass, loc.File, loc.Line)
+		pass.Reportf(pos, "wait via %s inside loop gated on shared vars (%s): candidate pbox state-event location in %s",
+			loc.WaitCall, join(loc.SharedVars), loc.Func)
+	}
+	return res, nil
+}
+
+func join(ss []string) string {
+	out := ""
+	for i, s := range ss {
+		if i > 0 {
+			out += ", "
+		}
+		out += s
+	}
+	return out
+}
+
+// findPos maps a file:line back to a token.Pos within the pass's files.
+func findPos(pass *analysis.Pass, file string, line int) token.Pos {
+	var pos token.Pos
+	pass.Fset.Iterate(func(f *token.File) bool {
+		if f.Name() != file {
+			return true
+		}
+		if line >= 1 && line <= f.LineCount() {
+			pos = f.LineStart(line)
+		}
+		return false
+	})
+	return pos
+}
