@@ -36,6 +36,7 @@ func main() {
 	duration := flag.Duration("duration", 0, "per-run measurement duration (default 300ms)")
 	quick := flag.Bool("quick", false, "smoke-test scale")
 	out := flag.String("out", "", "output path for -exp cases-json / core-json (default BENCH_cases.json / BENCH_core.json)")
+	baseline := flag.String("baseline", "", "with -exp core-json: committed BENCH_core.json to compare against; exit 1 if disjoint sharded/fastpath ns/op regresses >25% at matching goroutine counts")
 	flag.Parse()
 
 	cfg := experiments.Config{Duration: *duration, Quick: *quick}
@@ -256,7 +257,22 @@ func main() {
 		for g, s := range doc.DisjointSpeedup {
 			fmt.Printf("disjoint speedup @%s goroutines: %.2fx\n", g, s)
 		}
+		for g, s := range doc.FastpathSpeedup {
+			fmt.Printf("fastpath speedup @%s goroutines: %.2fx\n", g, s)
+		}
 		fmt.Printf("wrote %s\n", path)
+		if *baseline != "" {
+			base, err := experiments.ReadCoreBench(*baseline)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "baseline:", err)
+				os.Exit(1)
+			}
+			if err := experiments.CompareCoreBench(base, doc); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("baseline %s: within tolerance\n", *baseline)
+		}
 		return
 	}
 

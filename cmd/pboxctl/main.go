@@ -115,15 +115,24 @@ func cmdTop(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	var (
+		resp telemetry.AttributionResponse
+		top  topRenderer
+	)
 	for {
-		var resp telemetry.AttributionResponse
+		// Reuse the response and renderer buffers across refreshes: length
+		// reset keeps the backing arrays, so a steady-state tick decodes and
+		// renders without reallocating per refresh.
+		resp.PBoxes = resp.PBoxes[:0]
+		resp.Matrix = resp.Matrix[:0]
+		resp.Dropped = 0
 		if err := getJSON(*addr, "/attribution", &resp); err != nil {
 			return err
 		}
 		if !*once {
 			fmt.Print("\033[2J\033[H") // clear screen, home cursor
 		}
-		renderTop(os.Stdout, resp)
+		top.render(os.Stdout, resp)
 		if *once {
 			return nil
 		}
@@ -131,9 +140,24 @@ func cmdTop(args []string) error {
 	}
 }
 
-// renderTop writes the top view: a culprit ranking aggregated across
-// victims, then the full matrix.
-func renderTop(w io.Writer, resp telemetry.AttributionResponse) {
+// culpritRank is one aggregated culprit row in the top view.
+type culpritRank struct {
+	name      string
+	blockedNs int64
+	dets      int64
+	acts      int64
+}
+
+// topRenderer owns the row buffers the watch loop reuses across refreshes.
+type topRenderer struct {
+	idx   map[int]int // culprit id → index into ranks
+	ranks []culpritRank
+	order []int // indices into ranks, sorted for display
+}
+
+// render writes the top view: a culprit ranking aggregated across victims,
+// then the full matrix.
+func (t *topRenderer) render(w io.Writer, resp telemetry.AttributionResponse) {
 	fmt.Fprintf(w, "pboxctl top — %d pboxes, %d attribution triples", len(resp.PBoxes), len(resp.Matrix))
 	if resp.Dropped > 0 {
 		fmt.Fprintf(w, " (%d dropped at ledger cap)", resp.Dropped)
@@ -141,32 +165,32 @@ func renderTop(w io.Writer, resp telemetry.AttributionResponse) {
 	fmt.Fprintln(w)
 
 	// Rank culprits by total blocked time inflicted.
-	type rank struct {
-		name      string
-		blockedNs int64
-		dets      int64
-		acts      int64
+	if t.idx == nil {
+		t.idx = make(map[int]int)
 	}
-	byCulprit := map[int]*rank{}
-	var order []int
+	clear(t.idx)
+	t.ranks = t.ranks[:0]
+	t.order = t.order[:0]
 	for _, m := range resp.Matrix {
-		r := byCulprit[m.CulpritID]
-		if r == nil {
-			r = &rank{name: name(m.CulpritLabel, m.CulpritID)}
-			byCulprit[m.CulpritID] = r
-			order = append(order, m.CulpritID)
+		i, ok := t.idx[m.CulpritID]
+		if !ok {
+			i = len(t.ranks)
+			t.ranks = append(t.ranks, culpritRank{name: name(m.CulpritLabel, m.CulpritID)})
+			t.idx[m.CulpritID] = i
+			t.order = append(t.order, i)
 		}
+		r := &t.ranks[i]
 		r.blockedNs += m.BlockedNs
 		r.dets += m.Detections
 		r.acts += m.Actions
 	}
-	sort.Slice(order, func(i, j int) bool {
-		return byCulprit[order[i]].blockedNs > byCulprit[order[j]].blockedNs
+	sort.Slice(t.order, func(i, j int) bool {
+		return t.ranks[t.order[i]].blockedNs > t.ranks[t.order[j]].blockedNs
 	})
 	fmt.Fprintln(w, "\nCULPRITS (total victim wait inflicted)")
 	fmt.Fprintf(w, "%-16s %-14s %-6s %s\n", "CULPRIT", "BLOCKED", "DET", "ACTIONS")
-	for _, id := range order {
-		r := byCulprit[id]
+	for _, i := range t.order {
+		r := &t.ranks[i]
 		fmt.Fprintf(w, "%-16s %-14v %-6d %d\n", r.name, time.Duration(r.blockedNs), r.dets, r.acts)
 	}
 

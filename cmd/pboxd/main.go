@@ -47,6 +47,7 @@ func main() {
 		capacity  = flag.Int("capacity", 512, "KV store capacity (items)")
 		evictScan = flag.Int("evict-scan", 192, "LRU entries scanned per eviction (lock hold length)")
 		shards    = flag.Int("shards", 0, "manager lock stripes for resource state (0 = 4×GOMAXPROCS)")
+		spool     = flag.Int("spool", 0, "per-worker event-spool capacity for the uncontended fast path (0 = default 256, negative disables)")
 		demo      = flag.Duration("demo", 0, "run a built-in noisy+victim client demo for this long, then exit")
 		victims   = flag.Int("victims", 2, "victim get-clients in -demo mode")
 		incidents = flag.String("incidents", "incidents", "flight-recorder incidents directory (empty disables)")
@@ -66,7 +67,7 @@ func main() {
 		rec *flightrec.Recorder
 		obs core.Observer
 	)
-	opts := core.Options{TraceSize: *traceSize, Attribution: true, Shards: *shards}
+	opts := core.Options{TraceSize: *traceSize, Attribution: true, Shards: *shards, SpoolSize: *spool}
 	if !*noTelem {
 		reg = telemetry.NewRegistry()
 		col = telemetry.NewCollector(reg)

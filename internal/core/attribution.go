@@ -196,6 +196,7 @@ func (m *Manager) lookupPBoxRegLocked(id int) *PBox { return m.reg.pboxes[id] }
 // Attribution returns the culprit↔victim ledger, most-blocking triple first.
 // It returns nil when Options.Attribution was not set.
 func (m *Manager) Attribution() []AttributionRecord {
+	m.sweepSpools() // flush-on-read: spooled blocking must reach the ledger
 	m.reg.Lock()
 	defer m.reg.Unlock()
 	m.verdictMu.Lock()
@@ -238,6 +239,7 @@ type Status struct {
 // therefore exactly as consistent as the old single-mutex one. Status is a
 // diagnostics path; its cost is irrelevant next to hot-path scalability.
 func (m *Manager) Status() Status {
+	m.sweepSpools() // flush-on-read: spooled events must be visible (§10)
 	m.reg.Lock()
 	defer m.reg.Unlock()
 	unlockShards := m.lockAllShards()

@@ -26,11 +26,24 @@ type Worker struct {
 	// manager still considers it bound to this thread.
 	detached    bool
 	detachedKey uintptr
+	// spool is this worker's Tier A event buffer (spool.go), nil when
+	// spooling is disabled (Options.SpoolSize < 0).
+	spool *eventSpool
 }
 
-// NewWorker returns the library state for one worker thread.
+// NewWorker returns the library state for one worker thread. When spooling is
+// enabled the worker's spool is registered with the manager for the life of
+// the manager — flush-on-read sweeps must reach every spool that may hold
+// records, and workers have no destroy call to unregister at.
 func (m *Manager) NewWorker() *Worker {
-	return &Worker{mgr: m}
+	w := &Worker{mgr: m}
+	if n := m.opts.SpoolSize; n > 0 {
+		w.spool = newEventSpool(m, n)
+		m.spools.Lock()
+		m.spools.list = append(m.spools.list, w.spool)
+		m.spools.Unlock()
+	}
+	return w
 }
 
 // Current returns the pBox bound to this worker, or nil.
@@ -49,6 +62,12 @@ func (w *Worker) Unbind(k uintptr, flags BindFlags) (int, error) {
 		return 0, fmt.Errorf("pbox: unbind with no bound pBox")
 	}
 	p := w.cur
+	// Unbind is a flush trigger: the activity slice this worker traced for p
+	// ends here, and another worker may pick p up next — its events must not
+	// sit buffered behind a detached worker.
+	if w.spool != nil {
+		w.spool.flush(true)
+	}
 	p.penMu.Lock()
 	p.sharedThread = flags == BindShared
 	p.penMu.Unlock()
@@ -86,6 +105,12 @@ func (w *Worker) Bind(k uintptr, flags BindFlags) (*PBox, error) {
 	if err := w.checkPenalty(p); err != nil {
 		return nil, err
 	}
+	// Rebinding to a different pBox: drain any records still buffered for
+	// the previous one (Unbind flushed already on that path, but Bind may
+	// also be called over a live binding).
+	if w.spool != nil && w.cur != nil && w.cur != p {
+		w.spool.flush(true)
+	}
 	p.penMu.Lock()
 	p.sharedThread = flags == BindShared
 	p.penMu.Unlock()
@@ -116,6 +141,9 @@ func (w *Worker) BindDirect(p *PBox) error {
 	w.detached = false
 	if err := w.checkPenalty(p); err != nil {
 		return err
+	}
+	if w.spool != nil && w.cur != nil && w.cur != p {
+		w.spool.flush(true)
 	}
 	w.cur = p
 	return nil

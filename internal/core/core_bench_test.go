@@ -66,6 +66,30 @@ func BenchmarkManagerDisjointResources(b *testing.B) {
 	})
 }
 
+// BenchmarkManagerDisjointFastpath is the disjoint scaling benchmark driven
+// through per-goroutine Workers, so uncontended events take the Tier A spool
+// (spool.go) instead of the per-event shard path — the headline case of the
+// two-tier ingestion split.
+func BenchmarkManagerDisjointFastpath(b *testing.B) {
+	m := benchManager()
+	var ctr atomic.Int64
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		key := ResourceKey(0x9000 + ctr.Add(1))
+		p := benchPBox(b, m)
+		w := m.NewWorker()
+		if err := w.BindDirect(p); err != nil {
+			b.Error(err)
+			return
+		}
+		for pb.Next() {
+			w.Update(key, Hold)
+			w.Update(key, Unhold)
+		}
+		w.Flush()
+	})
+}
+
 // BenchmarkManagerContendedResource hammers one resource from every
 // goroutine — the worst case for striping (all traffic lands on one shard)
 // and the floor the sharded design must not regress below.
@@ -84,29 +108,60 @@ func BenchmarkManagerContendedResource(b *testing.B) {
 
 // BenchmarkUpdateHotPathAllocs gates the hot path at zero allocations: with
 // the observer disabled, a steady-state hold/unhold cycle must not allocate
-// at all. The assertion runs before the timed loop so `go test -bench` fails
-// loudly if the sharding refactor (or any later change) sneaks an allocation
-// into the event path.
+// at all — on the direct (Tier B) path and on the spooled (Tier A) path,
+// whose assertion spans spool fills and flush replays. The assertions run
+// before the timed loops so `go test -bench` fails loudly if any later
+// change sneaks an allocation into the event path.
 func BenchmarkUpdateHotPathAllocs(b *testing.B) {
-	m := benchManager()
-	p := benchPBox(b, m)
-	const key = ResourceKey(0xbeef)
-	// Warm the per-key structures (shard map entries, holder map) so the
-	// measurement sees steady state, not first-touch setup.
-	m.Update(p, key, Hold)
-	m.Update(p, key, Unhold)
-	if !raceEnabled {
-		if allocs := testing.AllocsPerRun(1000, func() {
-			m.Update(p, key, Hold)
-			m.Update(p, key, Unhold)
-		}); allocs != 0 {
-			b.Fatalf("Update hot path allocates %.1f allocs per hold/unhold cycle; want 0", allocs)
-		}
-	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
+	b.Run("direct", func(b *testing.B) {
+		m := benchManager()
+		p := benchPBox(b, m)
+		const key = ResourceKey(0xbeef)
+		// Warm the per-key structures (shard map entries, holder map) so the
+		// measurement sees steady state, not first-touch setup.
 		m.Update(p, key, Hold)
 		m.Update(p, key, Unhold)
-	}
+		if !raceEnabled {
+			if allocs := testing.AllocsPerRun(1000, func() {
+				m.Update(p, key, Hold)
+				m.Update(p, key, Unhold)
+			}); allocs != 0 {
+				b.Fatalf("Update hot path allocates %.1f allocs per hold/unhold cycle; want 0", allocs)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Update(p, key, Hold)
+			m.Update(p, key, Unhold)
+		}
+	})
+	b.Run("spooled", func(b *testing.B) {
+		m := benchManager()
+		p := benchPBox(b, m)
+		w := m.NewWorker()
+		if err := w.BindDirect(p); err != nil {
+			b.Fatal(err)
+		}
+		const key = ResourceKey(0xbee5)
+		w.Update(key, Hold)
+		w.Update(key, Unhold)
+		w.Flush()
+		if !raceEnabled {
+			// 1000 runs cross several spool-fill flushes, so the assertion
+			// covers append, flush copy-out, and batch replay.
+			if allocs := testing.AllocsPerRun(1000, func() {
+				w.Update(key, Hold)
+				w.Update(key, Unhold)
+			}); allocs != 0 {
+				b.Fatalf("spooled hot path allocates %.1f allocs per hold/unhold cycle; want 0", allocs)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			w.Update(key, Hold)
+			w.Update(key, Unhold)
+		}
+	})
 }

@@ -82,6 +82,14 @@ type Options struct {
 	// More shards mean less contention between events on unrelated
 	// resources at a fixed small memory cost per shard.
 	Shards int
+
+	// SpoolSize is the per-Worker event-spool capacity of the uncontended
+	// fast path (DESIGN.md §10): events on resources with no cross-pBox
+	// competition are buffered in the worker's spool and batch-replayed
+	// into shard state at the flush triggers. Zero selects the default
+	// (256); a negative value disables spooling entirely, making
+	// Worker.Update equivalent to Manager.Update.
+	SpoolSize int
 }
 
 func (o Options) withDefaults() Options {
@@ -110,6 +118,9 @@ func (o Options) withDefaults() Options {
 		o.Shards = defaultShardCount()
 	} else {
 		o.Shards = nextPow2(o.Shards)
+	}
+	if o.SpoolSize == 0 {
+		o.SpoolSize = defaultSpoolSize
 	}
 	return o
 }
@@ -148,6 +159,21 @@ type Manager struct {
 	shards     []*shard
 	shardShift uint
 
+	// contention is the per-resource claim/contended slot table of the
+	// two-tier ingestion path (see spool.go): 0 untouched, >0 the id of
+	// the single pBox spooling fast-path events for keys hashing here,
+	// -1 contended (slow path only, sticky).
+	contention []atomic.Int64
+
+	// spools registers every Worker's event spool so slow-path events and
+	// consistent reads can drain them (flush-on-read). The list only
+	// grows — workers are per-thread state and live as long as their
+	// threads. Its lock is the outermost in the §8 order.
+	spools struct {
+		sync.Mutex
+		list []*eventSpool
+	}
+
 	// verdictMu is the cold-path epoch lock: it serializes detection
 	// verdicts and penalty scheduling so the multi-pBox view Algorithm 1
 	// compares (victim ratios against noisy state) is consistent, and it
@@ -165,6 +191,11 @@ type Manager struct {
 	// attrObs is opts.Observer's AttributionObserver side, cached at
 	// construction so hook sites pay a nil check instead of a type assert.
 	attrObs AttributionObserver
+	// timeObs is opts.Observer's EventTimeObserver side, likewise cached:
+	// spool replays deliver state events through it with their recorded
+	// timestamps, so an observer that cares (the flight recorder) can tell
+	// event time from flush time.
+	timeObs EventTimeObserver
 
 	// crossings counts conceptual user/kernel boundary crossings: every
 	// manager entry point increments it. The lazy-unbind optimization
@@ -183,8 +214,12 @@ func NewManager(opts Options) *Manager {
 	m.reg.pboxes = make(map[int]*PBox)
 	m.reg.bindings = make(map[uintptr]*PBox)
 	m.shards, m.shardShift = newShards(opts.Shards)
+	m.contention = make([]atomic.Int64, contentionSlots)
 	if ao, ok := opts.Observer.(AttributionObserver); ok {
 		m.attrObs = ao
+	}
+	if to, ok := opts.Observer.(EventTimeObserver); ok {
+		m.timeObs = to
 	}
 	if opts.Attribution {
 		m.attr = newAttributionLedger()
@@ -231,6 +266,10 @@ func (m *Manager) Create(rule IsolationRule) (*PBox, error) {
 // would have delayed no longer exists.
 func (m *Manager) Release(p *PBox) error {
 	m.crossings.Add(1)
+	// Drain spooled records first: events buffered before the release must
+	// reach the books (or be dropped by the replay's state check) before
+	// the pBox's shard-side state is torn down.
+	m.flushSpoolsFor(p)
 	p.mu.Lock()
 	if p.stateIs(StateDestroyed) {
 		p.mu.Unlock()
@@ -280,6 +319,10 @@ func (m *Manager) Release(p *PBox) error {
 // the penalty delays the noisy pBox without polluting its own metrics.
 func (m *Manager) Activate(p *PBox) {
 	m.crossings.Add(1)
+	// Stragglers spooled after the previous freeze belong to no active
+	// window; drain them now (the replay drops them) so the new activity
+	// starts with an empty spool.
+	m.flushSpoolsFor(p)
 	p.mu.Lock()
 	if p.stateIs(StateDestroyed) {
 		p.mu.Unlock()
@@ -314,6 +357,9 @@ func (m *Manager) Activate(p *PBox) {
 // recent blocker at the end of the activity.
 func (m *Manager) Freeze(p *PBox) {
 	m.crossings.Add(1)
+	// Fold spooled events into the activity before it closes: the
+	// pBox-level monitor below must see the full deferring time.
+	m.flushSpoolsFor(p)
 	now := m.opts.Now()
 	p.mu.Lock()
 	if !p.stateIs(StateActive) {
@@ -398,35 +444,37 @@ func (m *Manager) Freeze(p *PBox) {
 //
 //pbox:hotpath
 func (m *Manager) Update(p *PBox, key ResourceKey, ev EventType) {
+	// The filter runs before anything else — a dropped event must do no
+	// slot, spool, or shard work at all, or a filtered UNHOLD could flip
+	// the contended flag for an event that never applies.
 	if m.opts.EventFilter != nil && !m.opts.EventFilter(key, ev) {
 		return
 	}
+	m.updateSlow(p, key, ev)
+}
+
+// updateSlow is Update past the filter: the Tier B slow path, shared with
+// Worker.Update's contended hand-off (which has already filtered).
+//
+//pbox:hotpath
+func (m *Manager) updateSlow(p *PBox, key ResourceKey, ev EventType) {
 	m.crossings.Add(1)
 	// Lock-free fast reject: events outside an active window are ignored,
 	// matching the manager tracing only between activate and freeze.
 	if !p.stateIs(StateActive) {
 		return
 	}
+	// Two-tier handshake: a direct slow-path event may create cross-pBox
+	// overlap, so any fast-path claim on this key's slot is revoked and
+	// every spooled record replayed before this event lands (spool.go).
+	m.markContended(key)
 	now := m.opts.Now()
 	p.mu.Lock()
 	if !p.stateIs(StateActive) {
 		p.mu.Unlock()
 		return
 	}
-	m.traceEvent(p, key, ev.String(), 0)
-	if m.obs != nil {
-		m.obs.StateEvent(p.id, key, ev)
-	}
-	switch ev {
-	case Prepare:
-		m.onPrepare(p, key, now)
-	case Enter:
-		m.onEnter(p, key, now)
-	case Hold:
-		m.onHold(p, key, now)
-	case Unhold:
-		m.onUnhold(p, key, now)
-	}
+	m.applyLocked(p, key, ev, now, false)
 	// Safe-point check: a penalty scheduled for p (by this event's
 	// detection pass or an earlier one) can run only when p holds nothing
 	// and waits for nothing, so delaying it cannot defer anyone else or
@@ -442,33 +490,66 @@ func (m *Manager) Update(p *PBox, key ResourceKey, ev EventType) {
 	}
 }
 
-// onPrepare implements the PREPARE arm of Algorithm 1: note the pBox in the
-// competitor map for the resource. Caller holds p.mu.
-func (m *Manager) onPrepare(p *PBox, key ResourceKey, now int64) {
+// applyLocked delivers one event to the trace ring, the observer, and the
+// Algorithm 1 arms, at manager-clock time now. replayed marks spool-flush
+// delivery: the trace entry and (when the observer supports it) the
+// StateEventAt callback carry the recorded event time, not the flush time.
+// Caller holds p.mu.
+//
+//pbox:hotpath
+func (m *Manager) applyLocked(p *PBox, key ResourceKey, ev EventType, now int64, replayed bool) {
+	m.traceEventAt(p, key, ev.String(), 0, now)
+	if replayed && m.timeObs != nil {
+		m.timeObs.StateEventAt(p.id, key, ev, now)
+	} else if m.obs != nil {
+		m.obs.StateEvent(p.id, key, ev)
+	}
 	s := m.shardFor(key)
 	s.mu.Lock()
+	m.applyArmLocked(p, s, key, ev, now)
+	s.mu.Unlock()
+}
+
+// applyArmLocked dispatches one event to its Algorithm 1 arm. Caller holds
+// p.mu and s.mu, where s is key's shard — the arms take the shard from the
+// caller so a spool replay can hold one shard lock across a run of
+// same-shard records instead of re-acquiring it per event.
+//
+//pbox:hotpath
+func (m *Manager) applyArmLocked(p *PBox, s *shard, key ResourceKey, ev EventType, now int64) {
+	switch ev {
+	case Prepare:
+		m.onPrepare(p, s, key, now)
+	case Enter:
+		m.onEnter(p, s, key, now)
+	case Hold:
+		m.onHold(p, s, key, now)
+	case Unhold:
+		m.onUnhold(p, s, key, now)
+	}
+}
+
+// onPrepare implements the PREPARE arm of Algorithm 1: note the pBox in the
+// competitor map for the resource. Caller holds p.mu and s.mu.
+func (m *Manager) onPrepare(p *PBox, s *shard, key ResourceKey, now int64) {
 	cl := s.competitors[key]
 	if cl == nil {
 		cl = &competitorList{}
 		s.competitors[key] = cl
 	}
 	cl.add(waiter{pbox: p, since: now})
-	s.mu.Unlock()
 	p.preparing[key]++
 }
 
 // onEnter implements the ENTER arm: the deferred state ends and the
 // deferring time is folded into the pBox's activity accounting. Caller
-// holds p.mu.
-func (m *Manager) onEnter(p *PBox, key ResourceKey, now int64) {
-	s := m.shardFor(key)
-	s.mu.Lock()
+// holds p.mu and s.mu.
+func (m *Manager) onEnter(p *PBox, s *shard, key ResourceKey, now int64) {
 	var w waiter
 	var ok bool
 	if cl := s.competitors[key]; cl != nil {
 		w, ok = cl.removeFor(p)
 	}
-	s.mu.Unlock()
 	if !ok {
 		return
 	}
@@ -489,20 +570,17 @@ func (m *Manager) onEnter(p *PBox, key ResourceKey, now int64) {
 // onHold implements the HOLD arm: record the pBox in the holder map.
 // holdInfo is stored by value: the hold/unhold cycle is the hottest hook
 // path, and a pointer entry would allocate on every re-acquisition. Caller
-// holds p.mu.
-func (m *Manager) onHold(p *PBox, key ResourceKey, now int64) {
+// holds p.mu and s.mu.
+func (m *Manager) onHold(p *PBox, s *shard, key ResourceKey, now int64) {
 	h, held := p.holders[key]
 	if !held {
 		p.holders[key] = holdInfo{count: 1, since: now}
-		s := m.shardFor(key)
-		s.mu.Lock()
 		hm := s.holdersByKey[key]
 		if hm == nil {
 			hm = make(map[*PBox]int64)
 			s.holdersByKey[key] = hm
 		}
 		hm[p] = now
-		s.mu.Unlock()
 		return
 	}
 	h.count++
@@ -514,9 +592,9 @@ func (m *Manager) onHold(p *PBox, key ResourceKey, now int64) {
 // level with the worst-case projection tf = td/(te-td), and if a waiter's
 // goal is endangered and this pBox held the resource before the waiter
 // arrived, identify (noisy=p, victim=waiter) and take action. Caller holds
-// p.mu; with no waiters present this releases only shard state — the
-// verdict lock is touched exclusively when contention already happened.
-func (m *Manager) onUnhold(p *PBox, key ResourceKey, now int64) {
+// p.mu and s.mu; with no waiters present this releases only shard state —
+// the verdict lock is touched exclusively when contention already happened.
+func (m *Manager) onUnhold(p *PBox, s *shard, key ResourceKey, now int64) {
 	h, held := p.holders[key]
 	if !held {
 		return
@@ -528,8 +606,6 @@ func (m *Manager) onUnhold(p *PBox, key ResourceKey, now int64) {
 	}
 	heldSince := h.since
 	delete(p.holders, key)
-	s := m.shardFor(key)
-	s.mu.Lock()
 	// The inner holder map is kept when it empties — resources are held
 	// and released in a tight loop, and recreating the map on every
 	// re-acquisition would allocate on the hook path; like competitors,
@@ -539,7 +615,6 @@ func (m *Manager) onUnhold(p *PBox, key ResourceKey, now int64) {
 	}
 	cl := s.competitors[key]
 	if cl == nil || len(cl.waiters) == 0 {
-		s.mu.Unlock()
 		return
 	}
 	// Cold verdict path: waiters exist, so this release must attribute
@@ -547,7 +622,6 @@ func (m *Manager) onUnhold(p *PBox, key ResourceKey, now int64) {
 	m.verdictMu.Lock()
 	m.settleWaiters(p, s, cl, key, heldSince, now)
 	m.verdictMu.Unlock()
-	s.mu.Unlock()
 }
 
 // settleWaiters runs the blame and detection passes over key's waiter list
@@ -635,7 +709,13 @@ func (m *Manager) settleWaiters(p *PBox, s *shard, cl *competitorList, key Resou
 		victim.actMu.Lock()
 		victim.deferTime += defer_
 		victim.actMu.Unlock()
-		c.since = now
+		// Monotonic guard: a spool-replayed release carries its recorded
+		// (possibly older) timestamp; the re-arm must never move a wait
+		// record backwards in time, or a later real release would double
+		// count the wait.
+		if now > c.since {
+			c.since = now
+		}
 	}
 }
 
@@ -718,6 +798,7 @@ func (m *Manager) Crossings() int64 { return m.crossings.Load() }
 
 // Waiters returns how many pBoxes currently wait on key (tests/diagnostics).
 func (m *Manager) Waiters(key ResourceKey) int {
+	m.sweepSpools() // flush-on-read: spooled records must be visible
 	s := m.shardFor(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -729,6 +810,7 @@ func (m *Manager) Waiters(key ResourceKey) int {
 
 // Holders returns how many pBoxes currently hold key (tests/diagnostics).
 func (m *Manager) Holders(key ResourceKey) int {
+	m.sweepSpools() // flush-on-read: spooled records must be visible
 	s := m.shardFor(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -786,6 +868,7 @@ func (m *Manager) SetLabel(p *PBox, label string) {
 // Snapshots returns the accounting of every live pBox, ordered by id. It is
 // the data source of the telemetry exporter's /pboxes endpoint.
 func (m *Manager) Snapshots() []Snapshot {
+	m.sweepSpools() // flush-on-read: spooled records must be visible
 	m.reg.Lock()
 	defer m.reg.Unlock()
 	return m.snapshotsRegLocked()

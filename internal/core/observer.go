@@ -52,3 +52,21 @@ type Observer interface {
 	// not reported here; they surface through Gate/ErrPenalized).
 	PenaltyServed(pboxID int, d time.Duration)
 }
+
+// EventTimeObserver is an optional extension for observers that record event
+// timestamps (the flight recorder). With the two-tier ingestion path
+// (DESIGN.md §10) a spooled event is delivered to the observer at flush time,
+// which can lag the event by the spool's fill interval; an observer stamping
+// its own clock at callback time would record flush time, not event time. An
+// Observer that also implements EventTimeObserver receives replayed events
+// through StateEventAt with the manager-clock timestamp recorded when the
+// event happened, instead of through StateEvent. Direct (slow-path) events
+// still arrive via StateEvent — they are delivered at event time by
+// construction. The same locking and no-reentry rules as StateEvent apply.
+type EventTimeObserver interface {
+	Observer
+	// StateEventAt is StateEvent for a spool-replayed event, carrying the
+	// manager-clock nanosecond timestamp recorded when the event was
+	// originally issued.
+	StateEventAt(pboxID int, key ResourceKey, ev EventType, atNs int64)
+}

@@ -1,0 +1,422 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Two-tier event ingestion (DESIGN.md §10). The sharded Update path still
+// takes the calling pBox's mutex and one shard lock on every event, even when
+// the resource has no competitors at all — the overwhelmingly common case.
+// The paper's kernel pBox keeps tracing overhead negligible with per-thread
+// state tracking, falling into the manager only when a transition can
+// actually trigger detection (§5); this file is that idea in userspace.
+//
+// Tier A (fast path): when a resource's contention slot shows no cross-pBox
+// competition, Worker.Update records the event in the worker's own fixed
+// capacity spool — (key, event, timestamp) plus a locally accumulated
+// crossing count — under a single worker-local leaf lock, touching no shard
+// and no pBox mutex. Tier B (slow path): any event on a contended slot — or
+// any direct Manager.Update, which by definition may create cross-pBox
+// overlap — flips the slot, drains every registered spool, and then runs the
+// full Algorithm 1 bookkeeping, so detection verdicts, penalties,
+// attribution, flight-recorder captures, and observer callbacks see exactly
+// the event stream the unspooled manager produces: batched events are
+// replayed in order with their recorded timestamps.
+//
+// Contention-slot state machine (one atomic.Int64 per slot, keys hashed onto
+// slots with the same Fibonacci mix as shards):
+//
+//	 0  untouched: no pBox has ever touched a key hashing here
+//	>0  claimed: the id of the single pBox spooling events for keys here
+//	-1  contended: slow path only (sticky; see below)
+//
+// The fast path claims a slot with CAS(0→id) or proceeds when it already
+// holds its own id. Anything else — another pBox's claim, or -1 — is the
+// cross-pBox overlap condition ("first HOLD by X while the holder hint names
+// Y, first PREPARE while a holder exists" both reduce to this, because any
+// shard-side state for the slot's keys was created by the claimant alone).
+// The slow path revokes claims with markContended: swap in -1 and, if a
+// claim was present, drain every spool before applying the triggering event.
+// The -1 is sticky: distinct keys alias the same slot, so "the key's state
+// emptied" never proves the slot is reclaimable — resetting could hand a
+// fast-path claim to a key whose alias still has live shard state. Stickiness
+// degrades performance only, never correctness: a contended slot simply runs
+// today's slow path forever.
+//
+// Lock order (extends DESIGN.md §8; the lint lockorder table enforces it):
+//
+//	Manager.spools → eventSpool.flushMu → registry → pbox.mu → shard.mu →
+//	verdictMu → leaves (eventSpool.mu joins actMu, penMu, …)
+//
+// Flush triggers: the spool fills, a slow-path event arrives on the worker
+// (own spool first, so per-pBox order holds), the worker rebinds or unbinds,
+// the pBox is Activated/Frozen/Released, or a consistent read needs the
+// spooled state (Status, Snapshots, Attribution, Trace, Waiters, Holders —
+// flush-on-read via the registered-spool sweep).
+
+// contentionSlots is the fixed size of the contention-slot table (power of
+// two; 8 KiB of atomics per manager). More slots mean fewer aliasing
+// collisions, and a collision costs performance only (a shared claim fails
+// and falls to the slow path).
+const (
+	contentionSlots = 1024
+	contentionShift = 54 // 64 - log2(contentionSlots)
+)
+
+// defaultSpoolSize is the per-worker spool capacity when Options.SpoolSize
+// is zero.
+const defaultSpoolSize = 256
+
+// spoolRec is one spooled event. No pointers: the spool buffer is reused for
+// the life of the worker and must hold nothing alive.
+type spoolRec struct {
+	key ResourceKey
+	ev  EventType
+	at  int64 // manager-clock ns recorded at append time
+}
+
+// eventSpool is one worker's Tier A buffer. Two locks split the roles:
+// flushMu serializes whole flushes (copy-out plus replay), so two concurrent
+// flushers — the owning worker racing a flush-on-read sweep — can never
+// replay the same batch out of order; mu is a terminal leaf guarding the
+// buffer itself, so the append path is a leaf-only operation ("the spool is
+// a leaf owned by its Worker"). The buffers are preallocated at construction
+// and the append/flush cycle allocates nothing.
+type eventSpool struct {
+	m *Manager
+
+	// flushMu serializes flushes end to end. It ranks before the registry
+	// in the lock order: replay acquires pbox/shard/verdict locks under it,
+	// and nothing may acquire it while holding any manager lock.
+	flushMu sync.Mutex
+
+	// mu is the buffer leaf. Held only for the few stores of an append or
+	// the copy-out of a flush; nothing is ever acquired under it.
+	mu   sync.Mutex
+	pbox *PBox // owner of the buffered records (nil when empty)
+	recs []spoolRec
+	n    int
+	// draining is set while a flush replays records copied out of the
+	// buffer; mustFlush treats an in-flight replay like buffered records so
+	// a slow-path hand-off always orders after the events that preceded it.
+	draining bool
+	// crossings accumulates the conceptual kernel crossings of spooled
+	// events locally, folded into the manager counter at flush — the
+	// "locally-accumulated sums" half of the spool, kept off the shared
+	// atomic the fast path would otherwise contend on.
+	crossings int64
+
+	// drain is the flush-side copy buffer, touched only under flushMu.
+	drain []spoolRec
+}
+
+func newEventSpool(m *Manager, capacity int) *eventSpool {
+	return &eventSpool{
+		m:     m,
+		recs:  make([]spoolRec, capacity),
+		drain: make([]spoolRec, capacity),
+	}
+}
+
+// append records one event for p, returning false when the caller must
+// flush first (buffer full, or the buffer holds another pBox's records
+// after a rebind).
+//
+//pbox:hotpath
+func (sp *eventSpool) append(p *PBox, key ResourceKey, ev EventType, now int64) bool {
+	sp.mu.Lock()
+	if sp.n >= len(sp.recs) || (sp.n > 0 && sp.pbox != p) {
+		sp.mu.Unlock()
+		return false
+	}
+	sp.pbox = p
+	sp.recs[sp.n] = spoolRec{key: key, ev: ev, at: now}
+	sp.n++
+	sp.crossings++
+	sp.mu.Unlock()
+	return true
+}
+
+// pending reports whether the spool currently buffers records for p
+// (flushSpoolsFor's cheap pre-check).
+func (sp *eventSpool) pending(p *PBox) bool {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	return sp.n > 0 && sp.pbox == p
+}
+
+// mustFlush reports whether a slow-path hand-off has anything to wait for:
+// buffered records, or a concurrent flush still replaying records it copied
+// out (the hand-off's event must apply after them, which flush's flushMu
+// guarantees). False means the hand-off may proceed straight to the slow
+// path — the common case once a slot has gone contended, where paying two
+// mutexes per event to flush an empty spool would erase the point of the
+// check.
+//
+//pbox:hotpath
+func (sp *eventSpool) mustFlush() bool {
+	sp.mu.Lock()
+	v := sp.n > 0 || sp.draining
+	sp.mu.Unlock()
+	return v
+}
+
+// flush drains the spool into manager state: the buffered records are copied
+// out under the leaf lock, then replayed in order with their recorded
+// timestamps under flushMu. serve selects whether a penalty that became
+// servable by the replay is slept here — true only when the flush runs on
+// the owning worker's goroutine (its own fills and slow-path hand-offs);
+// sweep flushes pass false so a diagnostics reader never serves another
+// pBox's delay.
+func (sp *eventSpool) flush(serve bool) {
+	sp.flushMu.Lock()
+	sp.mu.Lock()
+	p, n, crossings := sp.pbox, sp.n, sp.crossings
+	copy(sp.drain[:n], sp.recs[:n])
+	sp.n, sp.pbox, sp.crossings = 0, nil, 0
+	sp.draining = n > 0
+	sp.mu.Unlock()
+
+	var pen time.Duration
+	if crossings > 0 {
+		sp.m.crossings.Add(crossings)
+	}
+	if n > 0 {
+		pen = sp.m.replay(p, sp.drain[:n], serve)
+		sp.mu.Lock()
+		sp.draining = false
+		sp.mu.Unlock()
+	}
+	sp.flushMu.Unlock()
+	// The penalty sleep runs after flushMu is released so a concurrent
+	// Status sweep never stalls behind a millisecond-scale delay.
+	if pen > 0 {
+		sp.m.sleepPenalty(p, pen)
+	}
+}
+
+// contentionSlot returns the slot owning key.
+//
+//pbox:hotpath
+func (m *Manager) contentionSlot(key ResourceKey) *atomic.Int64 {
+	return &m.contention[(uint64(key)*fibMix)>>contentionShift]
+}
+
+// markContended revokes any fast-path claim on key's slot before a slow-path
+// event is applied. If a claim was present, every registered spool is
+// drained first, so spooled records — which logically precede the triggering
+// event — reach the shard state before it. Caller holds no manager locks.
+//
+//pbox:hotpath
+func (m *Manager) markContended(key ResourceKey) {
+	slot := m.contentionSlot(key)
+	if slot.Load() == contendedSlot {
+		return
+	}
+	if prev := slot.Swap(contendedSlot); prev > 0 {
+		m.sweepSpools()
+	}
+}
+
+// contendedSlot is the sticky "slow path only" slot value.
+const contendedSlot = -1
+
+// sweepSpools flushes every registered spool (flush-on-read, and the drain
+// half of markContended). Flushes run with serve=false: the sweep may be a
+// diagnostics reader, which must never sleep a penalty on a pBox's behalf.
+func (m *Manager) sweepSpools() {
+	m.spools.Lock()
+	for _, sp := range m.spools.list {
+		sp.flush(false)
+	}
+	m.spools.Unlock()
+}
+
+// flushSpoolsFor drains the spools buffering records for p — the lifecycle
+// flush of Activate/Freeze/Release, which must observe every event the
+// pBox's worker recorded before the transition. Caller holds no manager
+// locks (the flush acquires p.mu itself).
+func (m *Manager) flushSpoolsFor(p *PBox) {
+	m.spools.Lock()
+	for _, sp := range m.spools.list {
+		if sp.pending(p) {
+			sp.flush(false)
+		}
+	}
+	m.spools.Unlock()
+}
+
+// replay applies a drained batch under p's mutex with the recorded
+// timestamps as the event clock, so the slow-path bookkeeping — trace
+// entries, observer callbacks, Algorithm 1 arms — sees the stream the
+// unspooled manager would have seen. Records of a pBox that left its active
+// window (frozen or released while the batch was buffered) are dropped,
+// mirroring the unspooled drop of events outside activate…freeze. Returns a
+// penalty to serve (only when serve is set and the safe-point check passes);
+// the caller sleeps it after releasing flushMu.
+func (m *Manager) replay(p *PBox, recs []spoolRec, serve bool) time.Duration {
+	p.mu.Lock()
+	if !p.stateIs(StateActive) {
+		p.mu.Unlock()
+		return 0
+	}
+	if m.trace == nil && m.obs == nil {
+		m.replayQuiet(p, recs)
+	} else {
+		// An attached observer or trace ring must see the per-event stream
+		// exactly as the slow path delivers it, so each record goes through
+		// the full delivery path (with its recorded timestamp).
+		for i := range recs {
+			r := &recs[i]
+			m.applyLocked(p, r.key, r.ev, r.at, true)
+		}
+	}
+	var pen time.Duration
+	if serve && p.pendingPenalty.Load() > 0 && len(p.holders) == 0 && len(p.preparing) == 0 {
+		pen = m.takePending(p)
+	}
+	p.mu.Unlock()
+	return pen
+}
+
+// replayQuiet applies a batch with no observer and no trace ring attached —
+// the perf configuration the fast path exists for. With p.mu held for the
+// whole batch and each key's shard lock held across every record that
+// touches it, no intermediate state is observable, which licenses two
+// batch-local reductions the per-event path cannot make:
+//
+//   - one shard lock acquisition covers a run of same-shard records, and
+//   - an adjacent balanced pair that provably changes nothing collapses:
+//     HOLD+UNHOLD on an already-held key is a hold-count up/down; HOLD+UNHOLD
+//     on an unheld key with no waiters inserts and removes the same holder
+//     entries with nothing watching; PREPARE+ENTER is exactly a deferTime
+//     contribution of the recorded interval (the waiter the PREPARE would
+//     register is removed by the very next record, so no UNHOLD between them
+//     can blame it).
+//
+// Anything else — unpaired records, pairs with waiters present — runs the
+// ordinary Algorithm 1 arm, so verdicts, blame, and penalties come out
+// exactly as the unspooled manager's. Caller holds p.mu.
+//
+//pbox:hotpath
+func (m *Manager) replayQuiet(p *PBox, recs []spoolRec) {
+	var s *shard
+	var deferSum int64
+	for i := 0; i < len(recs); i++ {
+		r := &recs[i]
+		paired := i+1 < len(recs) && recs[i+1].key == r.key
+		if paired {
+			if r.ev == Prepare && recs[i+1].ev == Enter {
+				if d := recs[i+1].at - r.at; d > 0 {
+					deferSum += d
+				}
+				i++
+				continue
+			}
+			if r.ev == Hold && recs[i+1].ev == Unhold {
+				if _, held := p.holders[r.key]; held {
+					i++ // hold-count up then down: nothing changes
+					continue
+				}
+			}
+		}
+		if ns := m.shardFor(r.key); ns != s {
+			if s != nil {
+				s.mu.Unlock()
+			}
+			s = ns
+			// The held shard is always released above before the next one is
+			// taken; the pass cannot correlate `s != nil` with the held-set
+			// (the same blind spot as lockAllShards' index-ordered sweep).
+			//pboxlint:ignore lockorder lazy shard hand-off unlocks the previous shard on every path before locking the next
+			s.mu.Lock()
+		}
+		if paired && r.ev == Hold && recs[i+1].ev == Unhold {
+			if _, held := p.holders[r.key]; !held {
+				if cl := s.competitors[r.key]; cl == nil || len(cl.waiters) == 0 {
+					i++ // transient hold nobody waited on: nothing changes
+					continue
+				}
+			}
+		}
+		m.applyArmLocked(p, s, r.key, r.ev, r.at)
+	}
+	if s != nil {
+		s.mu.Unlock()
+	}
+	if deferSum > 0 {
+		p.actMu.Lock()
+		p.deferTime += deferSum
+		p.actMu.Unlock()
+	}
+}
+
+// Update is the Worker-side update_pbox of the two-tier path: the filter
+// runs first (a dropped event does no spool or slot work at all), then the
+// event takes the fast path when the worker's bound pBox holds (or can
+// claim) the key's contention slot, and the slow path otherwise. A lazily
+// detached worker has tracing paused, exactly like Manager.Update on a
+// non-active pBox, so the call is a no-op.
+//
+//pbox:hotpath
+func (w *Worker) Update(key ResourceKey, ev EventType) {
+	m := w.mgr
+	if m.opts.EventFilter != nil && !m.opts.EventFilter(key, ev) {
+		return
+	}
+	p := w.cur
+	if p == nil || w.detached {
+		return
+	}
+	if w.spool == nil {
+		m.updateSlow(p, key, ev)
+		return
+	}
+	if !p.stateIs(StateActive) {
+		return
+	}
+	slot := m.contentionSlot(key)
+	id := int64(p.id)
+	if v := slot.Load(); v != id && (v != 0 || !slot.CompareAndSwap(0, id)) {
+		// Cross-pBox overlap (another claim) or known contention: hand off
+		// to the slow path, draining our own spool first so this pBox's
+		// events apply in issue order.
+		if w.spool.mustFlush() {
+			w.spool.flush(true)
+		}
+		m.updateSlow(p, key, ev)
+		return
+	}
+	now := m.opts.Now()
+	if !w.spool.append(p, key, ev, now) {
+		w.spool.flush(true)
+		if !w.spool.append(p, key, ev, now) {
+			// Degenerate capacity (a zero-slot spool can never hold the
+			// record): apply directly. The claim is already ours, so the
+			// slow path just runs the bookkeeping.
+			m.updateSlow(p, key, ev)
+			return
+		}
+	}
+	// Straggler self-healing: if the slot changed between the claim check
+	// and the append landing, a concurrent slow-path event has already
+	// swept the spools — drain our own again so the late record cannot sit
+	// past the revocation. Replay guards (monotonic re-arm, clamped
+	// overlaps) keep an out-of-order late record detection-neutral.
+	if slot.Load() != id {
+		w.spool.flush(true)
+	}
+}
+
+// Flush drains this worker's spool into manager state on the worker's own
+// goroutine (a penalty that becomes servable is slept here). Applications
+// call it at natural batching boundaries — end of a request, before
+// blocking — when they want spooled state visible without waiting for a
+// flush trigger.
+func (w *Worker) Flush() {
+	if w.spool != nil {
+		w.spool.flush(true)
+	}
+}

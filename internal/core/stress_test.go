@@ -159,8 +159,13 @@ func (o *reconcileObserver) PenaltyServedFor(_, _ int, _ ResourceKey, d time.Dur
 // and tracing on and diagnostic readers (Status, Snapshots, ActionReport)
 // polling throughout — then checks the books balance after quiescence:
 // every holder and waiter record is gone, and the attribution ledger's
-// blocked/served totals equal what the observer stream saw. Run under
-// -race this exercises the sharded lock order end to end.
+// blocked/served totals equal what the observer stream saw. Cold-key events
+// go through per-goroutine Workers (the Tier A spool of spool.go) while
+// hot-key events take direct Manager.Update, so the two ingestion tiers
+// interleave: round-over-round pBox turnover revokes fast-path claims
+// mid-stream and the diagnostic readers force flush-on-read sweeps. Run
+// under -race this exercises the sharded lock order and the spool's flush
+// serialization end to end.
 func TestConcurrentStressReconciles(t *testing.T) {
 	obs := &reconcileObserver{}
 	m := NewManager(Options{
@@ -206,6 +211,7 @@ func TestConcurrentStressReconciles(t *testing.T) {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
+			worker := m.NewWorker()
 			for r := 0; r < rounds; r++ {
 				p, err := m.Create(DefaultRule())
 				if err != nil {
@@ -216,10 +222,14 @@ func TestConcurrentStressReconciles(t *testing.T) {
 				handles = append(handles, p)
 				handleMu.Unlock()
 				m.SetLabel(p, "w")
+				if err := worker.BindDirect(p); err != nil {
+					t.Errorf("BindDirect: %v", err)
+					return
+				}
 				for i := 0; i < 20; i++ {
 					m.Activate(p)
 					cold := ResourceKey(0x1000 + g*8 + i%8)
-					m.Update(p, cold, Hold)
+					worker.Update(cold, Hold)
 					hot := hotKeys[(g+i)%len(hotKeys)]
 					m.Update(p, hot, Prepare)
 					m.Update(p, hot, Enter)
@@ -228,7 +238,7 @@ func TestConcurrentStressReconciles(t *testing.T) {
 						time.Sleep(30 * time.Microsecond)
 					}
 					m.Update(p, hot, Unhold)
-					m.Update(p, cold, Unhold)
+					worker.Update(cold, Unhold)
 					m.Freeze(p)
 				}
 				if err := m.Release(p); err != nil {

@@ -140,8 +140,22 @@ func (m *Manager) traceEvent(p *PBox, key ResourceKey, what string, extra time.D
 	if m.trace == nil {
 		return
 	}
+	m.traceEventAt(p, key, what, extra, m.opts.Now())
+}
+
+// traceEventAt is traceEvent with an explicit manager-clock timestamp: spool
+// replays stamp entries with the recorded event time, so a batched event's At
+// reflects when it happened, not when it was flushed. Sequence numbers are
+// assigned at add time, so a ring holding replayed entries can show At values
+// out of order across pBoxes — At is event time, Seq is ingestion order.
+//
+//pbox:hotpath
+func (m *Manager) traceEventAt(p *PBox, key ResourceKey, what string, extra time.Duration, atNs int64) {
+	if m.trace == nil {
+		return
+	}
 	m.trace.add(TraceEntry{
-		At:    time.Duration(m.opts.Now()),
+		At:    time.Duration(atNs),
 		PBox:  p.id,
 		Key:   key,
 		Name:  m.resourceName(key),
@@ -156,6 +170,7 @@ func (m *Manager) Trace() []TraceEntry {
 	if m.trace == nil {
 		return nil
 	}
+	m.sweepSpools() // flush-on-read: spooled events must reach the ring
 	return m.trace.snapshot()
 }
 
@@ -167,6 +182,7 @@ func (m *Manager) TraceSince(since uint64) ([]TraceEntry, uint64) {
 	if m.trace == nil {
 		return nil, 0
 	}
+	m.sweepSpools() // flush-on-read: spooled events must reach the ring
 	return m.trace.snapshotSince(since)
 }
 

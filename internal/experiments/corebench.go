@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
@@ -13,12 +14,17 @@ import (
 
 // Core-hot-path throughput benchmark: how many Update events per second the
 // manager sustains at 1, 4, and NumCPU goroutines, on disjoint versus
-// contended resource keys, for the sharded manager versus an emulated
-// single-global-mutex manager. The "global" variant routes every Update
-// through one external mutex — the serialization discipline the manager had
-// before the sharding refactor — so BENCH_core.json carries its own
-// before/after comparison and later PRs can spot hot-path regressions
-// without reconstructing the old code.
+// contended resource keys, for three ingestion disciplines. The "global"
+// variant routes every Update through one external mutex — the serialization
+// discipline the manager had before the sharding refactor — so
+// BENCH_core.json carries its own before/after comparison and later PRs can
+// spot hot-path regressions without reconstructing the old code. The
+// "sharded" variant is direct Manager.Update (Tier B on every event); the
+// "fastpath" variant drives the same events through per-goroutine Workers,
+// so uncontended events take the Tier A spool (DESIGN.md §10). On the
+// contended scenario the fastpath rows measure graceful degradation: the
+// shared key's slot goes sticky-contended immediately and every event falls
+// through to Tier B plus a slot check.
 
 // CoreBenchRow is one (scenario, variant, goroutine-count) measurement.
 type CoreBenchRow struct {
@@ -26,9 +32,9 @@ type CoreBenchRow struct {
 	// or "contended" (every goroutine on one resource; the striping
 	// worst case).
 	Scenario string `json:"scenario"`
-	// Variant is "sharded" (the manager as built) or "global" (every
-	// Update wrapped in one process-wide mutex, emulating the pre-shard
-	// manager).
+	// Variant is "sharded" (direct Manager.Update), "global" (every Update
+	// wrapped in one process-wide mutex, emulating the pre-shard manager),
+	// or "fastpath" (Worker.Update with the event spool enabled).
 	Variant    string  `json:"variant"`
 	Goroutines int     `json:"goroutines"`
 	Ops        int64   `json:"ops"`
@@ -48,8 +54,14 @@ type CoreBenchFile struct {
 	OpsPerGoroutine int            `json:"ops_per_goroutine"`
 	Rows            []CoreBenchRow `json:"rows"`
 	// DisjointSpeedup maps "<goroutines>" to sharded ops/sec ÷ global
-	// ops/sec on the disjoint scenario — the headline scaling number.
+	// ops/sec on the disjoint scenario — the headline scaling number of the
+	// sharding refactor.
 	DisjointSpeedup map[string]float64 `json:"disjoint_speedup"`
+	// FastpathSpeedup maps "<goroutines>" to fastpath ops/sec ÷ sharded
+	// ops/sec on the disjoint scenario — the headline number of the two-tier
+	// spool (acceptance: ≥ 1.5× at 4 goroutines; ≥ 1.2× on a single-CPU
+	// host, where batching saves serialization but no parallelism exists).
+	FastpathSpeedup map[string]float64 `json:"fastpath_speedup"`
 	// SingleGoroutineOverhead is sharded ns/op ÷ global ns/op at one
 	// goroutine on the disjoint scenario: the price of the finer locking
 	// when there is nothing to parallelize (acceptance bound: ≤ 1.10).
@@ -111,6 +123,23 @@ func runCoreBench(scenario, variant string, g, opsPer int) CoreBenchRow {
 	start.Add(g)
 	stop.Add(g)
 	for i := 0; i < g; i++ {
+		if variant == "fastpath" {
+			w := m.NewWorker()
+			if err := w.BindDirect(pboxes[i]); err != nil {
+				panic(err)
+			}
+			go func(w *core.Worker, key core.ResourceKey) {
+				defer stop.Done()
+				start.Done()
+				<-gate
+				for n := 0; n < opsPer; n++ {
+					w.Update(key, core.Hold)
+					w.Update(key, core.Unhold)
+				}
+				w.Flush()
+			}(w, keys[i])
+			continue
+		}
 		go func(p *core.PBox, key core.ResourceKey) {
 			defer stop.Done()
 			start.Done()
@@ -155,12 +184,13 @@ func CoreBench(cfg Config) CoreBenchFile {
 		Shards:          core.NewManager(core.Options{}).ShardCount(),
 		OpsPerGoroutine: opsPer,
 		DisjointSpeedup: map[string]float64{},
+		FastpathSpeedup: map[string]float64{},
 	}
-	type cell struct{ global, sharded CoreBenchRow }
+	type cell struct{ global, sharded, fastpath CoreBenchRow }
 	disjoint := map[int]*cell{}
 	for _, scenario := range []string{"disjoint", "contended"} {
 		for _, g := range coreBenchGoroutineCounts() {
-			for _, variant := range []string{"global", "sharded"} {
+			for _, variant := range []string{"global", "sharded", "fastpath"} {
 				row := runCoreBench(scenario, variant, g, opsPer)
 				doc.Rows = append(doc.Rows, row)
 				if scenario == "disjoint" {
@@ -169,10 +199,13 @@ func CoreBench(cfg Config) CoreBenchFile {
 						c = &cell{}
 						disjoint[g] = c
 					}
-					if variant == "global" {
+					switch variant {
+					case "global":
 						c.global = row
-					} else {
+					case "sharded":
 						c.sharded = row
+					case "fastpath":
+						c.fastpath = row
 					}
 				}
 			}
@@ -182,11 +215,70 @@ func CoreBench(cfg Config) CoreBenchFile {
 		if c.global.OpsPerSec > 0 {
 			doc.DisjointSpeedup[fmt.Sprintf("%d", g)] = c.sharded.OpsPerSec / c.global.OpsPerSec
 		}
+		if c.sharded.OpsPerSec > 0 {
+			doc.FastpathSpeedup[fmt.Sprintf("%d", g)] = c.fastpath.OpsPerSec / c.sharded.OpsPerSec
+		}
 		if g == 1 && c.global.NsPerOp > 0 {
 			doc.SingleGoroutineOverhead = c.sharded.NsPerOp / c.global.NsPerOp
 		}
 	}
 	return doc
+}
+
+// coreBenchRegressionTolerance is how much slower (ns/op) a guarded variant
+// may measure against the committed baseline before CompareCoreBench fails —
+// generous, because CI machines are noisy and the guard must only catch real
+// hot-path regressions, not scheduler jitter.
+const coreBenchRegressionTolerance = 1.25
+
+// CompareCoreBench checks a fresh run against a committed baseline: on the
+// disjoint scenario, the "sharded" and "fastpath" variants must not regress
+// more than the tolerance in ns/op at any goroutine count present in both
+// documents (rows for goroutine counts the two machines don't share — e.g.
+// a NumCPU row from a bigger host — are skipped, as are variants the
+// baseline predates). Returns an error describing every failing row.
+func CompareCoreBench(baseline, current CoreBenchFile) error {
+	type rowKey struct {
+		scenario, variant string
+		g                 int
+	}
+	base := map[rowKey]CoreBenchRow{}
+	for _, r := range baseline.Rows {
+		base[rowKey{r.Scenario, r.Variant, r.Goroutines}] = r
+	}
+	var failures []string
+	for _, r := range current.Rows {
+		if r.Scenario != "disjoint" || (r.Variant != "sharded" && r.Variant != "fastpath") {
+			continue
+		}
+		b, ok := base[rowKey{r.Scenario, r.Variant, r.Goroutines}]
+		if !ok || b.NsPerOp <= 0 || r.NsPerOp <= 0 {
+			continue
+		}
+		if r.NsPerOp > b.NsPerOp*coreBenchRegressionTolerance {
+			failures = append(failures, fmt.Sprintf(
+				"%s/%s @%dg: %.1f ns/op vs baseline %.1f ns/op (%.2fx > %.2fx allowed)",
+				r.Scenario, r.Variant, r.Goroutines, r.NsPerOp, b.NsPerOp,
+				r.NsPerOp/b.NsPerOp, coreBenchRegressionTolerance))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("core bench regression:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
+// ReadCoreBench loads a committed BENCH_core.json.
+func ReadCoreBench(path string) (CoreBenchFile, error) {
+	var doc CoreBenchFile
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return doc, err
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return doc, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return doc, nil
 }
 
 // WriteCoreBench writes the document at path (write-then-rename, so a

@@ -79,7 +79,8 @@ func (k EventKind) String() string {
 // strings — recording must not allocate.
 type event struct {
 	seq    uint64
-	atUnix int64 // wall-clock ns
+	atUnix int64 // wall-clock ns, stamped at delivery (for a spooled event: flush time)
+	atMgr  int64 // manager-clock ns of the event itself, spool-replayed state events only
 	kind   EventKind
 	state  core.EventType
 	pbox   int // acting pBox (culprit for detection/action/blocked)
@@ -303,6 +304,23 @@ func (r *Recorder) StateEvent(pboxID int, key core.ResourceKey, ev core.EventTyp
 	r.record(event{kind: KindState, state: ev, pbox: pboxID, key: key})
 	if r.next != nil {
 		r.next.StateEvent(pboxID, key, ev)
+	}
+}
+
+// StateEventAt implements core.EventTimeObserver: a spool-replayed state
+// event is delivered at flush time but carries the manager-clock timestamp
+// recorded when it was issued. The wall-clock stamp (record's atUnix) still
+// marks delivery; the event time rides along so incident bundles distinguish
+// when an event happened from when its batch drained. Forwarded timed when
+// the next observer understands event time, plain otherwise.
+func (r *Recorder) StateEventAt(pboxID int, key core.ResourceKey, ev core.EventType, atNs int64) {
+	r.record(event{kind: KindState, state: ev, pbox: pboxID, key: key, atMgr: atNs})
+	if r.next != nil {
+		if to, ok := r.next.(core.EventTimeObserver); ok {
+			to.StateEventAt(pboxID, key, ev, atNs)
+		} else {
+			r.next.StateEvent(pboxID, key, ev)
+		}
 	}
 }
 

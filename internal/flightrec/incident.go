@@ -21,9 +21,13 @@ var (
 
 // Event is the wire form of one ring entry inside an incident bundle.
 type Event struct {
-	Seq    uint64  `json:"seq"`
-	At     string  `json:"at"`
-	Kind   string  `json:"kind"`
+	Seq uint64 `json:"seq"`
+	At  string `json:"at"`
+	// EventAt is the manager-clock offset at which a spool-replayed state
+	// event was originally issued; At is its delivery (flush) time. Absent
+	// for events delivered directly.
+	EventAt string  `json:"event_at,omitempty"`
+	Kind    string  `json:"kind"`
 	State  string  `json:"state,omitempty"`
 	PBox   int     `json:"pbox"`
 	Victim int     `json:"victim,omitempty"`
@@ -212,6 +216,9 @@ func (r *Recorder) buildAndWrite(job capture) (string, error) {
 		}
 		if e.kind == KindState {
 			we.State = e.state.String()
+		}
+		if e.atMgr != 0 {
+			we.EventAt = time.Duration(e.atMgr).String()
 		}
 		if e.kind == KindAction {
 			we.Policy = e.policy.String()

@@ -1,8 +1,9 @@
 // Package lockorder statically enforces the manager's lock-acquisition
-// order (DESIGN.md §8):
+// order (DESIGN.md §8, extended by the §10 spool ranks):
 //
-//	registry → pbox.mu → shard.mu → verdictMu → leaves (actMu, penMu,
-//	                                             shard.namesMu, trace ring)
+//	Manager.spools → eventSpool.flushMu → registry → pbox.mu → shard.mu →
+//	verdictMu → leaves (actMu, penMu, shard.namesMu, trace ring,
+//	eventSpool.mu)
 //
 // plus the extra rules: a shard lock is never held while acquiring the
 // registry lock (subsumed by the rank order), at most one lock of a class
@@ -13,8 +14,9 @@
 //
 // The pass extracts the static lock graph: every Lock/RLock/Unlock/RUnlock
 // call on a sync.Mutex or sync.RWMutex field is classified by the named
-// type that owns the field (Manager.reg, PBox.mu, shard.mu,
-// Manager.verdictMu, PBox.actMu, PBox.penMu, shard.namesMu, traceRing.mu).
+// type that owns the field (Manager.spools, eventSpool.flushMu, Manager.reg,
+// PBox.mu, shard.mu, Manager.verdictMu, PBox.actMu, PBox.penMu,
+// shard.namesMu, traceRing.mu, eventSpool.mu).
 // A linear abstract interpretation tracks the held-set through each
 // function body (branches merge by union, early returns leave the merge),
 // and a fixpoint over same-package calls summarizes which classes each
@@ -41,13 +43,17 @@ var Analyzer = &analysis.Analyzer{
 }
 
 // Rank positions in the documented order. Leaves share leafRank and are
-// terminal.
+// terminal. The spool ranks are negative: the spool registry and a flush
+// precede everything the replay acquires, and nothing may take them while
+// holding any manager lock.
 const (
-	rankRegistry = 0
-	rankPBoxMu   = 10
-	rankShardMu  = 20
-	rankVerdict  = 30
-	leafRank     = 40
+	rankSpoolList  = -20
+	rankSpoolFlush = -10
+	rankRegistry   = 0
+	rankPBoxMu     = 10
+	rankShardMu    = 20
+	rankVerdict    = 30
+	leafRank       = 40
 )
 
 // classSpec ranks one lock class, keyed by the owning named type and field.
@@ -60,18 +66,21 @@ type classSpec struct {
 // the same names are ranked identically, which is what the golden tests
 // exercise.
 var lockTable = map[classSpec]int{
-	{"Manager", "reg"}:       rankRegistry,
-	{"PBox", "mu"}:           rankPBoxMu,
-	{"shard", "mu"}:          rankShardMu,
-	{"Manager", "verdictMu"}: rankVerdict,
-	{"PBox", "actMu"}:        leafRank,
-	{"PBox", "penMu"}:        leafRank,
-	{"shard", "namesMu"}:     leafRank,
-	{"traceRing", "mu"}:      leafRank,
+	{"Manager", "spools"}:     rankSpoolList,
+	{"eventSpool", "flushMu"}: rankSpoolFlush,
+	{"Manager", "reg"}:        rankRegistry,
+	{"PBox", "mu"}:            rankPBoxMu,
+	{"shard", "mu"}:           rankShardMu,
+	{"Manager", "verdictMu"}:  rankVerdict,
+	{"PBox", "actMu"}:         leafRank,
+	{"PBox", "penMu"}:         leafRank,
+	{"shard", "namesMu"}:      leafRank,
+	{"traceRing", "mu"}:       leafRank,
+	{"eventSpool", "mu"}:      leafRank,
 }
 
 // orderDoc is appended to order-violation messages.
-const orderDoc = "DESIGN.md §8 order: registry → pbox.mu → shard.mu → verdictMu → leaves"
+const orderDoc = "DESIGN.md §8/§10 order: spools → flushMu → registry → pbox.mu → shard.mu → verdictMu → leaves"
 
 // lockClass is one recognized lock class.
 type lockClass struct {

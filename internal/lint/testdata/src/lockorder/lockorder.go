@@ -6,9 +6,15 @@ package lockorder
 import "sync"
 
 type Manager struct {
+	spools    sync.Mutex
 	reg       sync.Mutex
 	verdictMu sync.Mutex
 	shards    []*shard
+}
+
+type eventSpool struct {
+	flushMu sync.Mutex
+	mu      sync.Mutex
 }
 
 type PBox struct {
@@ -137,6 +143,49 @@ func badRLockUnderLeaf(s *shard) {
 	s.mu.Lock() // want `acquires shard\.mu while holding leaf lock shard\.namesMu`
 	s.mu.Unlock()
 	s.namesMu.RUnlock()
+}
+
+// goodFlushDescent is the spool flush shape: the registered-spool list and
+// the flush lock rank before every manager lock, the buffer leaf is taken
+// and released before the replay descends. Clean.
+func goodFlushDescent(m *Manager, sp *eventSpool, p *PBox, s *shard) {
+	m.spools.Lock()
+	sp.flushMu.Lock()
+	sp.mu.Lock()
+	sp.mu.Unlock()
+	p.mu.Lock()
+	s.mu.Lock()
+	s.mu.Unlock()
+	p.mu.Unlock()
+	sp.flushMu.Unlock()
+	m.spools.Unlock()
+}
+
+// badSpoolAppendTakesShard: the spool buffer is a terminal leaf owned by its
+// Worker — an append-path method reaching for shard state is a finding.
+func badSpoolAppendTakesShard(sp *eventSpool, s *shard) {
+	sp.mu.Lock()
+	s.mu.Lock() // want `acquires shard\.mu while holding leaf lock eventSpool\.mu`
+	s.mu.Unlock()
+	sp.mu.Unlock()
+}
+
+// badFlushUnderPBox: a flush started while holding any manager lock inverts
+// the order (flushes must happen before the caller descends).
+func badFlushUnderPBox(sp *eventSpool, p *PBox) {
+	p.mu.Lock()
+	sp.flushMu.Lock() // want `acquires eventSpool\.flushMu while holding PBox\.mu`
+	sp.flushMu.Unlock()
+	p.mu.Unlock()
+}
+
+// badRegistryThenSpoolList: the spool registry precedes even the manager
+// registry (a sweep holds it across whole flushes).
+func badRegistryThenSpoolList(m *Manager) {
+	m.reg.Lock()
+	m.spools.Lock() // want `acquires Manager\.spools while holding Manager\.reg`
+	m.spools.Unlock()
+	m.reg.Unlock()
 }
 
 // localMutex: locks outside the class table are ignored.
