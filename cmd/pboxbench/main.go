@@ -9,12 +9,14 @@
 //	pboxbench -exp fig16 -duration 500ms # longer runs
 //
 // Experiments: fig1 fig2 fig3 fig10 table3 fig11 fig12 fig13 fig14 table4
-// fig15 fig16 table5 mistakes. Two extra ids are opt-in (never part of
+// fig15 fig16 table5 mistakes. Three extra ids are opt-in (never part of
 // -exp all) and write files instead of printing: cases-json writes the
-// per-case victim-p95 records to BENCH_cases.json, and core-json writes the
+// per-case victim-p95 records to BENCH_cases.json, core-json writes the
 // manager hot-path throughput grid (sharded vs. emulated global lock,
-// disjoint vs. contended keys, 1/4/NumCPU goroutines) to BENCH_core.json
-// (-out overrides either path).
+// disjoint vs. contended keys, 1/4/NumCPU goroutines) to BENCH_core.json,
+// and record-cases runs cases with a capture recorder attached and writes
+// one replayable event-log directory per case (pboxreplay consumes them).
+// -out overrides the default output path of all three.
 package main
 
 import (
@@ -31,15 +33,16 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (fig1..fig16, table3..table5, mistakes, ablate, cases-json, core-json, all)")
+	exp := flag.String("exp", "all", "experiment id (fig1..fig16, table3..table5, mistakes, ablate, cases-json, core-json, record-cases, all)")
 	caseList := flag.String("cases", "", "comma-separated case ids to restrict to")
 	duration := flag.Duration("duration", 0, "per-run measurement duration (default 300ms)")
+	caseDuration := flag.Duration("caseduration", 0, "pin every case's run length exactly, overriding -duration and per-case variance adjustments; recorded in BENCH_cases.json")
 	quick := flag.Bool("quick", false, "smoke-test scale")
-	out := flag.String("out", "", "output path for -exp cases-json / core-json (default BENCH_cases.json / BENCH_core.json)")
+	out := flag.String("out", "", "output path for -exp cases-json / core-json / record-cases (default BENCH_cases.json / BENCH_core.json / capture-logs)")
 	baseline := flag.String("baseline", "", "with -exp core-json: committed BENCH_core.json to compare against; exit 1 if disjoint sharded/fastpath ns/op regresses >25% at matching goroutine counts")
 	flag.Parse()
 
-	cfg := experiments.Config{Duration: *duration, Quick: *quick}
+	cfg := experiments.Config{Duration: *duration, CaseDuration: *caseDuration, Quick: *quick}
 	var ids []string
 	if *caseList != "" {
 		ids = strings.Split(*caseList, ",")
@@ -238,6 +241,22 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s (%d cases)\n", path, len(rows))
+		return
+	}
+	if *exp == "record-cases" {
+		dir := *out
+		if dir == "" {
+			dir = "capture-logs"
+		}
+		traces, err := experiments.RecordCases(cfg, ids, dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "record-cases:", err)
+			os.Exit(1)
+		}
+		for _, tr := range traces {
+			fmt.Printf("%-4s %-10s %8d records %10d bytes dropped=%d  %s\n",
+				tr.CaseID, tr.Duration, tr.Records, tr.Bytes, tr.Dropped, tr.Dir)
+		}
 		return
 	}
 	if *exp == "core-json" {

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"pbox/internal/apps/minikv"
+	"pbox/internal/capture"
 	"pbox/internal/core"
 	"pbox/internal/flightrec"
 	"pbox/internal/isolation"
@@ -51,6 +52,7 @@ func main() {
 		demo      = flag.Duration("demo", 0, "run a built-in noisy+victim client demo for this long, then exit")
 		victims   = flag.Int("victims", 2, "victim get-clients in -demo mode")
 		incidents = flag.String("incidents", "incidents", "flight-recorder incidents directory (empty disables)")
+		record    = flag.String("record", "", "capture full replayable event log into this directory (pboxreplay consumes it)")
 	)
 	flag.Parse()
 
@@ -58,14 +60,18 @@ func main() {
 	cfg.Capacity = *capacity
 	cfg.EvictScanItems = *evictScan
 
-	// Observer chain: flight recorder in front of the metrics collector, the
-	// manager behind both. Attribution stays on — the ledger is the daemon's
+	// Observer chain, front to back: capture recorder → flight recorder →
+	// metrics collector → manager. The capture recorder sits first so the
+	// event log sees the exact stream the manager emitted (including the
+	// timestamped and lifecycle callbacks the downstream elements may not
+	// implement). Attribution stays on — the ledger is the daemon's
 	// who-hurt-whom diagnosis surface.
 	var (
-		reg *telemetry.Registry
-		col *telemetry.Collector
-		rec *flightrec.Recorder
-		obs core.Observer
+		reg    *telemetry.Registry
+		col    *telemetry.Collector
+		rec    *flightrec.Recorder
+		capRec *capture.Recorder
+		obs    core.Observer
 	)
 	opts := core.Options{TraceSize: *traceSize, Attribution: true, Shards: *shards, SpoolSize: *spool}
 	if !*noTelem {
@@ -77,6 +83,14 @@ func main() {
 		rec = flightrec.New(flightrec.Config{Dir: *incidents, Next: obs})
 		obs = rec
 	}
+	if *record != "" {
+		var err error
+		capRec, err = capture.NewRecorder(capture.RecorderConfig{Dir: *record, Next: obs})
+		if err != nil {
+			log.Fatalf("pboxd: capture recorder: %v", err)
+		}
+		obs = capRec
+	}
 	if obs != nil {
 		opts.Observer = obs
 	}
@@ -87,6 +101,12 @@ func main() {
 	if rec != nil {
 		rec.AttachManager(mgr)
 		log.Printf("pboxd: flight recorder writing incident bundles to %s/", *incidents)
+	}
+	if capRec != nil {
+		if rec != nil {
+			rec.AttachCapture(capRec) // incident bundles reference the capture log position
+		}
+		log.Printf("pboxd: capture recorder writing event log to %s/ (replay with: pboxreplay sweep %s)", *record, *record)
 	}
 	rule := core.DefaultRule()
 	rule.Level = *goal
@@ -148,6 +168,14 @@ func main() {
 	}
 	if rec != nil {
 		rec.Close()
+	}
+	if capRec != nil {
+		if err := capRec.Close(); err != nil {
+			log.Printf("pboxd: capture recorder: %v", err)
+		}
+		if n := capRec.Dropped(); n > 0 {
+			log.Printf("pboxd: capture recorder dropped %d records (queue overflow)", n)
+		}
 	}
 }
 

@@ -1,0 +1,165 @@
+package capture
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// SweepRow is one config's outcome in a sweep, with deltas against the
+// sweep's base config.
+type SweepRow struct {
+	Config string  `json:"config"`
+	Digest *Digest `json:"digest"`
+
+	// Deltas vs the base row (base deltas are zero).
+	DeltaDetections  int64 `json:"delta_detections"`
+	DeltaActions     int64 `json:"delta_actions"`
+	DeltaVictimP95Ns int64 `json:"delta_victim_adj_p95_ns"`
+	// VictimP95Pct is the relative change of the victim adjusted p95 vs
+	// base, in percent (0 when the base p95 is 0).
+	VictimP95Pct float64 `json:"victim_p95_pct"`
+}
+
+// SweepResult is a full config-grid sweep over one log.
+type SweepResult struct {
+	// Recorded summarizes the log's own annotations (the live run).
+	Recorded *Digest `json:"recorded"`
+	// Rows holds one replay per config, first config = base.
+	Rows []SweepRow `json:"rows"`
+}
+
+// Sweep replays the log once per config (the first config is the baseline
+// the deltas are computed against) and tabulates verdict and victim-p95
+// deltas.
+func Sweep(log *Log, configs []Config) (*SweepResult, error) {
+	if len(configs) == 0 {
+		return nil, fmt.Errorf("capture: sweep needs at least one config")
+	}
+	res := &SweepResult{Recorded: LogSummary(log)}
+	for _, cfg := range configs {
+		rr, err := Replay(log, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("config %q: %w", cfg.Name, err)
+		}
+		res.Rows = append(res.Rows, SweepRow{Config: cfg.Name, Digest: rr.Digest})
+	}
+	base := res.Rows[0].Digest
+	for i := range res.Rows {
+		r := &res.Rows[i]
+		r.DeltaDetections = r.Digest.Detections - base.Detections
+		r.DeltaActions = r.Digest.Actions - base.Actions
+		r.DeltaVictimP95Ns = r.Digest.VictimAdjP95 - base.VictimAdjP95
+		if base.VictimAdjP95 > 0 {
+			r.VictimP95Pct = 100 * float64(r.DeltaVictimP95Ns) / float64(base.VictimAdjP95)
+		}
+	}
+	return res, nil
+}
+
+// Table renders the sweep as an aligned text table (the `pboxreplay sweep`
+// output).
+func (s *SweepResult) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s %10s %10s %12s %14s %14s %10s\n",
+		"config", "detections", "actions", "served_ms", "victim_p95_ms", "Δp95_ms", "Δp95_%")
+	row := func(name string, d *Digest, delta int64, pct float64, isBase bool) {
+		mark := ""
+		if isBase {
+			mark = " (base)"
+		}
+		fmt.Fprintf(&b, "%-24s %10d %10d %12.3f %14.3f %14.3f %9.1f%%\n",
+			name+mark, d.Detections, d.Actions,
+			float64(d.PenaltyServedNs)/1e6,
+			float64(d.VictimAdjP95)/1e6,
+			float64(delta)/1e6, pct)
+	}
+	row("recorded", s.Recorded, 0, 0, false)
+	for i, r := range s.Rows {
+		row(r.Config, r.Digest, r.DeltaVictimP95Ns, r.VictimP95Pct, i == 0)
+	}
+	return b.String()
+}
+
+// Diff compares two digests field by field and returns human-readable lines
+// for everything that differs (empty when identical). `pboxreplay diff` uses
+// it to compare two runs or a run against a recorded baseline.
+func Diff(a, b *Digest) []string {
+	var out []string
+	add := func(format string, args ...any) {
+		out = append(out, fmt.Sprintf(format, args...))
+	}
+	cmp := func(name string, x, y int64) {
+		if x != y {
+			add("%s: %d → %d (%+d)", name, x, y, y-x)
+		}
+	}
+	cmp("pboxes", int64(a.PBoxes), int64(b.PBoxes))
+	cmp("events", a.Events, b.Events)
+	cmp("activities", a.Activities, b.Activities)
+	cmp("detections", a.Detections, b.Detections)
+	cmp("actions", a.Actions, b.Actions)
+	cmp("penalty_scheduled_ns", a.PenaltyScheduledNs, b.PenaltyScheduledNs)
+	cmp("penalty_served_ns", a.PenaltyServedNs, b.PenaltyServedNs)
+	cmp("raw_p95_ns", a.RawP95, b.RawP95)
+	cmp("adj_p95_ns", a.AdjP95, b.AdjP95)
+	cmp("victim_raw_p95_ns", a.VictimRawP95, b.VictimRawP95)
+	cmp("victim_adj_p95_ns", a.VictimAdjP95, b.VictimAdjP95)
+	for _, k := range policyKeys(a, b) {
+		cmp("actions_by_policy."+k, a.ActionsByPolicy[k], b.ActionsByPolicy[k])
+	}
+	boxes := make(map[int][2]*BoxDigest)
+	for i := range a.Boxes {
+		e := boxes[a.Boxes[i].ID]
+		e[0] = &a.Boxes[i]
+		boxes[a.Boxes[i].ID] = e
+	}
+	for i := range b.Boxes {
+		e := boxes[b.Boxes[i].ID]
+		e[1] = &b.Boxes[i]
+		boxes[b.Boxes[i].ID] = e
+	}
+	for _, id := range sortedBoxIDs(boxes) {
+		pair := boxes[id]
+		switch {
+		case pair[0] == nil:
+			add("pbox %d: only in second run", id)
+		case pair[1] == nil:
+			add("pbox %d: only in first run", id)
+		default:
+			x, y := pair[0], pair[1]
+			cmp(fmt.Sprintf("pbox %d detections_as_victim", id), x.DetectionsAsVictim, y.DetectionsAsVictim)
+			cmp(fmt.Sprintf("pbox %d actions_as_noisy", id), x.ActionsAsNoisy, y.ActionsAsNoisy)
+			cmp(fmt.Sprintf("pbox %d adj_p95_ns", id), x.AdjP95, y.AdjP95)
+		}
+	}
+	return out
+}
+
+func policyKeys(a, b *Digest) []string {
+	seen := make(map[string]bool)
+	var keys []string
+	for k := range a.ActionsByPolicy {
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	for k := range b.ActionsByPolicy {
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortedBoxIDs(m map[int][2]*BoxDigest) []int {
+	ids := make([]int, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}

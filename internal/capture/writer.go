@@ -1,0 +1,446 @@
+package capture
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pbox/internal/core"
+)
+
+// RecorderConfig configures a Recorder.
+type RecorderConfig struct {
+	// Dir is the log directory; segments are created as seg-NNNNNN.pblog.
+	// It is created if missing. If it already holds segments (a restart
+	// after a crash), numbering continues after the highest existing
+	// segment — old segments are never reopened or truncated.
+	Dir string
+	// QueueSize is the capacity of each of the two enqueue buffers
+	// (records, not bytes). When the active buffer is full the record is
+	// dropped and Dropped() incremented — the hot path never blocks on the
+	// writer. Default 8192.
+	QueueSize int
+	// SegmentBytes is the rotation threshold: when the current segment
+	// exceeds it (checked at batch boundaries), the segment is synced,
+	// closed, and a new one started. Default 4 MiB.
+	SegmentBytes int
+	// Next is the downstream observer the Recorder forwards every callback
+	// to (the usual chain pattern, like flightrec's).
+	Next core.Observer
+}
+
+// Recorder is the capture sink: a core.Observer (plus the EventTimeObserver,
+// LifecycleObserver, and AttributionObserver extensions) that streams every
+// callback to disk as a binary log Replay can consume.
+//
+// The hot path (state-event callbacks, fired under manager locks) only
+// copies a Record value into a preallocated buffer under a private mutex and
+// pokes a notification channel — no allocation, no I/O, no manager re-entry
+// (pboxlint's hotpathalloc and reentry passes check this). A background
+// goroutine swaps the double buffers, encodes the batch, and appends it to
+// the current segment file.
+type Recorder struct {
+	next     core.Observer
+	nextAttr core.AttributionObserver
+	nextTime core.EventTimeObserver
+	nextLife core.LifecycleObserver
+
+	mu     sync.Mutex
+	active []Record // enqueue side of the double buffer
+	n      int
+
+	dropped atomic.Int64
+	closed  atomic.Bool
+	wErr    atomic.Value // first writer error, type error
+
+	// posSeg/posOff publish the writer's durable position (current segment
+	// index and its byte length after the last flushed batch) for Position.
+	posSeg atomic.Int64
+	posOff atomic.Int64
+
+	wake chan struct{}
+	quit chan struct{}
+	done chan struct{}
+
+	// Writer-goroutine state (no locking: only the writer touches these).
+	spare      []Record
+	enc        encoder
+	dir        string
+	segBytes   int
+	seg        *os.File
+	segIndex   int
+	segWritten int
+}
+
+// NewRecorder creates the log directory and starts the writer goroutine.
+func NewRecorder(cfg RecorderConfig) (*Recorder, error) {
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = 8192
+	}
+	if cfg.SegmentBytes <= 0 {
+		cfg.SegmentBytes = 4 << 20
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("capture: create log dir: %w", err)
+	}
+	last, err := lastSegmentIndex(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	r := &Recorder{
+		next:     cfg.Next,
+		active:   make([]Record, cfg.QueueSize),
+		spare:    make([]Record, cfg.QueueSize),
+		wake:     make(chan struct{}, 1),
+		quit:     make(chan struct{}),
+		done:     make(chan struct{}),
+		dir:      cfg.Dir,
+		segBytes: cfg.SegmentBytes,
+		segIndex: last,
+	}
+	if ao, ok := cfg.Next.(core.AttributionObserver); ok {
+		r.nextAttr = ao
+	}
+	if to, ok := cfg.Next.(core.EventTimeObserver); ok {
+		r.nextTime = to
+	}
+	if lo, ok := cfg.Next.(core.LifecycleObserver); ok {
+		r.nextLife = lo
+	}
+	if err := r.rotate(); err != nil {
+		return nil, err
+	}
+	go r.run()
+	return r, nil
+}
+
+// Close flushes buffered records, syncs and closes the current segment, and
+// stops the writer. Further callbacks are dropped silently. It returns the
+// first writer error, if any.
+func (r *Recorder) Close() error {
+	if !r.closed.CompareAndSwap(false, true) {
+		<-r.done
+		return r.Err()
+	}
+	close(r.quit)
+	<-r.done
+	return r.Err()
+}
+
+// Dropped returns how many records were discarded because the bounded queue
+// was full (the writer could not keep up).
+func (r *Recorder) Dropped() int64 { return r.dropped.Load() }
+
+// Position reports where the log currently ends: the active segment's file
+// name, its byte length after the most recently flushed batch, and how many
+// records are still queued in memory. A record enqueued now lands within
+// `queued+1` records of (segment, offset) — the flight recorder stamps this
+// into incident bundles so a verdict can be located in the capture log.
+func (r *Recorder) Position() (segment string, offset int64, queued int) {
+	r.mu.Lock()
+	queued = r.n
+	r.mu.Unlock()
+	return filepath.Base(segmentPath(r.dir, int(r.posSeg.Load()))), r.posOff.Load(), queued
+}
+
+// Err returns the first error the writer hit, or nil.
+func (r *Recorder) Err() error {
+	if e, ok := r.wErr.Load().(error); ok {
+		return e
+	}
+	return nil
+}
+
+// enqueue copies rec into the active buffer, or counts a drop when full.
+//
+//pbox:hotpath
+func (r *Recorder) enqueue(rec Record) {
+	if r.closed.Load() {
+		return
+	}
+	r.mu.Lock()
+	if r.n == len(r.active) {
+		r.mu.Unlock()
+		r.dropped.Add(1)
+		return
+	}
+	r.active[r.n] = rec
+	r.n++
+	r.mu.Unlock()
+	select {
+	case r.wake <- struct{}{}:
+	default:
+	}
+}
+
+// run is the writer goroutine: drain on every wake-up, then once more on
+// shutdown before closing the segment.
+func (r *Recorder) run() {
+	defer close(r.done)
+	for {
+		select {
+		case <-r.wake:
+			r.drain()
+		case <-r.quit:
+			r.drain()
+			if r.seg != nil {
+				r.fail(r.seg.Sync())
+				r.fail(r.seg.Close())
+				r.seg = nil
+			}
+			return
+		}
+	}
+}
+
+// drain swaps the double buffer and appends the batch to the current
+// segment, rotating first when the segment is over threshold.
+func (r *Recorder) drain() {
+	r.mu.Lock()
+	batch := r.active[:r.n]
+	r.active, r.spare = r.spare, r.active
+	r.n = 0
+	r.mu.Unlock()
+	if len(batch) == 0 {
+		return
+	}
+	if r.segWritten >= r.segBytes {
+		if err := r.rotate(); err != nil {
+			r.fail(err)
+			return
+		}
+	}
+	if r.seg == nil {
+		return // a previous write error already poisoned the recorder
+	}
+	r.enc.buf = r.enc.buf[:0]
+	for i := range batch {
+		r.enc.record(&batch[i])
+	}
+	n, err := r.seg.Write(r.enc.buf)
+	r.segWritten += n
+	r.posOff.Store(int64(r.segWritten))
+	r.fail(err)
+}
+
+// rotate syncs and closes the current segment and opens the next one. The
+// closed segment is complete and immutable from here on — a crash can only
+// tear the tail of the newest segment, which the decoder tolerates.
+func (r *Recorder) rotate() error {
+	if r.seg != nil {
+		if err := r.seg.Sync(); err != nil {
+			return err
+		}
+		if err := r.seg.Close(); err != nil {
+			return err
+		}
+		r.seg = nil
+	}
+	r.segIndex++
+	f, err := os.OpenFile(segmentPath(r.dir, r.segIndex), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	r.enc.reset() // the timestamp delta chain restarts per segment
+	r.enc.header()
+	if _, err := f.Write(r.enc.buf); err != nil {
+		f.Close()
+		return err
+	}
+	r.seg = f
+	// segWritten counts the header too, so Position offsets are real file
+	// offsets.
+	r.segWritten = len(r.enc.buf)
+	r.posSeg.Store(int64(r.segIndex))
+	r.posOff.Store(int64(r.segWritten))
+	r.enc.buf = r.enc.buf[:0]
+	return nil
+}
+
+// fail records the writer's first error and drops the segment handle so
+// later batches stop writing.
+func (r *Recorder) fail(err error) {
+	if err == nil {
+		return
+	}
+	r.wErr.CompareAndSwap(nil, err)
+	if r.seg != nil {
+		r.seg.Close()
+		r.seg = nil
+	}
+}
+
+func segmentPath(dir string, idx int) string {
+	return filepath.Join(dir, fmt.Sprintf("seg-%06d.pblog", idx))
+}
+
+// lastSegmentIndex returns the highest existing segment number in dir (0
+// when empty).
+func lastSegmentIndex(dir string) (int, error) {
+	names, err := segmentNames(dir)
+	if err != nil {
+		return 0, err
+	}
+	last := 0
+	for _, name := range names {
+		var idx int
+		if _, err := fmt.Sscanf(filepath.Base(name), "seg-%d.pblog", &idx); err == nil && idx > last {
+			last = idx
+		}
+	}
+	return last, nil
+}
+
+// segmentNames lists dir's segment files in log order.
+func segmentNames(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".pblog") {
+			names = append(names, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// --- Observer chain ---------------------------------------------------------
+
+// PBoxCreated implements core.Observer.
+func (r *Recorder) PBoxCreated(id int, rule core.IsolationRule) {
+	r.enqueue(Record{Kind: KindCreate, PBox: id, RuleType: rule.Type, Metric: rule.Metric, Level: rule.Level})
+	if r.next != nil {
+		r.next.PBoxCreated(id, rule)
+	}
+}
+
+// PBoxReleased implements core.Observer.
+func (r *Recorder) PBoxReleased(id int) {
+	r.enqueue(Record{Kind: KindRelease, PBox: id})
+	if r.next != nil {
+		r.next.PBoxReleased(id)
+	}
+}
+
+// StateEvent implements core.Observer. The manager prefers StateEventAt
+// (the Recorder is an EventTimeObserver); this arm only fires when some
+// upstream chain element downgrades the delivery, and records At 0.
+//
+//pbox:hotpath
+func (r *Recorder) StateEvent(pboxID int, key core.ResourceKey, ev core.EventType) {
+	r.enqueue(Record{Kind: KindState, PBox: pboxID, Key: key, Ev: ev})
+	if r.next != nil {
+		r.next.StateEvent(pboxID, key, ev)
+	}
+}
+
+// StateEventAt implements core.EventTimeObserver: the capture hot path. The
+// recorded timestamp is the manager-clock value the event's bookkeeping
+// used, which is what makes the log replayable.
+//
+//pbox:hotpath
+func (r *Recorder) StateEventAt(pboxID int, key core.ResourceKey, ev core.EventType, atNs int64) {
+	r.enqueue(Record{Kind: KindState, PBox: pboxID, Key: key, Ev: ev, At: atNs})
+	if r.nextTime != nil {
+		r.nextTime.StateEventAt(pboxID, key, ev, atNs)
+	} else if r.next != nil {
+		r.next.StateEvent(pboxID, key, ev)
+	}
+}
+
+// PBoxActivated implements core.LifecycleObserver.
+//
+//pbox:hotpath
+func (r *Recorder) PBoxActivated(pboxID int, atNs int64) {
+	r.enqueue(Record{Kind: KindActivate, PBox: pboxID, At: atNs})
+	if r.nextLife != nil {
+		r.nextLife.PBoxActivated(pboxID, atNs)
+	}
+}
+
+// PBoxFrozen implements core.LifecycleObserver.
+//
+//pbox:hotpath
+func (r *Recorder) PBoxFrozen(pboxID int, atNs int64) {
+	r.enqueue(Record{Kind: KindFreeze, PBox: pboxID, At: atNs})
+	if r.nextLife != nil {
+		r.nextLife.PBoxFrozen(pboxID, atNs)
+	}
+}
+
+// PBoxSharedChanged implements core.LifecycleObserver.
+func (r *Recorder) PBoxSharedChanged(pboxID int, shared bool) {
+	flag := int64(0)
+	if shared {
+		flag = 1
+	}
+	r.enqueue(Record{Kind: KindShared, PBox: pboxID, Dur: flag})
+	if r.nextLife != nil {
+		r.nextLife.PBoxSharedChanged(pboxID, shared)
+	}
+}
+
+// ActivityEnd implements core.Observer.
+//
+//pbox:hotpath
+func (r *Recorder) ActivityEnd(pboxID int, deferNs, execNs int64) {
+	r.enqueue(Record{Kind: KindActivityEnd, PBox: pboxID, Dur: deferNs, Exec: execNs})
+	if r.next != nil {
+		r.next.ActivityEnd(pboxID, deferNs, execNs)
+	}
+}
+
+// Detection implements core.Observer.
+//
+//pbox:hotpath
+func (r *Recorder) Detection(noisyID, victimID int, key core.ResourceKey, projected float64) {
+	r.enqueue(Record{Kind: KindDetection, PBox: noisyID, Victim: victimID, Key: key, Level: projected})
+	if r.next != nil {
+		r.next.Detection(noisyID, victimID, key, projected)
+	}
+}
+
+// PenaltyAction implements core.Observer.
+//
+//pbox:hotpath
+func (r *Recorder) PenaltyAction(noisyID, victimID int, key core.ResourceKey, policy core.PolicyKind, length time.Duration) {
+	r.enqueue(Record{Kind: KindAction, PBox: noisyID, Victim: victimID, Key: key, Policy: policy, Dur: int64(length)})
+	if r.next != nil {
+		r.next.PenaltyAction(noisyID, victimID, key, policy, length)
+	}
+}
+
+// PenaltyServed implements core.Observer (fires outside manager locks).
+func (r *Recorder) PenaltyServed(pboxID int, d time.Duration) {
+	r.enqueue(Record{Kind: KindServed, PBox: pboxID, Dur: int64(d)})
+	if r.next != nil {
+		r.next.PenaltyServed(pboxID, d)
+	}
+}
+
+// Blocked implements core.AttributionObserver.
+//
+//pbox:hotpath
+func (r *Recorder) Blocked(culpritID, victimID int, key core.ResourceKey, overlapNs int64) {
+	r.enqueue(Record{Kind: KindBlocked, PBox: culpritID, Victim: victimID, Key: key, Dur: overlapNs})
+	if r.nextAttr != nil {
+		r.nextAttr.Blocked(culpritID, victimID, key, overlapNs)
+	}
+}
+
+// PenaltyServedFor implements core.AttributionObserver (outside locks; the
+// served duration is already captured by PenaltyServed, so this only
+// forwards).
+func (r *Recorder) PenaltyServedFor(culpritID, victimID int, key core.ResourceKey, d time.Duration) {
+	if r.nextAttr != nil {
+		r.nextAttr.PenaltyServedFor(culpritID, victimID, key, d)
+	}
+}

@@ -68,9 +68,7 @@ func (w *Worker) Unbind(k uintptr, flags BindFlags) (int, error) {
 	if w.spool != nil {
 		w.spool.flush(true)
 	}
-	p.penMu.Lock()
-	p.sharedThread = flags == BindShared
-	p.penMu.Unlock()
+	w.mgr.SetShared(p, flags == BindShared)
 	// Lazy unbind: mark detached, pause tracing, no crossing.
 	w.detached = true
 	w.detachedKey = k
@@ -111,9 +109,7 @@ func (w *Worker) Bind(k uintptr, flags BindFlags) (*PBox, error) {
 	if w.spool != nil && w.cur != nil && w.cur != p {
 		w.spool.flush(true)
 	}
-	p.penMu.Lock()
-	p.sharedThread = flags == BindShared
-	p.penMu.Unlock()
+	w.mgr.SetShared(p, flags == BindShared)
 	w.cur = p
 	return p, nil
 }

@@ -192,10 +192,14 @@ type Manager struct {
 	// construction so hook sites pay a nil check instead of a type assert.
 	attrObs AttributionObserver
 	// timeObs is opts.Observer's EventTimeObserver side, likewise cached:
-	// spool replays deliver state events through it with their recorded
-	// timestamps, so an observer that cares (the flight recorder) can tell
-	// event time from flush time.
+	// state events are delivered through it with the manager-clock
+	// timestamp their bookkeeping used, so an observer that cares (the
+	// flight recorder, the capture recorder) sees event time, not callback
+	// time.
 	timeObs EventTimeObserver
+	// lifeObs is opts.Observer's LifecycleObserver side: activity-window
+	// boundary timestamps and shared-marking flips, for capture logs.
+	lifeObs LifecycleObserver
 
 	// crossings counts conceptual user/kernel boundary crossings: every
 	// manager entry point increments it. The lazy-unbind optimization
@@ -220,6 +224,9 @@ func NewManager(opts Options) *Manager {
 	}
 	if to, ok := opts.Observer.(EventTimeObserver); ok {
 		m.timeObs = to
+	}
+	if lo, ok := opts.Observer.(LifecycleObserver); ok {
+		m.lifeObs = lo
 	}
 	if opts.Attribution {
 		m.attr = newAttributionLedger()
@@ -342,12 +349,16 @@ func (m *Manager) Activate(p *PBox) {
 		return
 	}
 	p.setState(StateActive)
-	p.activityStart.Store(m.opts.Now())
+	now := m.opts.Now()
+	p.activityStart.Store(now)
 	p.actMu.Lock()
 	p.deferTime = 0
 	p.blame = nil
 	p.actMu.Unlock()
 	m.traceEvent(p, 0, "activate", 0)
+	if m.lifeObs != nil {
+		m.lifeObs.PBoxActivated(p.id, now)
+	}
 }
 
 // Freeze stops tracing the pBox's current activity (freeze_pbox), folds the
@@ -368,6 +379,9 @@ func (m *Manager) Freeze(p *PBox) {
 	}
 	p.setState(StateFrozen)
 	te := now - p.activityStart.Load()
+	if m.lifeObs != nil {
+		m.lifeObs.PBoxFrozen(p.id, now)
+	}
 
 	// Fold the activity into the history and, in the same actMu hold,
 	// pick the pBox-level monitor's target: the largest contributor to
@@ -474,7 +488,7 @@ func (m *Manager) updateSlow(p *PBox, key ResourceKey, ev EventType) {
 		p.mu.Unlock()
 		return
 	}
-	m.applyLocked(p, key, ev, now, false)
+	m.applyLocked(p, key, ev, now)
 	// Safe-point check: a penalty scheduled for p (by this event's
 	// detection pass or an earlier one) can run only when p holds nothing
 	// and waits for nothing, so delaying it cannot defer anyone else or
@@ -491,15 +505,18 @@ func (m *Manager) updateSlow(p *PBox, key ResourceKey, ev EventType) {
 }
 
 // applyLocked delivers one event to the trace ring, the observer, and the
-// Algorithm 1 arms, at manager-clock time now. replayed marks spool-flush
-// delivery: the trace entry and (when the observer supports it) the
-// StateEventAt callback carry the recorded event time, not the flush time.
-// Caller holds p.mu.
+// Algorithm 1 arms, at manager-clock time now — the same now the arms use
+// for their bookkeeping, whether the event arrives directly (now = issue
+// time) or via a spool replay (now = recorded event time). An observer that
+// implements EventTimeObserver receives every event through StateEventAt
+// with that timestamp, so a capture log of StateEventAt calls replayed at
+// the recorded times reproduces the arms' arithmetic exactly. Caller holds
+// p.mu.
 //
 //pbox:hotpath
-func (m *Manager) applyLocked(p *PBox, key ResourceKey, ev EventType, now int64, replayed bool) {
+func (m *Manager) applyLocked(p *PBox, key ResourceKey, ev EventType, now int64) {
 	m.traceEventAt(p, key, ev.String(), 0, now)
-	if replayed && m.timeObs != nil {
+	if m.timeObs != nil {
 		m.timeObs.StateEventAt(p.id, key, ev, now)
 	} else if m.obs != nil {
 		m.obs.StateEvent(p.id, key, ev)
@@ -787,10 +804,29 @@ func (m *Manager) sleepPenalty(p *PBox, d time.Duration) {
 // MarkShared marks the pBox as running on shared worker threads: penalties
 // become requeue deadlines (see Worker.Bind and PenaltyWait) instead of
 // direct delays, so a penalty never stalls the thread other pBoxes share.
-func (m *Manager) MarkShared(p *PBox) {
+func (m *Manager) MarkShared(p *PBox) { m.SetShared(p, true) }
+
+// SetShared sets the pBox's shared-thread marking explicitly. Worker binds
+// maintain the marking implicitly; SetShared exists for applications that
+// manage the flag directly and for replay-time injection (internal/capture
+// re-applies recorded marking flips to a fresh manager).
+func (m *Manager) SetShared(p *PBox, shared bool) {
 	p.penMu.Lock()
-	defer p.penMu.Unlock()
-	p.sharedThread = true
+	m.setSharedLocked(p, shared)
+	p.penMu.Unlock()
+}
+
+// setSharedLocked flips the shared-thread flag and notifies the lifecycle
+// observer on a change. Caller holds p.penMu; the callback runs under that
+// leaf lock, so the usual no-reentry rules apply.
+func (m *Manager) setSharedLocked(p *PBox, shared bool) {
+	if p.sharedThread == shared {
+		return
+	}
+	p.sharedThread = shared
+	if m.lifeObs != nil {
+		m.lifeObs.PBoxSharedChanged(p.id, shared)
+	}
 }
 
 // Crossings returns the number of conceptual kernel crossings so far.

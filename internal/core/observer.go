@@ -54,19 +54,44 @@ type Observer interface {
 }
 
 // EventTimeObserver is an optional extension for observers that record event
-// timestamps (the flight recorder). With the two-tier ingestion path
-// (DESIGN.md §10) a spooled event is delivered to the observer at flush time,
-// which can lag the event by the spool's fill interval; an observer stamping
-// its own clock at callback time would record flush time, not event time. An
-// Observer that also implements EventTimeObserver receives replayed events
-// through StateEventAt with the manager-clock timestamp recorded when the
-// event happened, instead of through StateEvent. Direct (slow-path) events
-// still arrive via StateEvent — they are delivered at event time by
-// construction. The same locking and no-reentry rules as StateEvent apply.
+// timestamps (the flight recorder, the capture recorder). With the two-tier
+// ingestion path (DESIGN.md §10) a spooled event is delivered to the observer
+// at flush time, which can lag the event by the spool's fill interval; an
+// observer stamping its own clock at callback time would record flush time,
+// not event time. An Observer that also implements EventTimeObserver receives
+// every state event — direct slow-path deliveries and spool replays alike —
+// through StateEventAt instead of StateEvent, carrying the manager-clock
+// timestamp the event's Algorithm 1 bookkeeping used. That single-timestamp
+// property is what makes capture logs replayable: a replay that re-issues the
+// event at exactly atNs reproduces the manager's arithmetic bit for bit
+// (internal/capture builds on this). The same locking and no-reentry rules
+// as StateEvent apply.
 type EventTimeObserver interface {
 	Observer
-	// StateEventAt is StateEvent for a spool-replayed event, carrying the
-	// manager-clock nanosecond timestamp recorded when the event was
-	// originally issued.
+	// StateEventAt is StateEvent carrying the manager-clock nanosecond
+	// timestamp the event was (or is being) accounted at: issue time for
+	// direct deliveries, recorded event time for spool replays.
 	StateEventAt(pboxID int, key ResourceKey, ev EventType, atNs int64)
+}
+
+// LifecycleObserver is an optional extension for observers that need
+// manager-clock timestamps of activity-window boundaries and the
+// shared-thread marking — together with EventTimeObserver it makes the
+// callback stream complete enough to drive an offline replay
+// (internal/capture). PBoxActivated and PBoxFrozen fire while the pBox's
+// mutex is held (same rules as StateEvent: fast, no blocking, no manager
+// re-entry); PBoxSharedChanged fires under the pBox's penalty lock, a §8
+// leaf, so the same no-reentry rule applies.
+type LifecycleObserver interface {
+	Observer
+	// PBoxActivated fires inside activate_pbox with the manager-clock
+	// timestamp stored as the activity's start (after any pending penalty
+	// from the previous activity has been served).
+	PBoxActivated(pboxID int, atNs int64)
+	// PBoxFrozen fires inside freeze_pbox with the manager-clock timestamp
+	// that closes the activity window; the matching ActivityEnd follows it.
+	PBoxFrozen(pboxID int, atNs int64)
+	// PBoxSharedChanged fires when the pBox's shared-thread marking flips
+	// (MarkShared, SetShared, or a worker bind with a different flag).
+	PBoxSharedChanged(pboxID int, shared bool)
 }

@@ -270,7 +270,7 @@ func (m *Manager) replay(p *PBox, recs []spoolRec, serve bool) time.Duration {
 		// the full delivery path (with its recorded timestamp).
 		for i := range recs {
 			r := &recs[i]
-			m.applyLocked(p, r.key, r.ev, r.at, true)
+			m.applyLocked(p, r.key, r.ev, r.at)
 		}
 	}
 	var pen time.Duration

@@ -2,8 +2,11 @@ package experiments
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
+	"path/filepath"
 
+	"pbox/internal/capture"
 	"pbox/internal/cases"
 	"pbox/internal/stats"
 )
@@ -16,6 +19,9 @@ type BenchCase struct {
 	ID       string `json:"id"`
 	App      string `json:"app"`
 	Resource string `json:"resource"`
+	// Duration is the measurement length this case actually ran for
+	// (per-case variance adjustments and -caseduration both land here).
+	Duration string `json:"duration"`
 
 	BaselineP95   string `json:"victim_p95_baseline"`
 	InterfereP95  string `json:"victim_p95_interfere"`
@@ -50,6 +56,7 @@ func BenchCases(cfg Config, ids []string) []BenchCase {
 			ID:            c.ID,
 			App:           c.App,
 			Resource:      c.Resource,
+			Duration:      d.String(),
 			BaselineP95:   to.Victim.P95.String(),
 			InterfereP95:  ti.Victim.P95.String(),
 			PBoxP95:       ts.Victim.P95.String(),
@@ -66,8 +73,12 @@ func BenchCases(cfg Config, ids []string) []BenchCase {
 // WriteBenchCases writes rows as the BENCH_cases.json document at path
 // (write-then-rename, so a concurrent reader never sees a torn file).
 func WriteBenchCases(path string, cfg Config, rows []BenchCase) error {
+	d := cfg.duration()
+	if cfg.CaseDuration > 0 {
+		d = cfg.CaseDuration
+	}
 	doc := BenchCasesFile{
-		Duration: cfg.duration().String(),
+		Duration: d.String(),
 		Cases:    rows,
 	}
 	data, err := json.MarshalIndent(doc, "", "  ")
@@ -79,4 +90,53 @@ func WriteBenchCases(path string, cfg Config, rows []BenchCase) error {
 		return err
 	}
 	return os.Rename(tmp, path)
+}
+
+// CaseTrace describes one recorded case capture log.
+type CaseTrace struct {
+	CaseID   string `json:"case"`
+	Dir      string `json:"dir"`
+	Duration string `json:"duration"`
+	Records  int    `json:"records"`
+	Bytes    int64  `json:"bytes"`
+	Dropped  int64  `json:"dropped"`
+}
+
+// RecordCases runs each selected case under pBox with interference and a
+// capture recorder attached, writing one log directory per case under
+// outDir (clobbering a previous recording of the same case). These logs are
+// the raw material for `pboxreplay sweep` and the committed regression
+// corpus in internal/capture/testdata/corpus.
+func RecordCases(cfg Config, ids []string, outDir string) ([]CaseTrace, error) {
+	var out []CaseTrace
+	for _, c := range selectCases(ids) {
+		d := cfg.caseDuration(c.ID)
+		dir := filepath.Join(outDir, c.ID)
+		if err := os.RemoveAll(dir); err != nil {
+			return out, err
+		}
+		rec, err := capture.NewRecorder(capture.RecorderConfig{Dir: dir})
+		if err != nil {
+			return out, err
+		}
+		rc := cases.RunConfig{Solution: cases.SolutionPBox, Interference: true, Duration: d}
+		rc.ManagerOptions.Observer = rec
+		cases.Run(c, rc)
+		if err := rec.Close(); err != nil {
+			return out, fmt.Errorf("case %s: recorder: %w", c.ID, err)
+		}
+		log, err := capture.ReadLog(dir)
+		if err != nil {
+			return out, fmt.Errorf("case %s: read back: %w", c.ID, err)
+		}
+		out = append(out, CaseTrace{
+			CaseID:   c.ID,
+			Dir:      dir,
+			Duration: d.String(),
+			Records:  log.Info.Records,
+			Bytes:    log.Info.Bytes,
+			Dropped:  rec.Dropped(),
+		})
+	}
+	return out, nil
 }

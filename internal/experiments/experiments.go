@@ -18,6 +18,12 @@ import (
 type Config struct {
 	// Duration is the per-run measurement length (default 300ms).
 	Duration time.Duration
+	// CaseDuration, when set, pins every case's run length exactly —
+	// overriding both Duration and the per-case variance adjustments
+	// (pboxbench -caseduration). The length used is recorded in
+	// BENCH_cases.json so the suspected duration-sensitivity of the c1/c2
+	// efficacy gap can be investigated from the committed numbers.
+	CaseDuration time.Duration
 	// Quick trims case sets and durations for smoke tests.
 	Quick bool
 }
@@ -32,8 +38,12 @@ func (c Config) duration() time.Duration {
 	return cases.DefaultDuration
 }
 
-// caseDuration lengthens runs for cases with high run-to-run variance.
+// caseDuration lengthens runs for cases with high run-to-run variance,
+// unless an explicit CaseDuration pins it.
 func (c Config) caseDuration(id string) time.Duration {
+	if c.CaseDuration > 0 {
+		return c.CaseDuration
+	}
 	d := c.duration()
 	if id == "c8" && !c.Quick {
 		return 2 * d

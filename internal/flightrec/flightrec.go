@@ -80,7 +80,7 @@ func (k EventKind) String() string {
 type event struct {
 	seq    uint64
 	atUnix int64 // wall-clock ns, stamped at delivery (for a spooled event: flush time)
-	atMgr  int64 // manager-clock ns of the event itself, spool-replayed state events only
+	atMgr  int64 // manager-clock ns of the event itself (state events via StateEventAt)
 	kind   EventKind
 	state  core.EventType
 	pbox   int // acting pBox (culprit for detection/action/blocked)
@@ -186,7 +186,8 @@ type Recorder struct {
 	next     core.Observer
 	nextAttr core.AttributionObserver
 
-	mgr atomic.Pointer[core.Manager]
+	mgr    atomic.Pointer[core.Manager]
+	capPos atomic.Value // CapturePosition, set by AttachCapture
 
 	capMu       sync.Mutex
 	lastCapture map[int]int64 // culprit id → unix ns of its last verdict capture
@@ -230,6 +231,22 @@ func New(cfg Config) *Recorder {
 // snapshots. Until it is called, bundles carry events only.
 func (r *Recorder) AttachManager(m *core.Manager) {
 	r.mgr.Store(m)
+}
+
+// CapturePosition is the slice of capture.Recorder the incident builder
+// needs: the event log's current end. Declared here so flightrec does not
+// depend on the capture package.
+type CapturePosition interface {
+	Position() (segment string, offset int64, queued int)
+}
+
+// AttachCapture links a capture event-log recorder (pboxd -record): every
+// incident bundle from then on carries the log position at build time, so
+// an operator can jump from a verdict to the replayable event stream
+// around it (`pboxreplay cat`, then match the bundle's event_at
+// timestamps).
+func (r *Recorder) AttachCapture(p CapturePosition) {
+	r.capPos.Store(p)
 }
 
 // Close stops the writer after draining queued captures. The Recorder keeps
@@ -307,12 +324,12 @@ func (r *Recorder) StateEvent(pboxID int, key core.ResourceKey, ev core.EventTyp
 	}
 }
 
-// StateEventAt implements core.EventTimeObserver: a spool-replayed state
-// event is delivered at flush time but carries the manager-clock timestamp
-// recorded when it was issued. The wall-clock stamp (record's atUnix) still
-// marks delivery; the event time rides along so incident bundles distinguish
-// when an event happened from when its batch drained. Forwarded timed when
-// the next observer understands event time, plain otherwise.
+// StateEventAt implements core.EventTimeObserver: every state event —
+// direct or spool-replayed — arrives here carrying the manager-clock
+// timestamp its bookkeeping used. The wall-clock stamp (record's atUnix)
+// still marks delivery; the event time rides along so incident bundles
+// distinguish when an event happened from when its batch drained. Forwarded
+// timed when the next observer understands event time, plain otherwise.
 func (r *Recorder) StateEventAt(pboxID int, key core.ResourceKey, ev core.EventType, atNs int64) {
 	r.record(event{kind: KindState, state: ev, pbox: pboxID, key: key, atMgr: atNs})
 	if r.next != nil {

@@ -118,6 +118,35 @@ func TestDetectionCaptureWritesBundle(t *testing.T) {
 	}
 }
 
+// stubCapturePosition stands in for a capture.Recorder.
+type stubCapturePosition struct{}
+
+func (stubCapturePosition) Position() (string, int64, int) {
+	return "seg-000003.pblog", 4096, 2
+}
+
+// TestBundleReferencesCapturePosition checks AttachCapture stamps the
+// capture-log position into verdict bundles.
+func TestBundleReferencesCapturePosition(t *testing.T) {
+	m, rec, advance := newWorld(t, Config{Cooldown: time.Millisecond})
+	rec.AttachCapture(stubCapturePosition{})
+	driveIncident(m, advance, core.ResourceKey(0x7))
+	rec.Close()
+
+	ids, err := rec.Incidents()
+	if err != nil || len(ids) == 0 {
+		t.Fatalf("no incident bundles written (ids=%v, err=%v)", ids, err)
+	}
+	inc, err := rec.Incident(ids[0])
+	if err != nil {
+		t.Fatalf("load incident: %v", err)
+	}
+	if inc.CaptureSegment != "seg-000003.pblog" || inc.CaptureOffset != 4096 || inc.CaptureQueued != 2 {
+		t.Fatalf("bundle capture reference = %q @%d (queued %d), want seg-000003.pblog @4096 (queued 2)",
+			inc.CaptureSegment, inc.CaptureOffset, inc.CaptureQueued)
+	}
+}
+
 func TestCooldownLimitsCaptures(t *testing.T) {
 	m, rec, advance := newWorld(t, Config{Cooldown: time.Hour})
 	key := core.ResourceKey(0x8)

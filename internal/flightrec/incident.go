@@ -23,9 +23,8 @@ var (
 type Event struct {
 	Seq uint64 `json:"seq"`
 	At  string `json:"at"`
-	// EventAt is the manager-clock offset at which a spool-replayed state
-	// event was originally issued; At is its delivery (flush) time. Absent
-	// for events delivered directly.
+	// EventAt is the manager-clock offset at which a state event was
+	// issued; At is its delivery time (flush time for spooled events).
 	EventAt string  `json:"event_at,omitempty"`
 	Kind    string  `json:"kind"`
 	State  string  `json:"state,omitempty"`
@@ -99,6 +98,14 @@ type Incident struct {
 	PenaltyPolicy string `json:"penalty_policy,omitempty"`
 	PenaltyLength string `json:"penalty_length,omitempty"`
 
+	// CaptureSegment/CaptureOffset reference the capture event log
+	// (pboxd -record) at bundle-build time: the verdict's records land in
+	// the named segment within CaptureQueued records of the offset. Only
+	// set when a capture recorder is attached (AttachCapture).
+	CaptureSegment string `json:"capture_segment,omitempty"`
+	CaptureOffset  int64  `json:"capture_offset,omitempty"`
+	CaptureQueued  int    `json:"capture_queued,omitempty"`
+
 	Events             []Event           `json:"events"`
 	PBoxes             []PBoxInfo        `json:"pboxes,omitempty"`
 	Attribution        []AttributionInfo `json:"attribution,omitempty"`
@@ -140,6 +147,9 @@ func (r *Recorder) buildAndWrite(job capture) (string, error) {
 		CapturedAt: time.Unix(0, job.atUnix).UTC().Format(time.RFC3339Nano),
 		Trigger:    job.trigger,
 		Reason:     job.reason,
+	}
+	if p, ok := r.capPos.Load().(CapturePosition); ok {
+		inc.CaptureSegment, inc.CaptureOffset, inc.CaptureQueued = p.Position()
 	}
 	mgr := r.mgr.Load()
 	if job.trigger == "detection" {

@@ -5,8 +5,9 @@
 // with RLock, silently reorders the §8 lock graph.
 //
 // The pass finds every concrete type in the package that implements an
-// interface named Observer or AttributionObserver (looked up in the package
-// itself and its direct imports), takes each callback method as an entry
+// interface named Observer, AttributionObserver, EventTimeObserver, or
+// LifecycleObserver (looked up in the package itself and its direct
+// imports), takes each callback method as an entry
 // point — except PenaltyServed and PenaltyServedFor, which the contract
 // runs outside all locks — and walks the same-package static call closure.
 // Any reachable call to a method on the Manager type is a finding unless
@@ -36,6 +37,8 @@ var Analyzer = &analysis.Analyzer{
 var observerInterfaces = map[string]bool{
 	"Observer":            true,
 	"AttributionObserver": true,
+	"EventTimeObserver":   true,
+	"LifecycleObserver":   true,
 }
 
 // lockFree are the Manager methods observers may call: documented to take

@@ -96,3 +96,37 @@ func goodConstConcat() string {
 func unannotated() []int {
 	return make([]int, 8)
 }
+
+// The capture recorder's enqueue shape: copy a record value into a
+// preallocated double buffer and poke a wake channel — allocation-free.
+
+type record struct {
+	kind byte
+	id   int
+	at   int64
+}
+
+type recorderSink struct {
+	buf      []record
+	n        int
+	wake     chan struct{}
+	overflow []record
+}
+
+//pbox:hotpath
+func goodRecorderEnqueue(s *recorderSink, id int, at int64) {
+	if s.n == len(s.buf) {
+		return
+	}
+	s.buf[s.n] = record{kind: 5, id: id, at: at}
+	s.n++
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+//pbox:hotpath
+func badRecorderEnqueue(s *recorderSink, rec record) {
+	s.overflow = append(s.overflow, rec) // want `append may grow`
+}

@@ -66,3 +66,61 @@ type plainUser struct {
 func (p *plainUser) poll() {
 	_ = p.mgr.Status()
 }
+
+// The timestamped/lifecycle observer extensions (the capture recorder's
+// surface) run under the same manager locks as the base callbacks.
+
+type EventTimeObserver interface {
+	Observer
+	StateEventAt(id int, at int64)
+}
+
+type LifecycleObserver interface {
+	Observer
+	PBoxActivated(id int, at int64)
+	PBoxFrozen(id int, at int64)
+}
+
+// badRecorderSink re-enters the manager from the timestamped hot-path
+// callback and from a lifecycle callback.
+type badRecorderSink struct {
+	mgr *Manager
+}
+
+func (s *badRecorderSink) StateEvent(id int)    {}
+func (s *badRecorderSink) PenaltyServed(id int) {}
+
+func (s *badRecorderSink) StateEventAt(id int, at int64) {
+	_ = s.mgr.Status() // want `observer callback badRecorderSink\.StateEventAt calls Manager\.Status`
+}
+
+func (s *badRecorderSink) PBoxActivated(id int, at int64) {
+	_ = s.mgr.Status() // want `observer callback badRecorderSink\.PBoxActivated calls Manager\.Status`
+}
+
+func (s *badRecorderSink) PBoxFrozen(id int, at int64) {}
+
+// goodRecorderSink is the sanctioned shape: copy the callback into a
+// buffer, poke a wake channel, touch only lock-free accessors.
+type goodRecorderSink struct {
+	mgr  *Manager
+	buf  [8]int64
+	n    int
+	wake chan struct{}
+}
+
+func (s *goodRecorderSink) StateEvent(id int)    {}
+func (s *goodRecorderSink) PenaltyServed(id int) {}
+
+func (s *goodRecorderSink) StateEventAt(id int, at int64) {
+	s.buf[s.n&7] = at
+	s.n++
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+	_ = s.mgr.ResourceName(0)
+}
+
+func (s *goodRecorderSink) PBoxActivated(id int, at int64) {}
+func (s *goodRecorderSink) PBoxFrozen(id int, at int64)    {}
