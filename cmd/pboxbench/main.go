@@ -279,6 +279,9 @@ func main() {
 		for g, s := range doc.FastpathSpeedup {
 			fmt.Printf("fastpath speedup @%s goroutines: %.2fx\n", g, s)
 		}
+		for v, s := range doc.ReaderInterference {
+			fmt.Printf("reader interference %s: %.3fx ns/op vs unpolled\n", v, s)
+		}
 		fmt.Printf("wrote %s\n", path)
 		if *baseline != "" {
 			base, err := experiments.ReadCoreBench(*baseline)

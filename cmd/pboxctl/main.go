@@ -6,10 +6,18 @@
 //	pboxctl top                    # live culprit ranking — who hurts whom
 //	pboxctl top -once              # one sample, no screen refresh
 //	pboxctl pboxes                 # per-pBox defer ratios vs. goals
+//	pboxctl self                   # manager self-telemetry: snapshot/spool/lock rates
 //	pboxctl incidents list         # flight-recorder bundles on the server
 //	pboxctl incidents show <id>    # one bundle: verdict, events, matrix
 //	pboxctl dump -reason "..."     # freeze a bundle right now
+//	pboxctl dump -precise          # ...with the exact flush-on-read capture
 //	pboxctl trace -follow          # stream manager events (long-poll)
+//
+// top and pboxes read the manager's epoch-published snapshot (/status), so
+// watching them at any refresh rate never takes a shard lock or flushes a
+// worker spool inside the target; each sample reports the snapshot's epoch
+// and age so the operator knows how stale the view is (bounded by the
+// manager's snapshot interval, 100ms by default).
 //
 // All subcommands take -addr (default 127.0.0.1:7070), matching pboxd's
 // -http flag.
@@ -44,6 +52,8 @@ func main() {
 		err = cmdTop(rest)
 	case "pboxes":
 		err = cmdPBoxes(rest)
+	case "self":
+		err = cmdSelf(rest)
 	case "incidents":
 		err = cmdIncidents(rest)
 	case "dump":
@@ -65,11 +75,13 @@ func usage() {
 	fmt.Fprint(os.Stderr, `usage: pboxctl <command> [flags]
 
 commands:
-  top        live culprit ranking from the attribution matrix (watch mode;
-             -once for a single sample, -interval to set the refresh rate)
+  top        live culprit ranking from the snapshot's attribution matrix
+             (watch mode; -once for a single sample, -interval for the rate)
   pboxes     per-pBox defer ratios, goals, and penalties
+  self       manager self-telemetry: snapshot, spool, contention, lock rates
   incidents  list | show <id> — flight-recorder bundles
-  dump       freeze an incident bundle now (-reason "...")
+  dump       freeze an incident bundle now (-reason "...", -precise for an
+             exact flush-on-read capture)
   trace      print the manager event trace (-follow to stream)
 
 common flags:
@@ -116,7 +128,7 @@ func cmdTop(args []string) error {
 		return err
 	}
 	var (
-		resp telemetry.AttributionResponse
+		resp telemetry.StatusResponse
 		top  topRenderer
 	)
 	for {
@@ -125,8 +137,9 @@ func cmdTop(args []string) error {
 		// renders without reallocating per refresh.
 		resp.PBoxes = resp.PBoxes[:0]
 		resp.Matrix = resp.Matrix[:0]
+		resp.Resources = resp.Resources[:0]
 		resp.Dropped = 0
-		if err := getJSON(*addr, "/attribution", &resp); err != nil {
+		if err := getJSON(*addr, "/status", &resp); err != nil {
 			return err
 		}
 		if !*once {
@@ -155,14 +168,16 @@ type topRenderer struct {
 	order []int // indices into ranks, sorted for display
 }
 
-// render writes the top view: a culprit ranking aggregated across victims,
-// then the full matrix.
-func (t *topRenderer) render(w io.Writer, resp telemetry.AttributionResponse) {
+// render writes the top view: the snapshot provenance line, a culprit
+// ranking aggregated across victims, then the full matrix.
+func (t *topRenderer) render(w io.Writer, resp telemetry.StatusResponse) {
 	fmt.Fprintf(w, "pboxctl top — %d pboxes, %d attribution triples", len(resp.PBoxes), len(resp.Matrix))
 	if resp.Dropped > 0 {
 		fmt.Fprintf(w, " (%d dropped at ledger cap)", resp.Dropped)
 	}
 	fmt.Fprintln(w)
+	fmt.Fprintf(w, "snapshot: epoch=%d age=%s build=%s interval=%s\n",
+		resp.Epoch, resp.Age, resp.BuildDuration, resp.Interval)
 
 	// Rank culprits by total blocked time inflicted.
 	if t.idx == nil {
@@ -206,6 +221,51 @@ func (t *topRenderer) render(w io.Writer, resp telemetry.AttributionResponse) {
 			name(m.CulpritLabel, m.CulpritID), name(m.VictimLabel, m.VictimID),
 			res, m.Blocked, m.Detections, m.Actions, m.PenaltyServed)
 	}
+
+	if len(resp.Resources) > 0 {
+		fmt.Fprintln(w, "\nRESOURCES (waiters/holders at snapshot)")
+		for _, r := range resp.Resources {
+			res := r.Name
+			if res == "" {
+				res = fmt.Sprintf("key-0x%x", r.Key)
+			}
+			fmt.Fprintf(w, "%-16s waiters=%-4d holders=%d\n", res, r.Waiters, r.Holders)
+		}
+	}
+}
+
+// cmdSelf prints the manager's self-telemetry: how much the observability
+// machinery itself is costing the target process.
+func cmdSelf(args []string) error {
+	fs, addr := flagSet("self")
+	full := fs.Bool("json", false, "print the raw /self JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var st telemetry.SelfResponse
+	if err := getJSON(*addr, "/self", &st); err != nil {
+		return err
+	}
+	if *full {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(st)
+	}
+	fmt.Printf("snapshot    epoch=%d age=%s interval=%s builds=%d cache_hits=%d last_build=%s build_total=%s\n",
+		st.SnapshotEpoch, st.SnapshotAge, st.SnapshotInterval,
+		st.SnapshotBuilds, st.SnapshotCacheHits, st.SnapshotLastBuild, st.SnapshotBuildTotal)
+	fmt.Printf("spools      flushes=%d flushed_events=%d sweeps=%d overflows=%d\n",
+		st.SpoolFlushes, st.SpoolFlushedEvents, st.SpoolSweeps, st.SpoolOverflows)
+	fmt.Printf("contention  claims=%d revocations=%d sticky_slots=%d\n",
+		st.ContentionClaims, st.ContentionRevocations, st.ContentionStickySlots)
+	fmt.Printf("shard locks acquisitions=%d hottest=%d shards=%d\n",
+		st.ShardLockAcquisitions, st.ShardLockMax, st.Shards)
+	fmt.Printf("crossings   %d\n", st.Crossings)
+	fmt.Printf("verdicts    count=%d sum=%s\n", st.VerdictLatency.Count, st.VerdictLatency.Sum)
+	for _, b := range st.VerdictLatency.Buckets {
+		fmt.Printf("  le=%-8s %d\n", b.LE, b.Count)
+	}
+	return nil
 }
 
 func cmdPBoxes(args []string) error {
@@ -341,10 +401,15 @@ func renderIncident(w io.Writer, inc flightrec.Incident) {
 func cmdDump(args []string) error {
 	fs, addr := flagSet("dump")
 	reason := fs.String("reason", "pboxctl dump", "reason recorded in the bundle")
+	precise := fs.Bool("precise", false, "exact flush-on-read capture instead of the epoch snapshot")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	resp, err := http.Post("http://"+*addr+"/flightrec/dump?reason="+url.QueryEscape(*reason), "", nil)
+	path := "/flightrec/dump?reason=" + url.QueryEscape(*reason)
+	if *precise {
+		path += "&precise=1"
+	}
+	resp, err := http.Post("http://"+*addr+path, "", nil)
 	if err != nil {
 		return err
 	}

@@ -139,7 +139,7 @@ func main() {
 				log.Printf("pboxd: http server: %v", err)
 			}
 		}()
-		log.Printf("pboxd: telemetry on http://%s  (/metrics /pboxes /attribution /trace /flightrec)", hln.Addr())
+		log.Printf("pboxd: telemetry on http://%s  (/metrics /status /self /pboxes /attribution /trace /flightrec)", hln.Addr())
 	}
 
 	serveErr := make(chan error, 1)
@@ -224,7 +224,9 @@ func runDemo(mgr *core.Manager, addr string, d time.Duration, nVictims, capacity
 		s.Recorder = vrec
 		specs = append(specs, s)
 	}
-	// Live monitor: the /pboxes view, sampled while the clients run.
+	// Live monitor: the published epoch snapshot (the same view /status
+	// serves), sampled while the clients run — the monitor never takes a
+	// shard lock inside the manager it is watching.
 	stop := make(chan struct{})
 	lastCh := make(chan []core.Snapshot, 1)
 	go func() {
@@ -238,7 +240,7 @@ func runDemo(mgr *core.Manager, addr string, d time.Duration, nVictims, capacity
 				return
 			case <-tick.C:
 			}
-			snaps := mgr.Snapshots()
+			snaps := mgr.StatusView().Snapshots
 			if len(snaps) > 0 {
 				last = snaps
 			}
@@ -269,7 +271,9 @@ func report(snaps []core.Snapshot, mgr *core.Manager, reg *telemetry.Registry, r
 		fmt.Printf("pbox %-3d %-10s goal=%.2f activities=%-6d defer_ratio=%.3f penalties=%d served=%v\n",
 			s.ID, s.Label, s.Goal, s.Activities, s.InterferenceLevel, s.PenaltiesReceived, s.PenaltyTotal)
 	}
-	if recs := mgr.Attribution(); len(recs) > 0 {
+	// The final report wants everything the workload produced, including
+	// events still sitting in worker spools — force a fresh snapshot.
+	if recs := mgr.RefreshStatusView().Attribution; len(recs) > 0 {
 		fmt.Println("--- attribution (culprit → victim, by blocked time) ---")
 		for _, a := range recs {
 			culprit, victim := a.CulpritLabel, a.VictimLabel

@@ -224,34 +224,29 @@ type Status struct {
 	Attribution []AttributionRecord
 	// AttributionDropped counts triples lost to the ledger size cap.
 	AttributionDropped int64
+	// Resources summarizes per-resource contention (live waiter and holder
+	// counts), ordered by key.
+	Resources []ResourceView
+	// TraceSeq is the trace ring's latest sequence number at snapshot time
+	// (0 when tracing is disabled): the cursor a reader passes to
+	// TraceView/TraceSince to stream events newer than this view.
+	TraceSeq uint64
 }
 
-// Status returns the combined snapshot. The HTTP /attribution endpoint and
-// the flight recorder's incident builder use it instead of separate
-// Snapshots/Attribution calls.
+// Status returns the combined snapshot, built precisely: spools are swept
+// first (flush-on-read), so every event issued before the call is visible.
+// Most consumers should use StatusView instead (the epoch-published view,
+// DESIGN.md §12), which costs readers one atomic load; Status remains for
+// consumers that need exactness — `pboxctl dump -precise`, differential
+// tests, and the snapshot rebuild itself.
 //
 // With the sharded manager there is no single lock whose acquisition makes
-// the view consistent, so Status briefly stops the world: it takes the
-// registry lock (no pBox can appear or vanish), then every shard lock in
-// index order (no event can move a waiter or holder or reach a verdict,
+// the view consistent, so the assembly briefly stops the world: it takes
+// the registry lock (no pBox can appear or vanish), then every shard lock
+// in index order (no event can move a waiter or holder or reach a verdict,
 // since verdicts are only reached from event paths that hold a shard lock),
 // then the verdict lock (the ledger cannot move). The combined view is
-// therefore exactly as consistent as the old single-mutex one. Status is a
-// diagnostics path; its cost is irrelevant next to hot-path scalability.
+// therefore exactly as consistent as the old single-mutex one.
 func (m *Manager) Status() Status {
-	m.sweepSpools() // flush-on-read: spooled events must be visible (§10)
-	m.reg.Lock()
-	defer m.reg.Unlock()
-	unlockShards := m.lockAllShards()
-	defer unlockShards()
-	m.verdictMu.Lock()
-	defer m.verdictMu.Unlock()
-	st := Status{
-		Snapshots:   m.snapshotsRegLocked(),
-		Attribution: m.attributionVerdict(m.lookupPBoxRegLocked),
-	}
-	if m.attr != nil {
-		st.AttributionDropped = m.attr.dropped
-	}
-	return st
+	return m.collectStatus()
 }

@@ -90,6 +90,14 @@ type Options struct {
 	// (256); a negative value disables spooling entirely, making
 	// Worker.Update equivalent to Manager.Update.
 	SpoolSize int
+
+	// SnapshotInterval is the bounded-staleness budget of the epoch
+	// snapshot read path (DESIGN.md §12): StatusView returns the published
+	// view as long as its manager-clock age is within the interval, and
+	// rebuilds otherwise. Zero selects the default (100ms); a negative
+	// value disables view caching, making every StatusView call a precise
+	// rebuild.
+	SnapshotInterval time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -122,6 +130,9 @@ func (o Options) withDefaults() Options {
 	if o.SpoolSize == 0 {
 		o.SpoolSize = defaultSpoolSize
 	}
+	if o.SnapshotInterval == 0 {
+		o.SnapshotInterval = defaultSnapshotInterval
+	}
 	return o
 }
 
@@ -138,9 +149,12 @@ func (o Options) withDefaults() Options {
 // serializes on verdictMu, which also guards the action history and the
 // attribution ledger. The documented lock order is
 //
-//	registry → pbox.mu → shard.mu → verdictMu → leaves (actMu, penMu, …)
+//	snap → spools → flushMu → registry → pbox.mu → shard.mu → verdictMu →
+//	leaves (actMu, penMu, …)
 //
 // and a shard lock is never held while acquiring the registry lock.
+// Consistent reads go through the epoch snapshot (StatusView, DESIGN.md
+// §12); only the precise APIs and the view rebuild itself stop the world.
 type Manager struct {
 	opts Options
 
@@ -185,6 +199,22 @@ type Manager struct {
 	// attr is the interference attribution ledger (nil unless
 	// Options.Attribution).
 	attr *attributionLedger
+
+	// snap is the epoch-published snapshot state of the zero-interference
+	// read path (DESIGN.md §12): view holds the current immutable
+	// StatusView, swapped whole by rebuilds. The embedded mutex
+	// single-flights rebuilds and is the outermost lock of the §8 order —
+	// a rebuild sweeps the spools and stops the world under it, and nothing
+	// that holds any manager lock may acquire it.
+	snap struct {
+		sync.Mutex
+		view atomic.Pointer[StatusView]
+	}
+
+	// self is the manager's self-telemetry: lock-free counters about the
+	// manager's own overhead (snapshot builds, spool flushes, contention
+	// claims, shard-lock traffic, verdict latency). See SelfStats.
+	self selfCounters
 
 	trace *traceRing
 	obs   Observer
@@ -286,6 +316,7 @@ func (m *Manager) Release(p *PBox) error {
 	for key := range p.preparing {
 		s := m.shardFor(key)
 		s.mu.Lock()
+		s.locks.Add(1)
 		if cl := s.competitors[key]; cl != nil {
 			cl.removeAllFor(p)
 		}
@@ -294,6 +325,7 @@ func (m *Manager) Release(p *PBox) error {
 	for key := range p.holders {
 		s := m.shardFor(key)
 		s.mu.Lock()
+		s.locks.Add(1)
 		if hm := s.holdersByKey[key]; hm != nil {
 			delete(hm, p)
 		}
@@ -418,6 +450,7 @@ func (m *Manager) Freeze(p *PBox) {
 		for key := range p.preparing {
 			s := m.shardFor(key)
 			s.mu.Lock()
+			s.locks.Add(1)
 			if cl := s.competitors[key]; cl != nil {
 				cl.removeAllFor(p)
 			}
@@ -428,9 +461,11 @@ func (m *Manager) Freeze(p *PBox) {
 	m.traceEvent(p, 0, "freeze", time.Duration(td))
 
 	if noisy != nil {
+		t0 := exec.Now()
 		m.verdictMu.Lock()
 		m.takeActionVerdict(noisy, p, info.key, now, info.deferNs, level)
 		m.verdictMu.Unlock()
+		m.self.verdictLatency.observe(exec.Now() - t0)
 	}
 	// Serve this pBox's own pending penalty (scheduled while it held
 	// resources) now that its activity is over — unless it still holds
@@ -523,6 +558,7 @@ func (m *Manager) applyLocked(p *PBox, key ResourceKey, ev EventType, now int64)
 	}
 	s := m.shardFor(key)
 	s.mu.Lock()
+	s.locks.Add(1)
 	m.applyArmLocked(p, s, key, ev, now)
 	s.mu.Unlock()
 }
@@ -636,9 +672,14 @@ func (m *Manager) onUnhold(p *PBox, s *shard, key ResourceKey, now int64) {
 	}
 	// Cold verdict path: waiters exist, so this release must attribute
 	// blame and may take action. verdictMu serializes the multi-pBox view.
+	// The critical section is timed (real clock) into the self-telemetry
+	// verdict-latency histogram — lock wait included, since that wait is
+	// exactly the cross-pBox cost the histogram exists to expose.
+	t0 := exec.Now()
 	m.verdictMu.Lock()
 	m.settleWaiters(p, s, cl, key, heldSince, now)
 	m.verdictMu.Unlock()
+	m.self.verdictLatency.observe(exec.Now() - t0)
 }
 
 // settleWaiters runs the blame and detection passes over key's waiter list
@@ -838,6 +879,7 @@ func (m *Manager) Waiters(key ResourceKey) int {
 	s := m.shardFor(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.locks.Add(1)
 	if cl := s.competitors[key]; cl != nil {
 		return len(cl.waiters)
 	}
@@ -850,6 +892,7 @@ func (m *Manager) Holders(key ResourceKey) int {
 	s := m.shardFor(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.locks.Add(1)
 	return len(s.holdersByKey[key])
 }
 

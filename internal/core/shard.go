@@ -3,6 +3,7 @@ package core
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // The manager's resource-side state (who waits on a resource, who holds it,
@@ -11,8 +12,8 @@ import (
 // unrelated resources never touches the same lock. See DESIGN.md §8 for the
 // full lock-order contract:
 //
-//	registry → pbox.mu → shard.mu → verdictMu → leaf locks (actMu, penMu,
-//	shard.namesMu, trace ring)
+//	snap → spools → flushMu → registry → pbox.mu → shard.mu → verdictMu →
+//	leaf locks (actMu, penMu, shard.namesMu, trace ring)
 //
 // with two extra rules: a shard lock is never held while acquiring the
 // registry lock, and at most one pBox's actMu (or penMu) is held at a time.
@@ -37,6 +38,11 @@ type shard struct {
 	// under it.
 	namesMu sync.RWMutex
 	names   map[ResourceKey]string
+
+	// locks counts mu acquisitions on this stripe for the self-telemetry
+	// report (SelfStats.ShardLockAcquisitions): every s.mu.Lock() site adds
+	// one. It is an atomic so SelfStats can read it without the stripe lock.
+	locks atomic.Int64
 
 	_ [64]byte // cache-line padding against false sharing
 }
@@ -107,6 +113,7 @@ func (m *Manager) lockAllShards() func() {
 	for _, s := range m.shards {
 		//pboxlint:ignore lockorder stop-the-world sweep: shard locks are taken in ascending index order, the one sanctioned multi-shard hold (DESIGN.md §8)
 		s.mu.Lock()
+		s.locks.Add(1)
 	}
 	return func() {
 		for i := len(m.shards) - 1; i >= 0; i-- {

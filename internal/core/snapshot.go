@@ -1,0 +1,354 @@
+package core
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"pbox/internal/exec"
+)
+
+// Epoch-based snapshot reads (DESIGN.md §12). The precise read path
+// (Status, Snapshots, Attribution, Trace, Waiters, Holders) stops the
+// world: it sweeps every worker spool and takes every shard lock in index
+// order, so a 1 Hz dashboard poller against a manager ingesting millions of
+// events per second is itself a source of cross-pBox interference — exactly
+// the effect the isolation layer exists to prevent. This file is the
+// zero-interference alternative: the manager publishes an immutable
+// StatusView through one atomic pointer, readers load it with no locks and
+// no flushes, and the view is rebuilt at most once per SnapshotInterval
+// (bounded staleness, default 100ms). Only consumers that ask for precision
+// (`pboxctl dump -precise`, the differential tests) still pay the
+// stop-the-world flush-on-read cost.
+//
+// Epoch protocol: a reader that finds the published view older than the
+// interval escalates to rebuildView, which single-flights concurrent
+// escalations on Manager.snap (the outermost lock in the §8 order — the
+// rebuild sweeps spools and stops the world under it), double-checks the
+// view age, runs the same collectStatus assembly Status() uses, and
+// publishes the result with Epoch = previous+1. Readers therefore observe a
+// strictly monotonic epoch sequence of internally-consistent views, and a
+// returned view's manager-clock age never exceeds the interval.
+
+// defaultSnapshotInterval is the bounded-staleness budget when
+// Options.SnapshotInterval is zero.
+const defaultSnapshotInterval = 100 * time.Millisecond
+
+// ResourceView is the per-resource contention summary of a snapshot: how
+// many pBoxes wait on and hold one virtual resource.
+type ResourceView struct {
+	Key     ResourceKey
+	Name    string // registered resource name, "" when unnamed
+	Waiters int
+	Holders int
+}
+
+// StatusView is one immutable published snapshot: the combined Status
+// assembly plus the epoch metadata readers use to judge staleness. A view
+// is never mutated after publication — readers may hold it indefinitely.
+type StatusView struct {
+	Status
+
+	// Epoch increments by one on every rebuild (first view is 1).
+	Epoch uint64
+	// BuiltAt is the manager-clock time (ns) at which the build completed.
+	// A view returned by StatusView satisfies now-BuiltAt ≤ SnapshotInterval
+	// at return time — the bounded-staleness contract.
+	BuiltAt int64
+	// BuildDuration is the wall-clock cost of the stop-the-world assembly
+	// that produced this view (real clock, independent of Options.Now).
+	BuildDuration time.Duration
+}
+
+// StatusView returns the current published snapshot, rebuilding it first if
+// it is older than Options.SnapshotInterval (or absent). The common case is
+// one atomic pointer load and one clock read: no shard locks, no spool
+// flushes, no allocation — a poller at any frequency costs the event hot
+// path nothing beyond one rebuild per interval.
+//
+//pbox:snapshotreader
+func (m *Manager) StatusView() *StatusView {
+	now := m.opts.Now()
+	if v := m.snap.view.Load(); v != nil {
+		if iv := m.opts.SnapshotInterval; iv > 0 && now-v.BuiltAt <= int64(iv) {
+			m.self.snapshotHits.Add(1)
+			return v
+		}
+	}
+	return m.rebuildView(now, false)
+}
+
+// RefreshStatusView forces a rebuild and returns the fresh view: every
+// event applied before the call is visible in the result. It is the
+// epoch-published equivalent of Status() — the flight recorder uses it for
+// detection-triggered captures, where the verdict that fired must appear.
+func (m *Manager) RefreshStatusView() *StatusView {
+	return m.rebuildView(m.opts.Now(), true)
+}
+
+// ViewAge returns v's manager-clock age (0 for nil).
+//
+//pbox:snapshotreader
+func (m *Manager) ViewAge(v *StatusView) time.Duration {
+	if v == nil {
+		return 0
+	}
+	return time.Duration(m.opts.Now() - v.BuiltAt)
+}
+
+// rebuildView is the sanctioned escalation of the snapshot read path: it
+// single-flights concurrent rebuilds on m.snap, re-checks the published
+// view's age under the lock (unless forced), and otherwise runs the
+// stop-the-world assembly and publishes the result. m.snap is the outermost
+// lock of the §8 order; nothing that holds any manager lock may call this.
+//
+//pbox:snapshotbuilder
+func (m *Manager) rebuildView(now int64, force bool) *StatusView {
+	m.snap.Lock()
+	defer m.snap.Unlock()
+	if !force {
+		// Double-check: a rebuild that raced this one may have published a
+		// fresh view while this caller waited on snap.
+		if v := m.snap.view.Load(); v != nil {
+			if iv := m.opts.SnapshotInterval; iv > 0 && now-v.BuiltAt <= int64(iv) {
+				m.self.snapshotHits.Add(1)
+				return v
+			}
+		}
+	}
+	t0 := exec.Now()
+	st := m.collectStatus()
+	v := &StatusView{
+		Status:        st,
+		Epoch:         1,
+		BuiltAt:       m.opts.Now(),
+		BuildDuration: time.Duration(exec.Now() - t0),
+	}
+	if prev := m.snap.view.Load(); prev != nil {
+		v.Epoch = prev.Epoch + 1
+	}
+	m.snap.view.Store(v)
+	m.self.snapshotBuilds.Add(1)
+	m.self.snapshotLastBuildNs.Store(int64(v.BuildDuration))
+	m.self.snapshotBuildTotalNs.Add(int64(v.BuildDuration))
+	return v
+}
+
+// collectStatus is the precise stop-the-world assembly shared by Status()
+// and the snapshot rebuild: sweep the spools (flush-on-read), then hold the
+// registry, every shard in index order, and the verdict lock while reading
+// the pBox list, the attribution ledger, and the resource-side
+// waiter/holder sets, so the combined view never pairs state from two
+// instants.
+func (m *Manager) collectStatus() Status {
+	m.sweepSpools() // flush-on-read: spooled events must be visible (§10)
+	m.reg.Lock()
+	defer m.reg.Unlock()
+	unlockShards := m.lockAllShards()
+	defer unlockShards()
+	m.verdictMu.Lock()
+	defer m.verdictMu.Unlock()
+	st := Status{
+		Snapshots:   m.snapshotsRegLocked(),
+		Attribution: m.attributionVerdict(m.lookupPBoxRegLocked),
+		Resources:   m.resourceViewsShardsLocked(),
+	}
+	if m.attr != nil {
+		st.AttributionDropped = m.attr.dropped
+	}
+	if m.trace != nil {
+		st.TraceSeq = m.trace.seq.Load()
+	}
+	return st
+}
+
+// resourceViewsShardsLocked builds the per-resource contention summary,
+// ordered by key. Caller holds every shard lock (names resolve under each
+// shard's leaf name lock).
+func (m *Manager) resourceViewsShardsLocked() []ResourceView {
+	var out []ResourceView
+	idx := make(map[ResourceKey]int)
+	add := func(key ResourceKey) int {
+		i, ok := idx[key]
+		if !ok {
+			i = len(out)
+			idx[key] = i
+			out = append(out, ResourceView{Key: key, Name: m.resourceName(key)})
+		}
+		return i
+	}
+	for _, s := range m.shards {
+		for key, cl := range s.competitors {
+			if len(cl.waiters) == 0 {
+				continue
+			}
+			out[add(key)].Waiters = len(cl.waiters)
+		}
+		for key, hm := range s.holdersByKey {
+			if len(hm) == 0 {
+				continue
+			}
+			out[add(key)].Holders = len(hm)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// TraceView returns trace entries with sequence number greater than since
+// straight from the ring — no spool sweep, unlike TraceSince, so spooled
+// events not yet flushed by a write-side trigger are not visible. Pair it
+// with a StatusView's TraceSeq cursor to stream events newer than the
+// snapshot. Returns (nil, 0) when tracing was not enabled.
+//
+//pbox:snapshotreader
+func (m *Manager) TraceView(since uint64) ([]TraceEntry, uint64) {
+	if m.trace == nil {
+		return nil, 0
+	}
+	return m.trace.snapshotSince(since)
+}
+
+// selfCounters is the manager's self-telemetry state: lock-free counters
+// about the manager's own overhead, updated from the paths they measure
+// with single atomic adds and read by SelfStats with no locks.
+type selfCounters struct {
+	snapshotBuilds       atomic.Int64
+	snapshotHits         atomic.Int64
+	snapshotLastBuildNs  atomic.Int64
+	snapshotBuildTotalNs atomic.Int64
+	spoolFlushes         atomic.Int64
+	spoolFlushedEvents   atomic.Int64
+	spoolSweeps          atomic.Int64
+	spoolOverflows       atomic.Int64
+	contentionClaims     atomic.Int64
+	contentionRevokes    atomic.Int64
+	verdictLatency       latencyHist
+}
+
+// verdictBucketBoundsNs are the finite upper bounds of the verdict-latency
+// histogram (1µs … 10ms); a final +Inf bucket follows.
+var verdictBucketBoundsNs = [...]int64{1_000, 10_000, 100_000, 1_000_000, 10_000_000}
+
+// latencyHist is a fixed-bucket lock-free histogram (observe is a bucket
+// scan plus three atomic adds — safe from the event path).
+type latencyHist struct {
+	counts [len(verdictBucketBoundsNs) + 1]atomic.Int64
+	sumNs  atomic.Int64
+	n      atomic.Int64
+}
+
+func (h *latencyHist) observe(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	i := 0
+	for i < len(verdictBucketBoundsNs) && ns > verdictBucketBoundsNs[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sumNs.Add(ns)
+	h.n.Add(1)
+}
+
+func (h *latencyHist) snapshot() LatencyHistogram {
+	out := LatencyHistogram{
+		Bounds: make([]time.Duration, len(verdictBucketBoundsNs)),
+		Counts: make([]int64, len(h.counts)),
+		Sum:    time.Duration(h.sumNs.Load()),
+		Count:  h.n.Load(),
+	}
+	for i, b := range verdictBucketBoundsNs {
+		out.Bounds[i] = time.Duration(b)
+	}
+	for i := range h.counts {
+		out.Counts[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// LatencyHistogram is the read-only view of a fixed-bucket histogram.
+// Counts has one more entry than Bounds: the final bucket is unbounded.
+type LatencyHistogram struct {
+	Bounds []time.Duration
+	Counts []int64
+	Sum    time.Duration
+	Count  int64
+}
+
+// SelfStats is the manager-observes-itself report: how much work the
+// isolation layer's own machinery is doing, so reader-interference
+// regressions are visible rather than inferred. Exported on /metrics as the
+// pbox_self_* series and rendered by `pboxctl self`.
+type SelfStats struct {
+	// Snapshot read path.
+	SnapshotEpoch      uint64        // epoch of the published view (0 = none yet)
+	SnapshotAge        time.Duration // manager-clock age of the published view
+	SnapshotInterval   time.Duration // configured staleness budget
+	SnapshotBuilds     int64         // stop-the-world view rebuilds
+	SnapshotCacheHits  int64         // reads served by the published view
+	SnapshotLastBuild  time.Duration // wall-clock cost of the latest rebuild
+	SnapshotBuildTotal time.Duration // cumulative wall-clock rebuild cost
+
+	// Spool / two-tier ingestion.
+	SpoolFlushes       int64 // non-empty spool flushes
+	SpoolFlushedEvents int64 // events replayed out of spools
+	SpoolSweeps        int64 // all-spool sweeps (contended hand-offs + precise reads)
+	SpoolOverflows     int64 // appends that failed (full or foreign buffer), forcing a flush
+
+	// Contention-slot table.
+	ContentionClaims      int64 // successful fast-path slot claims (CAS 0→id)
+	ContentionRevocations int64 // slow-path revocations of a live claim
+	ContentionStickySlots int   // slots currently stuck at the contended value
+
+	// Shard locks.
+	ShardLockAcquisitions int64 // total shard-lock acquisitions across stripes
+	ShardLockMax          int64 // acquisitions on the hottest single stripe
+	Shards                int
+
+	// VerdictLatency distributes the wall-clock length of the verdictMu
+	// critical sections (lock wait + detection + action scheduling).
+	VerdictLatency LatencyHistogram
+
+	Crossings int64 // conceptual kernel crossings (same as Crossings())
+}
+
+// SelfStats assembles the self-telemetry report from atomics alone — no
+// locks, no flushes; safe to poll at any frequency.
+//
+//pbox:snapshotreader
+func (m *Manager) SelfStats() SelfStats {
+	st := SelfStats{
+		SnapshotInterval:      m.opts.SnapshotInterval,
+		SnapshotBuilds:        m.self.snapshotBuilds.Load(),
+		SnapshotCacheHits:     m.self.snapshotHits.Load(),
+		SnapshotLastBuild:     time.Duration(m.self.snapshotLastBuildNs.Load()),
+		SnapshotBuildTotal:    time.Duration(m.self.snapshotBuildTotalNs.Load()),
+		SpoolFlushes:          m.self.spoolFlushes.Load(),
+		SpoolFlushedEvents:    m.self.spoolFlushedEvents.Load(),
+		SpoolSweeps:           m.self.spoolSweeps.Load(),
+		SpoolOverflows:        m.self.spoolOverflows.Load(),
+		ContentionClaims:      m.self.contentionClaims.Load(),
+		ContentionRevocations: m.self.contentionRevokes.Load(),
+		Shards:                len(m.shards),
+		VerdictLatency:        m.self.verdictLatency.snapshot(),
+		Crossings:             m.crossings.Load(),
+	}
+	if v := m.snap.view.Load(); v != nil {
+		st.SnapshotEpoch = v.Epoch
+		st.SnapshotAge = time.Duration(m.opts.Now() - v.BuiltAt)
+	}
+	for i := range m.contention {
+		if m.contention[i].Load() == contendedSlot {
+			st.ContentionStickySlots++
+		}
+	}
+	for _, s := range m.shards {
+		n := s.locks.Load()
+		st.ShardLockAcquisitions += n
+		if n > st.ShardLockMax {
+			st.ShardLockMax = n
+		}
+	}
+	return st
+}

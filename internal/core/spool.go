@@ -47,8 +47,9 @@ import (
 //
 // Lock order (extends DESIGN.md §8; the lint lockorder table enforces it):
 //
-//	Manager.spools → eventSpool.flushMu → registry → pbox.mu → shard.mu →
-//	verdictMu → leaves (eventSpool.mu joins actMu, penMu, …)
+//	Manager.snap → Manager.spools → eventSpool.flushMu → registry →
+//	pbox.mu → shard.mu → verdictMu → leaves (eventSpool.mu joins actMu,
+//	penMu, …)
 //
 // Flush triggers: the spool fills, a slow-path event arrives on the worker
 // (own spool first, so per-pBox order holds), the worker rebinds or unbinds,
@@ -184,6 +185,8 @@ func (sp *eventSpool) flush(serve bool) {
 		sp.m.crossings.Add(crossings)
 	}
 	if n > 0 {
+		sp.m.self.spoolFlushes.Add(1)
+		sp.m.self.spoolFlushedEvents.Add(int64(n))
 		pen = sp.m.replay(p, sp.drain[:n], serve)
 		sp.mu.Lock()
 		sp.draining = false
@@ -216,6 +219,7 @@ func (m *Manager) markContended(key ResourceKey) {
 		return
 	}
 	if prev := slot.Swap(contendedSlot); prev > 0 {
+		m.self.contentionRevokes.Add(1)
 		m.sweepSpools()
 	}
 }
@@ -227,6 +231,7 @@ const contendedSlot = -1
 // half of markContended). Flushes run with serve=false: the sweep may be a
 // diagnostics reader, which must never sleep a penalty on a pBox's behalf.
 func (m *Manager) sweepSpools() {
+	m.self.spoolSweeps.Add(1)
 	m.spools.Lock()
 	for _, sp := range m.spools.list {
 		sp.flush(false)
@@ -332,6 +337,7 @@ func (m *Manager) replayQuiet(p *PBox, recs []spoolRec) {
 			// (the same blind spot as lockAllShards' index-ordered sweep).
 			//pboxlint:ignore lockorder lazy shard hand-off unlocks the previous shard on every path before locking the next
 			s.mu.Lock()
+			s.locks.Add(1)
 		}
 		if paired && r.ev == Hold && recs[i+1].ev == Unhold {
 			if _, held := p.holders[r.key]; !held {
@@ -379,18 +385,22 @@ func (w *Worker) Update(key ResourceKey, ev EventType) {
 	}
 	slot := m.contentionSlot(key)
 	id := int64(p.id)
-	if v := slot.Load(); v != id && (v != 0 || !slot.CompareAndSwap(0, id)) {
-		// Cross-pBox overlap (another claim) or known contention: hand off
-		// to the slow path, draining our own spool first so this pBox's
-		// events apply in issue order.
-		if w.spool.mustFlush() {
-			w.spool.flush(true)
+	if v := slot.Load(); v != id {
+		if v != 0 || !slot.CompareAndSwap(0, id) {
+			// Cross-pBox overlap (another claim) or known contention: hand
+			// off to the slow path, draining our own spool first so this
+			// pBox's events apply in issue order.
+			if w.spool.mustFlush() {
+				w.spool.flush(true)
+			}
+			m.updateSlow(p, key, ev)
+			return
 		}
-		m.updateSlow(p, key, ev)
-		return
+		m.self.contentionClaims.Add(1)
 	}
 	now := m.opts.Now()
 	if !w.spool.append(p, key, ev, now) {
+		m.self.spoolOverflows.Add(1)
 		w.spool.flush(true)
 		if !w.spool.append(p, key, ev, now) {
 			// Degenerate capacity (a zero-slot spool can never hold the

@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pbox/internal/core"
@@ -28,13 +29,18 @@ import (
 
 // CoreBenchRow is one (scenario, variant, goroutine-count) measurement.
 type CoreBenchRow struct {
-	// Scenario is "disjoint" (per-goroutine resources; the scaling case)
-	// or "contended" (every goroutine on one resource; the striping
-	// worst case).
+	// Scenario is "disjoint" (per-goroutine resources; the scaling case),
+	// "contended" (every goroutine on one resource; the striping worst
+	// case), or "reader" (disjoint fastpath writers with a concurrent
+	// status poller; the observability-interference case).
 	Scenario string `json:"scenario"`
 	// Variant is "sharded" (direct Manager.Update), "global" (every Update
 	// wrapped in one process-wide mutex, emulating the pre-shard manager),
-	// or "fastpath" (Worker.Update with the event spool enabled).
+	// or "fastpath" (Worker.Update with the event spool enabled). On the
+	// reader scenario it names the poller: "nopoll" (none), "poll1"/
+	// "poll100" (StatusView at 1/100 Hz — the epoch snapshot path), or
+	// "precise100" (flush-on-read Status() at 100 Hz — the stop-the-world
+	// path kept for comparison).
 	Variant    string  `json:"variant"`
 	Goroutines int     `json:"goroutines"`
 	Ops        int64   `json:"ops"`
@@ -66,6 +72,12 @@ type CoreBenchFile struct {
 	// goroutine on the disjoint scenario: the price of the finer locking
 	// when there is nothing to parallelize (acceptance bound: ≤ 1.10).
 	SingleGoroutineOverhead float64 `json:"single_goroutine_overhead"`
+	// ReaderInterference maps reader-scenario poller variants to their
+	// ns/op ratio against the unpolled run: how much a concurrent status
+	// reader slows disjoint fast-path writers. The epoch snapshot path's
+	// acceptance bound is < 1.10 at 100 Hz ("poll100"); "precise100"
+	// documents the flush-on-read gap the snapshot path closes.
+	ReaderInterference map[string]float64 `json:"reader_interference,omitempty"`
 }
 
 // coreBenchGoroutineCounts returns the goroutine counts to measure:
@@ -171,6 +183,115 @@ func runCoreBench(scenario, variant string, g, opsPer int) CoreBenchRow {
 	return row
 }
 
+// readerBenchWorkers is the fast-path writer pool of the reader scenario:
+// fixed (not NumCPU-scaled) so BENCH_core.json rows compare across hosts,
+// and matching the 4-goroutine row of the disjoint grid.
+const readerBenchWorkers = 4
+
+// runReaderBench measures reader-induced interference: readerBenchWorkers
+// fast-path workers run disjoint Hold/Unhold cycles for dur while one poller
+// goroutine reads manager status at the variant's frequency. Unlike the
+// op-count rows, the run is duration-based — a 1 Hz poller needs wall-clock
+// time to fire at all. Variants: "nopoll" (baseline), "poll1"/"poll100"
+// (StatusView, the epoch snapshot), "precise100" (Status, flush-on-read).
+func runReaderBench(variant string, dur time.Duration) CoreBenchRow {
+	m := core.NewManager(core.Options{Sleep: func(time.Duration) {}})
+	g := readerBenchWorkers
+
+	var hz int
+	var precise bool
+	switch variant {
+	case "nopoll":
+	case "poll1":
+		hz = 1
+	case "poll100":
+		hz = 100
+	case "precise100":
+		hz, precise = 100, true
+	default:
+		panic("unknown reader variant " + variant)
+	}
+
+	var (
+		start, stop sync.WaitGroup
+		gate        = make(chan struct{})
+		quit        atomic.Bool
+		total       atomic.Int64
+	)
+	start.Add(g)
+	stop.Add(g)
+	for i := 0; i < g; i++ {
+		p, err := m.Create(core.DefaultRule())
+		if err != nil {
+			panic(err)
+		}
+		m.Activate(p)
+		w := m.NewWorker()
+		if err := w.BindDirect(p); err != nil {
+			panic(err)
+		}
+		go func(w *core.Worker, key core.ResourceKey) {
+			defer stop.Done()
+			start.Done()
+			<-gate
+			var n int64
+			for !quit.Load() {
+				w.Update(key, core.Hold)
+				w.Update(key, core.Unhold)
+				n += 2
+			}
+			w.Flush()
+			total.Add(n)
+		}(w, core.ResourceKey(0x1000+i))
+	}
+
+	pollerQuit := make(chan struct{})
+	var pollerDone sync.WaitGroup
+	if hz > 0 {
+		pollerDone.Add(1)
+		go func() {
+			defer pollerDone.Done()
+			tick := time.NewTicker(time.Second / time.Duration(hz))
+			defer tick.Stop()
+			for {
+				select {
+				case <-pollerQuit:
+					return
+				case <-tick.C:
+				}
+				if precise {
+					_ = m.Status()
+				} else {
+					_ = m.StatusView()
+				}
+			}
+		}()
+	}
+
+	start.Wait()
+	t0 := time.Now()
+	close(gate)
+	time.Sleep(dur)
+	quit.Store(true)
+	stop.Wait()
+	elapsed := time.Since(t0)
+	close(pollerQuit)
+	pollerDone.Wait()
+
+	ops := total.Load()
+	row := CoreBenchRow{
+		Scenario:   "reader",
+		Variant:    variant,
+		Goroutines: g,
+		Ops:        ops,
+	}
+	if sec := elapsed.Seconds(); sec > 0 && ops > 0 {
+		row.OpsPerSec = float64(ops) / sec
+		row.NsPerOp = float64(elapsed.Nanoseconds()) / float64(ops)
+	}
+	return row
+}
+
 // CoreBench runs the full grid and assembles the document. Quick mode cuts
 // the per-goroutine op count for smoke tests.
 func CoreBench(cfg Config) CoreBenchFile {
@@ -179,12 +300,13 @@ func CoreBench(cfg Config) CoreBenchFile {
 		opsPer = 20_000
 	}
 	doc := CoreBenchFile{
-		GOMAXPROCS:      runtime.GOMAXPROCS(0),
-		NumCPU:          runtime.NumCPU(),
-		Shards:          core.NewManager(core.Options{}).ShardCount(),
-		OpsPerGoroutine: opsPer,
-		DisjointSpeedup: map[string]float64{},
-		FastpathSpeedup: map[string]float64{},
+		GOMAXPROCS:         runtime.GOMAXPROCS(0),
+		NumCPU:             runtime.NumCPU(),
+		Shards:             core.NewManager(core.Options{}).ShardCount(),
+		OpsPerGoroutine:    opsPer,
+		DisjointSpeedup:    map[string]float64{},
+		FastpathSpeedup:    map[string]float64{},
+		ReaderInterference: map[string]float64{},
 	}
 	type cell struct{ global, sharded, fastpath CoreBenchRow }
 	disjoint := map[int]*cell{}
@@ -222,21 +344,45 @@ func CoreBench(cfg Config) CoreBenchFile {
 			doc.SingleGoroutineOverhead = c.sharded.NsPerOp / c.global.NsPerOp
 		}
 	}
+
+	readerDur := time.Second
+	if cfg.Quick {
+		readerDur = 500 * time.Millisecond
+	}
+	var unpolled CoreBenchRow
+	for _, variant := range []string{"nopoll", "poll1", "poll100", "precise100"} {
+		row := runReaderBench(variant, readerDur)
+		doc.Rows = append(doc.Rows, row)
+		if variant == "nopoll" {
+			unpolled = row
+		} else if unpolled.NsPerOp > 0 && row.NsPerOp > 0 {
+			doc.ReaderInterference[variant] = row.NsPerOp / unpolled.NsPerOp
+		}
+	}
 	return doc
 }
 
 // coreBenchRegressionTolerance is how much slower (ns/op) a guarded variant
 // may measure against the committed baseline before CompareCoreBench fails —
 // generous, because CI machines are noisy and the guard must only catch real
-// hot-path regressions, not scheduler jitter.
-const coreBenchRegressionTolerance = 1.25
+// hot-path regressions, not scheduler jitter. The reader scenario gets a
+// wider band: its rows are duration-based (a wall-clock poller needs real
+// time to fire), and on a single-CPU host the writers and the poller
+// time-slice one core, so run-to-run spread is larger than on the
+// op-count rows.
+const (
+	coreBenchRegressionTolerance       = 1.25
+	coreBenchReaderRegressionTolerance = 1.5
+)
 
 // CompareCoreBench checks a fresh run against a committed baseline: on the
 // disjoint scenario, the "sharded" and "fastpath" variants must not regress
 // more than the tolerance in ns/op at any goroutine count present in both
 // documents (rows for goroutine counts the two machines don't share — e.g.
 // a NumCPU row from a bigger host — are skipped, as are variants the
-// baseline predates). Returns an error describing every failing row.
+// baseline predates). Reader-scenario rows are guarded the same way except
+// "precise100", which exists to document the flush-on-read gap, not to stay
+// fast. Returns an error describing every failing row.
 func CompareCoreBench(baseline, current CoreBenchFile) error {
 	type rowKey struct {
 		scenario, variant string
@@ -246,20 +392,33 @@ func CompareCoreBench(baseline, current CoreBenchFile) error {
 	for _, r := range baseline.Rows {
 		base[rowKey{r.Scenario, r.Variant, r.Goroutines}] = r
 	}
+	guarded := func(r CoreBenchRow) bool {
+		switch r.Scenario {
+		case "disjoint":
+			return r.Variant == "sharded" || r.Variant == "fastpath"
+		case "reader":
+			return r.Variant != "precise100"
+		}
+		return false
+	}
 	var failures []string
 	for _, r := range current.Rows {
-		if r.Scenario != "disjoint" || (r.Variant != "sharded" && r.Variant != "fastpath") {
+		if !guarded(r) {
 			continue
 		}
 		b, ok := base[rowKey{r.Scenario, r.Variant, r.Goroutines}]
 		if !ok || b.NsPerOp <= 0 || r.NsPerOp <= 0 {
 			continue
 		}
-		if r.NsPerOp > b.NsPerOp*coreBenchRegressionTolerance {
+		tol := coreBenchRegressionTolerance
+		if r.Scenario == "reader" {
+			tol = coreBenchReaderRegressionTolerance
+		}
+		if r.NsPerOp > b.NsPerOp*tol {
 			failures = append(failures, fmt.Sprintf(
 				"%s/%s @%dg: %.1f ns/op vs baseline %.1f ns/op (%.2fx > %.2fx allowed)",
 				r.Scenario, r.Variant, r.Goroutines, r.NsPerOp, b.NsPerOp,
-				r.NsPerOp/b.NsPerOp, coreBenchRegressionTolerance))
+				r.NsPerOp/b.NsPerOp, tol))
 		}
 	}
 	if len(failures) > 0 {

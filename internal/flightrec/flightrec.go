@@ -16,8 +16,11 @@
 // recorder-local mutex and never allocates; a verdict capture is a
 // per-culprit cooldown check plus a non-blocking channel send. Bundles are
 // built and written by a background goroutine that reads the manager's
-// combined Status outside any hook, so a dump can never block the penalty
-// path.
+// epoch-published snapshot (refreshed for detection captures, so the
+// verdict that fired is visible) outside any hook, so a dump can never
+// block the penalty path. Only DumpPrecise — `pboxctl dump -precise` —
+// still uses the exact flush-on-read Status path, which guarantees spooled
+// events issued before the dump appear in the bundle.
 package flightrec
 
 import (
@@ -136,6 +139,7 @@ func (r *ring) tail() []event {
 type capture struct {
 	trigger   string // "detection" or "manual"
 	reason    string // operator-supplied, for manual dumps
+	precise   bool   // build from the exact flush-on-read Status, not the snapshot view
 	culprit   int
 	victim    int
 	key       core.ResourceKey
@@ -265,8 +269,22 @@ func (r *Recorder) Dropped() int64 { return r.dropped.Load() }
 
 // Dump requests a manual incident bundle (the /flightrec/dump endpoint and
 // pboxctl's dump path) and returns the incident id. It blocks until the
-// bundle is written or the timeout elapses.
+// bundle is written or the timeout elapses. The bundle's manager state
+// comes from the epoch snapshot view (bounded staleness); use DumpPrecise
+// when un-flushed spooled events must be visible.
 func (r *Recorder) Dump(reason string, timeout time.Duration) (string, error) {
+	return r.dump(reason, false, timeout)
+}
+
+// DumpPrecise is Dump on the exact flush-on-read path: the bundle is built
+// from Status(), which sweeps every worker spool first, so every event
+// issued before the call — including records still sitting in spools — is
+// reflected. This is the one reader that keeps the stop-the-world cost.
+func (r *Recorder) DumpPrecise(reason string, timeout time.Duration) (string, error) {
+	return r.dump(reason, true, timeout)
+}
+
+func (r *Recorder) dump(reason string, precise bool, timeout time.Duration) (string, error) {
 	if r.closed.Load() {
 		return "", errClosed
 	}
@@ -274,6 +292,7 @@ func (r *Recorder) Dump(reason string, timeout time.Duration) (string, error) {
 	job := capture{
 		trigger: "manual",
 		reason:  reason,
+		precise: precise,
 		atUnix:  time.Now().UnixNano(),
 		reply:   reply,
 	}

@@ -2,6 +2,7 @@ package flightrec
 
 import (
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -9,7 +10,9 @@ import (
 )
 
 // newWorld builds a fake-clock manager observed by a fresh Recorder and
-// returns both plus the clock-advance function.
+// returns both plus the clock-advance function. The clock is atomic: the
+// recorder's writer goroutine reads it (detection captures stamp snapshot
+// provenance) while the test goroutine advances it.
 func newWorld(t *testing.T, cfg Config) (*core.Manager, *Recorder, func(time.Duration)) {
 	t.Helper()
 	if cfg.Dir == "" {
@@ -17,18 +20,18 @@ func newWorld(t *testing.T, cfg Config) (*core.Manager, *Recorder, func(time.Dur
 	}
 	rec := New(cfg)
 	t.Cleanup(rec.Close)
-	var now int64
+	var now atomic.Int64
 	opts := core.Options{
 		Observer:    rec,
 		Attribution: true,
-		Now:         func() int64 { return now },
-		Sleep:       func(d time.Duration) { now += int64(d) },
+		Now:         now.Load,
+		Sleep:       func(d time.Duration) { now.Add(int64(d)) },
 		MinPenalty:  10 * time.Microsecond,
 		MaxPenalty:  100 * time.Millisecond,
 	}
 	m := core.NewManager(opts)
 	rec.AttachManager(m)
-	return m, rec, func(d time.Duration) { now += int64(d) }
+	return m, rec, func(d time.Duration) { now.Add(int64(d)) }
 }
 
 // newPair creates a labeled noisy/victim pBox pair with a 0.5 goal.
@@ -279,5 +282,69 @@ func TestRecordPathAllocFree(t *testing.T) {
 		rec.Blocked(1, 2, key, 1000)
 	}); allocs != 0 {
 		t.Fatalf("Blocked record allocates %.2f objects per op, want 0", allocs)
+	}
+}
+
+// TestPreciseDumpSeesSpooledEvents pins the one consumer that keeps the
+// exact flush-on-read path: a manual Dump serves the cached epoch snapshot
+// (spooled events invisible, provenance recorded), while DumpPrecise sweeps
+// the spools and reflects events no published view has seen yet.
+func TestPreciseDumpSeesSpooledEvents(t *testing.T) {
+	m, rec, _ := newWorld(t, Config{})
+	rule := core.DefaultRule()
+	p, err := m.Create(rule)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	m.Activate(p)
+	w := m.NewWorker()
+	if err := w.BindDirect(p); err != nil {
+		t.Fatalf("BindDirect: %v", err)
+	}
+	key := core.ResourceKey(0x500)
+	m.NameResource(key, "spooled_lock")
+
+	v := m.RefreshStatusView() // publish a view BEFORE the spooled event
+	w.Update(key, core.Hold)   // Tier A: sits in the worker spool
+
+	cachedID, err := rec.Dump("cached capture", 5*time.Second)
+	if err != nil {
+		t.Fatalf("Dump: %v", err)
+	}
+	cached, err := rec.Incident(cachedID)
+	if err != nil {
+		t.Fatalf("load %s: %v", cachedID, err)
+	}
+	if cached.Precise {
+		t.Fatal("plain Dump marked precise")
+	}
+	if cached.SnapshotEpoch != v.Epoch {
+		t.Fatalf("cached dump epoch = %d, want published epoch %d", cached.SnapshotEpoch, v.Epoch)
+	}
+	for _, res := range cached.Resources {
+		if res.Key == uint64(key) && res.Holders > 0 {
+			t.Fatalf("cached dump sees the spooled hold: %+v", res)
+		}
+	}
+
+	preciseID, err := rec.DumpPrecise("exact capture", 5*time.Second)
+	if err != nil {
+		t.Fatalf("DumpPrecise: %v", err)
+	}
+	precise, err := rec.Incident(preciseID)
+	if err != nil {
+		t.Fatalf("load %s: %v", preciseID, err)
+	}
+	if !precise.Precise || precise.SnapshotEpoch != 0 {
+		t.Fatalf("precise dump provenance wrong: precise=%v epoch=%d", precise.Precise, precise.SnapshotEpoch)
+	}
+	var found bool
+	for _, res := range precise.Resources {
+		if res.Key == uint64(key) && res.Holders == 1 && res.Name == "spooled_lock" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("precise dump missed the spooled hold: %+v", precise.Resources)
 	}
 }

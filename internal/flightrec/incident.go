@@ -52,6 +52,15 @@ type PBoxInfo struct {
 	PenaltyServed     string  `json:"penalty_served"`
 }
 
+// ResourceInfo is the wire form of one per-resource contention summary in a
+// bundle: who-waits/who-holds counts at capture time.
+type ResourceInfo struct {
+	Key     uint64 `json:"key"`
+	Name    string `json:"resource,omitempty"`
+	Waiters int    `json:"waiters,omitempty"`
+	Holders int    `json:"holders,omitempty"`
+}
+
 // AttributionInfo is the wire form of one ledger record in a bundle.
 type AttributionInfo struct {
 	CulpritID        int    `json:"culprit_id"`
@@ -106,8 +115,18 @@ type Incident struct {
 	CaptureOffset  int64  `json:"capture_offset,omitempty"`
 	CaptureQueued  int    `json:"capture_queued,omitempty"`
 
+	// Snapshot provenance: the epoch and age of the manager view the
+	// bundle's state sections were built from. Precise marks a bundle built
+	// from the exact flush-on-read Status() (DumpPrecise) — spooled events
+	// issued before the dump are guaranteed visible; snapshot-built bundles
+	// instead carry the epoch metadata of the view used.
+	SnapshotEpoch uint64 `json:"snapshot_epoch,omitempty"`
+	SnapshotAge   string `json:"snapshot_age,omitempty"`
+	Precise       bool   `json:"precise,omitempty"`
+
 	Events             []Event           `json:"events"`
 	PBoxes             []PBoxInfo        `json:"pboxes,omitempty"`
+	Resources          []ResourceInfo    `json:"resources,omitempty"`
 	Attribution        []AttributionInfo `json:"attribution,omitempty"`
 	AttributionDropped int64             `json:"attribution_dropped,omitempty"`
 }
@@ -137,10 +156,12 @@ func (r *Recorder) nextID(atUnix int64) string {
 }
 
 // buildAndWrite assembles the bundle for one capture and persists it. Runs
-// on the writer goroutine, outside every manager hook; reading Status here
-// (not at verdict time) means the bundle also sees the penalty action that
-// the verdict scheduled, since that happens under the same manager lock
-// hold that queued the job.
+// on the writer goroutine, outside every manager hook; reading the manager
+// state here (not at verdict time) means the bundle also sees the penalty
+// action that the verdict scheduled, since that happens under the same
+// manager lock hold that queued the job. Detection captures force a
+// snapshot refresh (the verdict must be visible); manual dumps take the
+// published view unless the job asks for the precise flush-on-read Status.
 func (r *Recorder) buildAndWrite(job capture) (string, error) {
 	inc := Incident{
 		ID:         r.nextID(job.atUnix),
@@ -163,7 +184,21 @@ func (r *Recorder) buildAndWrite(job capture) (string, error) {
 	}
 	var status core.Status
 	if mgr != nil {
-		status = mgr.Status()
+		switch {
+		case job.precise:
+			status = mgr.Status()
+			inc.Precise = true
+		case job.trigger == "detection":
+			v := mgr.RefreshStatusView()
+			status = v.Status
+			inc.SnapshotEpoch = v.Epoch
+			inc.SnapshotAge = mgr.ViewAge(v).String()
+		default:
+			v := mgr.StatusView()
+			status = v.Status
+			inc.SnapshotEpoch = v.Epoch
+			inc.SnapshotAge = mgr.ViewAge(v).String()
+		}
 		for _, s := range status.Snapshots {
 			inc.PBoxes = append(inc.PBoxes, PBoxInfo{
 				ID:                s.ID,
@@ -207,6 +242,14 @@ func (r *Recorder) buildAndWrite(job capture) (string, error) {
 			if inc.VictimLabel == "" && a.VictimID == inc.VictimID {
 				inc.VictimLabel = a.VictimLabel
 			}
+		}
+		for _, res := range status.Resources {
+			inc.Resources = append(inc.Resources, ResourceInfo{
+				Key:     uint64(res.Key),
+				Name:    res.Name,
+				Waiters: res.Waiters,
+				Holders: res.Holders,
+			})
 		}
 		inc.AttributionDropped = status.AttributionDropped
 	}

@@ -8,6 +8,7 @@ import (
 	"pbox/internal/lint/hotpathalloc"
 	"pbox/internal/lint/lockorder"
 	"pbox/internal/lint/reentry"
+	"pbox/internal/lint/snapshotreader"
 	"pbox/internal/lint/waitloop"
 )
 
@@ -20,6 +21,7 @@ func Default() []*analysis.Analyzer {
 		hotpathalloc.Analyzer,
 		lockorder.Analyzer,
 		reentry.Analyzer,
+		snapshotreader.Analyzer,
 	}
 }
 

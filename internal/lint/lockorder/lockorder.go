@@ -1,9 +1,10 @@
 // Package lockorder statically enforces the manager's lock-acquisition
-// order (DESIGN.md §8, extended by the §10 spool ranks):
+// order (DESIGN.md §8, extended by the §10 spool ranks and the §12
+// snapshot rank):
 //
-//	Manager.spools → eventSpool.flushMu → registry → pbox.mu → shard.mu →
-//	verdictMu → leaves (actMu, penMu, shard.namesMu, trace ring,
-//	eventSpool.mu)
+//	Manager.snap → Manager.spools → eventSpool.flushMu → registry →
+//	pbox.mu → shard.mu → verdictMu → leaves (actMu, penMu,
+//	shard.namesMu, trace ring, eventSpool.mu)
 //
 // plus the extra rules: a shard lock is never held while acquiring the
 // registry lock (subsumed by the rank order), at most one lock of a class
@@ -45,8 +46,11 @@ var Analyzer = &analysis.Analyzer{
 // Rank positions in the documented order. Leaves share leafRank and are
 // terminal. The spool ranks are negative: the spool registry and a flush
 // precede everything the replay acquires, and nothing may take them while
-// holding any manager lock.
+// holding any manager lock. The snapshot build mutex ranks before even the
+// spool registry: a rebuild sweeps every spool and then takes the whole
+// read path under it.
 const (
+	rankSnap       = -30
 	rankSpoolList  = -20
 	rankSpoolFlush = -10
 	rankRegistry   = 0
@@ -66,6 +70,7 @@ type classSpec struct {
 // the same names are ranked identically, which is what the golden tests
 // exercise.
 var lockTable = map[classSpec]int{
+	{"Manager", "snap"}:       rankSnap,
 	{"Manager", "spools"}:     rankSpoolList,
 	{"eventSpool", "flushMu"}: rankSpoolFlush,
 	{"Manager", "reg"}:        rankRegistry,
@@ -80,7 +85,7 @@ var lockTable = map[classSpec]int{
 }
 
 // orderDoc is appended to order-violation messages.
-const orderDoc = "DESIGN.md §8/§10 order: spools → flushMu → registry → pbox.mu → shard.mu → verdictMu → leaves"
+const orderDoc = "DESIGN.md §8/§10/§12 order: snap → spools → flushMu → registry → pbox.mu → shard.mu → verdictMu → leaves"
 
 // lockClass is one recognized lock class.
 type lockClass struct {

@@ -1,0 +1,227 @@
+// Package snapshotreader enforces the zero-interference contract of the
+// manager's snapshot read path (DESIGN.md §12). Functions annotated
+//
+//	//pbox:snapshotreader
+//
+// in their doc comment promise to serve observability reads from the
+// published epoch view and lock-free atomics alone: they must not stop the
+// world. The pass walks the same-package static call closure of every
+// annotated function and flags anything that would re-introduce
+// reader-induced interference:
+//
+//   - acquiring a shard lock (any Lock/RLock/TryLock on a shard.mu field —
+//     the stop-the-world sweep's unit of interference)
+//   - calling lockAllShards (the sweep itself)
+//   - calling sweepSpools or flushSpoolsFor (flush-on-read: stealing a
+//     worker's spool buffer from under it)
+//   - calling flush on an eventSpool (the single-spool variant)
+//
+// The sanctioned escalation — the rebuild that a stale reader triggers — is
+// annotated //pbox:snapshotbuilder; the walk stops at such functions, so
+// StatusView may call rebuildView without a finding while a reader that
+// sweeps spools directly is flagged. Suppress intentional exceptions with
+// //pboxlint:ignore snapshotreader <reason>.
+package snapshotreader
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"pbox/internal/lint/analysis"
+)
+
+// ReaderMarker opts a function into the check; BuilderMarker exempts the
+// sanctioned rebuild escalation from the closure walk.
+const (
+	ReaderMarker  = "//pbox:snapshotreader"
+	BuilderMarker = "//pbox:snapshotbuilder"
+)
+
+// Analyzer is the snapshotreader pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "snapshotreader",
+	Doc: "functions annotated //pbox:snapshotreader must not acquire shard " +
+		"locks or flush worker spools (the §12 zero-interference read contract)",
+	Run: run,
+}
+
+// flushCalls are the functions whose mere invocation is a flush-on-read:
+// they steal spooled events off worker fast paths.
+var flushCalls = map[string]string{
+	"sweepSpools":    "sweeps every worker spool (flush-on-read)",
+	"flushSpoolsFor": "flushes worker spools (flush-on-read)",
+	"lockAllShards":  "takes every shard lock (stop-the-world sweep)",
+}
+
+// spoolTypeName and shardTypeName are the owning types of the flagged
+// receiver-sensitive operations.
+const (
+	spoolTypeName = "eventSpool"
+	shardTypeName = "shard"
+)
+
+// lockMethods are the sync acquisition methods (releases are irrelevant: a
+// reader that can release a shard lock already acquired one).
+var lockMethods = map[string]bool{
+	"Lock": true, "RLock": true, "TryLock": true, "TryRLock": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	builders := make(map[*types.Func]bool)
+	var entries []*types.Func
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			decls[fn] = fd
+			if marked(fd, BuilderMarker) {
+				builders[fn] = true
+			}
+			if marked(fd, ReaderMarker) {
+				entries = append(entries, fn)
+			}
+		}
+	}
+	for _, entry := range entries {
+		check(pass, decls, builders, entry)
+	}
+	return nil, nil
+}
+
+// marked reports whether the function's doc comment carries the marker.
+func marked(fd *ast.FuncDecl, marker string) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(c.Text, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// check walks the same-package static call closure from entry, flagging
+// stop-the-world operations. Builder-annotated callees terminate the walk.
+func check(pass *analysis.Pass, decls map[*types.Func]*ast.FuncDecl, builders map[*types.Func]bool, entry *types.Func) {
+	seen := map[*types.Func]bool{}
+	var visit func(fn *types.Func, via string)
+	visit = func(fn *types.Func, via string) {
+		if seen[fn] {
+			return
+		}
+		seen[fn] = true
+		fd := decls[fn]
+		if fd == nil {
+			return
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if what, flagged := classify(pass, call); flagged {
+				pass.Reportf(call.Pos(),
+					"snapshot reader %s%s %s: //pbox:snapshotreader functions serve from the published view and atomics only",
+					entry.Name(), via, what)
+				return true
+			}
+			callee := calleeFunc(pass, call)
+			if callee == nil || builders[callee] {
+				return true // builder = the sanctioned rebuild escalation
+			}
+			if _, samePkg := decls[callee]; samePkg {
+				next := via
+				if next == "" {
+					next = " (via " + callee.Name() + ")"
+				}
+				visit(callee, next)
+			}
+			return true
+		})
+	}
+	visit(entry, "")
+}
+
+// classify reports whether call is a flagged stop-the-world operation and
+// describes it.
+func classify(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	callee := calleeFunc(pass, call)
+	if callee != nil {
+		if why, ok := flushCalls[callee.Name()]; ok {
+			return "calls " + callee.Name() + ", which " + why, true
+		}
+		if callee.Name() == "flush" && receiverIs(callee, spoolTypeName) {
+			return "calls eventSpool.flush, which steals a worker's spool buffer (flush-on-read)", true
+		}
+	}
+	// x.mu.Lock() where x is a shard: direct stop-the-world unit.
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !lockMethods[sel.Sel.Name] {
+		return "", false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", false
+	}
+	base, ok := sel.X.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if ownerNamed(pass.TypesInfo.Types[base.X].Type) == shardTypeName {
+		return "acquires a shard lock (" + shardTypeName + "." + base.Sel.Name + "." + sel.Sel.Name + ")", true
+	}
+	return "", false
+}
+
+// calleeFunc resolves the static callee of a call, if any.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[fun.Sel]
+	default:
+		return nil
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// receiverIs reports whether fn is a method on the named type (pointer or
+// value receiver).
+func receiverIs(fn *types.Func, typeName string) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return ownerNamed(sig.Recv().Type()) == typeName
+}
+
+// ownerNamed unwraps pointers and returns the named type's name, or "".
+func ownerNamed(t types.Type) string {
+	for t != nil {
+		p, ok := t.Underlying().(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	if t == nil {
+		return ""
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	return named.Obj().Name()
+}

@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"pbox/internal/lint/linttest"
+	"pbox/internal/lint/snapshotreader"
+)
+
+func TestSnapshotReader(t *testing.T) {
+	linttest.Run(t, linttest.TestData(t), "snapshotreader", snapshotreader.Analyzer)
+}

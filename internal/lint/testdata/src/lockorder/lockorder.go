@@ -6,6 +6,7 @@ package lockorder
 import "sync"
 
 type Manager struct {
+	snap      sync.Mutex
 	spools    sync.Mutex
 	reg       sync.Mutex
 	verdictMu sync.Mutex
@@ -186,6 +187,41 @@ func badRegistryThenSpoolList(m *Manager) {
 	m.spools.Lock() // want `acquires Manager\.spools while holding Manager\.reg`
 	m.spools.Unlock()
 	m.reg.Unlock()
+}
+
+// goodSnapRebuild is the §12 snapshot-rebuild shape: the build mutex is the
+// outermost rank, held across the spool sweep and the full descent. Clean.
+func goodSnapRebuild(m *Manager, sp *eventSpool, s *shard) {
+	m.snap.Lock()
+	m.spools.Lock()
+	sp.flushMu.Lock()
+	sp.flushMu.Unlock()
+	m.spools.Unlock()
+	m.reg.Lock()
+	s.mu.Lock()
+	m.verdictMu.Lock()
+	m.verdictMu.Unlock()
+	s.mu.Unlock()
+	m.reg.Unlock()
+	m.snap.Unlock()
+}
+
+// badSpoolListThenSnap: the snapshot build mutex precedes even the spool
+// registry — a rebuild started mid-sweep would deadlock against a sweep
+// started mid-rebuild.
+func badSpoolListThenSnap(m *Manager) {
+	m.spools.Lock()
+	m.snap.Lock() // want `acquires Manager\.snap while holding Manager\.spools`
+	m.snap.Unlock()
+	m.spools.Unlock()
+}
+
+// badShardThenSnap: no manager lock may be held when a rebuild starts.
+func badShardThenSnap(m *Manager, s *shard) {
+	s.mu.Lock()
+	m.snap.Lock() // want `acquires Manager\.snap while holding shard\.mu`
+	m.snap.Unlock()
+	s.mu.Unlock()
 }
 
 // localMutex: locks outside the class table are ignored.

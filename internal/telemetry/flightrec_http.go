@@ -15,7 +15,9 @@ const dumpTimeout = 10 * time.Second
 //
 //	/flightrec/incidents      JSON list of incident bundle ids, oldest first
 //	/flightrec/incident?id=X  one bundle
-//	/flightrec/dump           POST: freeze a bundle now (operator dump)
+//	/flightrec/dump           POST: freeze a bundle now (operator dump);
+//	                          ?precise=1 forces the exact flush-on-read
+//	                          capture instead of the epoch snapshot
 //
 // Call once during wiring, before the exporter starts serving.
 func (e *Exporter) AttachFlightRecorder(rec *flightrec.Recorder) {
@@ -52,7 +54,13 @@ func (e *Exporter) AttachFlightRecorder(rec *flightrec.Recorder) {
 		if reason == "" {
 			reason = "operator dump"
 		}
-		id, err := rec.Dump(reason, dumpTimeout)
+		var id string
+		var err error
+		if r.URL.Query().Get("precise") != "" {
+			id, err = rec.DumpPrecise(reason, dumpTimeout)
+		} else {
+			id, err = rec.Dump(reason, dumpTimeout)
+		}
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusServiceUnavailable)
 			return

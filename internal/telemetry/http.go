@@ -84,12 +84,16 @@ func attributionEntry(r core.AttributionRecord) AttributionEntry {
 }
 
 // AttributionResponse is the /attribution payload: the combined consistent
-// view — pBoxes and the culprit↔victim matrix read under one manager lock
-// acquisition — plus the ledger's overflow count.
+// view — pBoxes and the culprit↔victim matrix from one published snapshot —
+// plus the ledger's overflow count and the snapshot's epoch metadata.
 type AttributionResponse struct {
 	PBoxes  []PBoxStatus       `json:"pboxes"`
 	Matrix  []AttributionEntry `json:"matrix"`
 	Dropped int64              `json:"dropped"`
+	// SnapshotEpoch and SnapshotAge identify the published view the
+	// response was built from (bounded staleness, DESIGN.md §12).
+	SnapshotEpoch uint64 `json:"snapshot_epoch,omitempty"`
+	SnapshotAge   string `json:"snapshot_age,omitempty"`
 }
 
 // TraceEvent is the wire form of one trace-ring entry in the /trace
@@ -113,10 +117,17 @@ type TraceResponse struct {
 
 // Exporter serves the telemetry HTTP API for one manager:
 //
-//	/metrics   Prometheus text exposition of the registry
+//	/metrics   Prometheus text exposition of the registry + pbox_self_*
+//	/status    JSON: the epoch-published snapshot (pBoxes, matrix,
+//	           resources, trace cursor) with epoch/age metadata
+//	/self      JSON: manager self-telemetry (core.SelfStats)
 //	/pboxes    JSON: live per-pBox defer ratio, isolation goal, penalties
 //	/trace     JSON: trace-ring snapshot; ?since=N&wait=5s long-polls for
 //	           entries newer than sequence N
+//
+// Every manager-state endpoint reads the epoch snapshot (DESIGN.md §12):
+// serving a request costs one atomic pointer load, never a shard lock or a
+// spool flush, so any polling frequency is interference-free.
 type Exporter struct {
 	reg *Registry
 	mgr *core.Manager
@@ -129,6 +140,8 @@ func NewExporter(reg *Registry, mgr *core.Manager) *Exporter {
 	e := &Exporter{reg: reg, mgr: mgr, mux: http.NewServeMux()}
 	e.mux.HandleFunc("/", e.handleIndex)
 	e.mux.HandleFunc("/metrics", e.handleMetrics)
+	e.mux.HandleFunc("/status", e.handleStatus)
+	e.mux.HandleFunc("/self", e.handleSelf)
 	e.mux.HandleFunc("/pboxes", e.handlePBoxes)
 	e.mux.HandleFunc("/attribution", e.handleAttribution)
 	e.mux.HandleFunc("/trace", e.handleTrace)
@@ -151,7 +164,9 @@ func (e *Exporter) handleIndex(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "pbox telemetry")
-	fmt.Fprintln(w, "  /metrics           Prometheus text metrics")
+	fmt.Fprintln(w, "  /metrics           Prometheus text metrics (incl. pbox_self_* self-telemetry)")
+	fmt.Fprintln(w, "  /status            epoch snapshot: pboxes, matrix, resources + age (JSON)")
+	fmt.Fprintln(w, "  /self              manager self-telemetry (JSON)")
 	fmt.Fprintln(w, "  /pboxes            live per-pBox accounting (JSON)")
 	fmt.Fprintln(w, "  /attribution       culprit↔victim interference matrix (JSON)")
 	fmt.Fprintln(w, "  /trace             trace ring snapshot (JSON)")
@@ -159,12 +174,17 @@ func (e *Exporter) handleIndex(w http.ResponseWriter, r *http.Request) {
 }
 
 func (e *Exporter) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	if e.reg == nil {
+	if e.reg == nil && e.mgr == nil {
 		http.Error(w, "metrics registry not enabled", http.StatusNotFound)
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	e.reg.WritePrometheus(w)
+	if e.reg != nil {
+		e.reg.WritePrometheus(w)
+	}
+	if e.mgr != nil {
+		writeSelfMetrics(w, e.mgr.SelfStats())
+	}
 }
 
 func (e *Exporter) handlePBoxes(w http.ResponseWriter, r *http.Request) {
@@ -172,7 +192,7 @@ func (e *Exporter) handlePBoxes(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "manager not attached", http.StatusNotFound)
 		return
 	}
-	snaps := e.mgr.Snapshots()
+	snaps := e.mgr.StatusView().Snapshots
 	out := make([]PBoxStatus, 0, len(snaps))
 	for _, s := range snaps {
 		out = append(out, statusFromSnapshot(s))
@@ -185,11 +205,13 @@ func (e *Exporter) handleAttribution(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "manager not attached", http.StatusNotFound)
 		return
 	}
-	st := e.mgr.Status()
+	st := e.mgr.StatusView()
 	resp := AttributionResponse{
-		PBoxes:  make([]PBoxStatus, 0, len(st.Snapshots)),
-		Matrix:  make([]AttributionEntry, 0, len(st.Attribution)),
-		Dropped: st.AttributionDropped,
+		PBoxes:        make([]PBoxStatus, 0, len(st.Snapshots)),
+		Matrix:        make([]AttributionEntry, 0, len(st.Attribution)),
+		Dropped:       st.AttributionDropped,
+		SnapshotEpoch: st.Epoch,
+		SnapshotAge:   e.mgr.ViewAge(st).String(),
 	}
 	for _, s := range st.Snapshots {
 		resp.PBoxes = append(resp.PBoxes, statusFromSnapshot(s))
@@ -228,7 +250,11 @@ func (e *Exporter) handleTrace(w http.ResponseWriter, r *http.Request) {
 		wait = d
 	}
 
-	entries, next := e.mgr.TraceSince(since)
+	// TraceView reads the ring without the flush-on-read spool sweep
+	// TraceSince performs: a tailing client must not flush other workers'
+	// spools on every poll. Spooled events appear once a write-side flush
+	// trigger lands them in the ring (bounded by the spool capacity).
+	entries, next := e.mgr.TraceView(since)
 	if len(entries) == 0 && wait > 0 {
 		// Long poll: block until a newer entry lands, the client leaves,
 		// or the wait expires, then re-read.
@@ -243,7 +269,7 @@ func (e *Exporter) handleTrace(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			timer.Stop()
-			entries, next = e.mgr.TraceSince(since)
+			entries, next = e.mgr.TraceView(since)
 		}
 	}
 
