@@ -9,14 +9,17 @@
 //	pboxbench -exp fig16 -duration 500ms # longer runs
 //
 // Experiments: fig1 fig2 fig3 fig10 table3 fig11 fig12 fig13 fig14 table4
-// fig15 fig16 table5 mistakes. Three extra ids are opt-in (never part of
+// fig15 fig16 table5 mistakes. Four extra ids are opt-in (never part of
 // -exp all) and write files instead of printing: cases-json writes the
 // per-case victim-p95 records to BENCH_cases.json, core-json writes the
 // manager hot-path throughput grid (sharded vs. emulated global lock,
 // disjoint vs. contended keys, 1/4/NumCPU goroutines) to BENCH_core.json,
-// and record-cases runs cases with a capture recorder attached and writes
-// one replayable event-log directory per case (pboxreplay consumes them).
-// -out overrides the default output path of all three.
+// scale-json sweeps GOMAXPROCS × goroutines × shard count × spool size ×
+// padding × adaptive topology to BENCH_scale.json (with per-row host
+// provenance and scaling-efficiency summaries), and record-cases runs cases
+// with a capture recorder attached and writes one replayable event-log
+// directory per case (pboxreplay consumes them). -out overrides the default
+// output path of all four.
 package main
 
 import (
@@ -33,13 +36,14 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (fig1..fig16, table3..table5, mistakes, ablate, cases-json, core-json, record-cases, all)")
+	exp := flag.String("exp", "all", "experiment id (fig1..fig16, table3..table5, mistakes, ablate, cases-json, core-json, scale-json, record-cases, all)")
 	caseList := flag.String("cases", "", "comma-separated case ids to restrict to")
 	duration := flag.Duration("duration", 0, "per-run measurement duration (default 300ms)")
 	caseDuration := flag.Duration("caseduration", 0, "pin every case's run length exactly, overriding -duration and per-case variance adjustments; recorded in BENCH_cases.json")
 	quick := flag.Bool("quick", false, "smoke-test scale")
-	out := flag.String("out", "", "output path for -exp cases-json / core-json / record-cases (default BENCH_cases.json / BENCH_core.json / capture-logs)")
-	baseline := flag.String("baseline", "", "with -exp core-json: committed BENCH_core.json to compare against; exit 1 if disjoint sharded/fastpath ns/op regresses >25% at matching goroutine counts")
+	out := flag.String("out", "", "output path for -exp cases-json / core-json / scale-json / record-cases (default BENCH_cases.json / BENCH_core.json / BENCH_scale.json / capture-logs)")
+	baseline := flag.String("baseline", "", "with -exp core-json / scale-json: committed BENCH_core.json / BENCH_scale.json to compare against; exit 1 on hot-path ns/op regressions beyond tolerance at matching configurations")
+	corebaseline := flag.String("corebaseline", "", "with -exp scale-json: committed BENCH_core.json; exit 1 if the sweep's single-goroutine fastpath row regresses >25% against the core bench's disjoint/fastpath/1 row on a matching host")
 	flag.Parse()
 
 	cfg := experiments.Config{Duration: *duration, CaseDuration: *caseDuration, Quick: *quick}
@@ -294,6 +298,77 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Printf("baseline %s: within tolerance\n", *baseline)
+		}
+		return
+	}
+	if *exp == "scale-json" {
+		path := *out
+		if path == "" {
+			path = "BENCH_scale.json"
+		}
+		doc := experiments.ScaleBench(cfg)
+		if err := experiments.WriteScaleBench(path, doc); err != nil {
+			fmt.Fprintln(os.Stderr, "scale-json:", err)
+			os.Exit(1)
+		}
+		for _, r := range doc.Rows {
+			pad, ad := "padded", "fixed"
+			if !r.Padded {
+				pad = "unpadded"
+			}
+			if r.Adaptive {
+				ad = "adaptive"
+			}
+			fmt.Printf("%-9s gmp=%-3d g=%-3d shards=%-4d spool=%-5d %-8s %-8s %12.0f ops/s %10.1f ns/op\n",
+				r.Scenario, r.Gomaxprocs, r.Goroutines, r.Shards, r.SpoolSize, pad, ad,
+				r.OpsPerSec, r.NsPerOp)
+		}
+		printScaleMap := func(name string, m map[string]float64) {
+			keys := make([]string, 0, len(m))
+			for k := range m {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Printf("%s %s: %.3f\n", name, k, m[k])
+			}
+		}
+		printScaleMap("scaling_efficiency", doc.ScalingEfficiency)
+		printScaleMap("padding_speedup", doc.PaddingSpeedup)
+		printScaleMap("adaptive_overhead", doc.AdaptiveOverhead)
+		fmt.Printf("wrote %s\n", path)
+		notice := func(format string, args ...any) {
+			fmt.Printf("NOTICE: "+format+"\n", args...)
+		}
+		failed := false
+		if *baseline != "" {
+			base, err := experiments.ReadScaleBench(*baseline)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "baseline:", err)
+				os.Exit(1)
+			}
+			if err := experiments.CompareScaleBench(base, doc, notice); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				failed = true
+			} else {
+				fmt.Printf("baseline %s: within tolerance\n", *baseline)
+			}
+		}
+		if *corebaseline != "" {
+			base, err := experiments.ReadCoreBench(*corebaseline)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "corebaseline:", err)
+				os.Exit(1)
+			}
+			if err := experiments.CheckScaleAgainstCore(base, doc, notice); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				failed = true
+			} else {
+				fmt.Printf("core baseline %s: within tolerance\n", *corebaseline)
+			}
+		}
+		if failed {
+			os.Exit(1)
 		}
 		return
 	}

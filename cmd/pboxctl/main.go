@@ -260,6 +260,15 @@ func cmdSelf(args []string) error {
 		st.ContentionClaims, st.ContentionRevocations, st.ContentionStickySlots)
 	fmt.Printf("shard locks acquisitions=%d hottest=%d shards=%d\n",
 		st.ShardLockAcquisitions, st.ShardLockMax, st.Shards)
+	mode := "fixed"
+	if st.AdaptiveTopology {
+		mode = "adaptive"
+	}
+	fmt.Printf("topology    mode=%s shards=%d spool_capacity=%d ticks=%d shard_resizes=%d spool_resizes=%d\n",
+		mode, st.Shards, st.SpoolCapacity, st.TopologyTicks, st.ShardResizes, st.SpoolResizes)
+	for _, d := range st.TopologyDecisions {
+		fmt.Printf("  at=%-12d %-6s %4d -> %-4d %s\n", d.AtNs, d.Kind, d.From, d.To, d.Reason)
+	}
 	fmt.Printf("crossings   %d\n", st.Crossings)
 	fmt.Printf("verdicts    count=%d sum=%s\n", st.VerdictLatency.Count, st.VerdictLatency.Sum)
 	for _, b := range st.VerdictLatency.Buckets {

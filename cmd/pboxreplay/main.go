@@ -20,7 +20,9 @@
 // every pBox's isolation-rule level — the detection threshold),
 // threshold=<f> (pBox-level monitor trigger fraction), alpha=<f>,
 // gapfactor=<f>, minpen/maxpen/fixed=<duration>, shards=<n>, spool=<n>,
-// nodetect (pure tracing), nopboxlevel (Algorithm 1 only).
+// nodetect (pure tracing), nopboxlevel (Algorithm 1 only), adaptive (let the
+// sizer retune shard/spool topology during the replay — verdict-neutral,
+// DESIGN.md §13).
 package main
 
 import (
@@ -82,7 +84,7 @@ func usage() {
 config spec: comma-separated knobs, e.g. 'level=2,fixed=1ms,nopboxlevel'
 grid: config specs joined by ';'
 knobs: name= level= threshold= alpha= gapfactor= minpen= maxpen= fixed=
-       shards= spool= nodetect nopboxlevel
+       shards= spool= nodetect nopboxlevel adaptive
 `)
 }
 
@@ -125,13 +127,15 @@ func parseConfig(spec string) (capture.Config, error) {
 			cfg.Options.DisableDetection = true
 		case "nopboxlevel":
 			cfg.Options.DisablePBoxLevel = true
+		case "adaptive":
+			cfg.Options.AdaptiveTopology = true
 		default:
 			return cfg, fmt.Errorf("unknown config knob %q (see pboxreplay -h)", key)
 		}
 		if err != nil {
 			return cfg, fmt.Errorf("config knob %q: %w", tok, err)
 		}
-		if !hasVal && key != "nodetect" && key != "nopboxlevel" {
+		if !hasVal && key != "nodetect" && key != "nopboxlevel" && key != "adaptive" {
 			return cfg, fmt.Errorf("config knob %q needs a value", key)
 		}
 	}

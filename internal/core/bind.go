@@ -37,7 +37,10 @@ type Worker struct {
 // records, and workers have no destroy call to unregister at.
 func (m *Manager) NewWorker() *Worker {
 	w := &Worker{mgr: m}
-	if n := m.opts.SpoolSize; n > 0 {
+	// Capacity comes from the live (possibly sizer-retuned) value, not the
+	// construction-time option — a worker created after the sizer grew the
+	// spools should not start at the stale size.
+	if n := int(m.spoolCap.Load()); n > 0 {
 		w.spool = newEventSpool(m, n)
 		m.spools.Lock()
 		m.spools.list = append(m.spools.list, w.spool)

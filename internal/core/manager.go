@@ -98,6 +98,22 @@ type Options struct {
 	// value disables view caching, making every StatusView call a precise
 	// rebuild.
 	SnapshotInterval time.Duration
+
+	// AdaptiveTopology enables the background topology sizer (DESIGN.md
+	// §13): piggybacked on snapshot rebuilds, it reads the manager's own
+	// contention and shard-lock telemetry and resizes the shard stripe set
+	// and per-worker spool capacity within fixed bounds. Off (the default)
+	// the topology chosen at construction is fixed for the manager's life.
+	// Resizes are verdict-neutral: detection output is identical to a
+	// fixed-topology run over the same event stream.
+	AdaptiveTopology bool
+
+	// NoCachePad selects the unpadded (adjacent-slot) contention-table
+	// layout. Benchmark-only: it exists so the scalability sweep can
+	// measure the false-sharing cost of the old layout from one binary
+	// (BENCH_scale.json's padded/unpadded rows). Production code should
+	// never set it.
+	NoCachePad bool
 }
 
 func (o Options) withDefaults() Options {
@@ -149,8 +165,8 @@ func (o Options) withDefaults() Options {
 // serializes on verdictMu, which also guards the action history and the
 // attribution ledger. The documented lock order is
 //
-//	snap → spools → flushMu → registry → pbox.mu → shard.mu → verdictMu →
-//	leaves (actMu, penMu, …)
+//	snap → topo → spools → flushMu → registry → pbox.mu → shard.mu →
+//	verdictMu → leaves (actMu, penMu, …)
 //
 // and a shard lock is never held while acquiring the registry lock.
 // Consistent reads go through the epoch snapshot (StatusView, DESIGN.md
@@ -169,15 +185,36 @@ type Manager struct {
 		bindings map[uintptr]*PBox
 	}
 
-	// shards stripe the resource-side state by ResourceKey hash.
-	shards     []*shard
-	shardShift uint
+	// shards is the live stripe topology for resource-side state, one
+	// immutable shardSet swapped whole by the adaptive sizer (topology.go).
+	// Lock sites revalidate with the per-shard moved flag via lockShard.
+	shards atomic.Pointer[shardSet]
 
 	// contention is the per-resource claim/contended slot table of the
 	// two-tier ingestion path (see spool.go): 0 untouched, >0 the id of
 	// the single pBox spooling fast-path events for keys hashing here,
-	// -1 contended (slow path only, sticky).
-	contention []atomic.Int64
+	// -1 contended (slow path only, sticky). Embedded by value: the hot
+	// path indexes it straight off the manager pointer (see
+	// contentionTable in spool.go).
+	contention contentionTable
+
+	// spoolCap is the capacity newly created Worker spools are sized to;
+	// the adaptive sizer retunes it (and live spools) within bounds.
+	spoolCap atomic.Int64
+
+	// topo serializes topology resizes (manual and sizer-driven) and holds
+	// the sizer's tick state. It ranks between snap and spools in the §8
+	// order: the sizer runs under it from the snapshot rebuild (which holds
+	// snap), and a resize sweeps spools and takes every shard lock under it.
+	topo struct {
+		sync.Mutex
+		sizer sizerState
+	}
+
+	// topoStats is the lock-free telemetry of the adaptive sizer: resize
+	// counters and the copy-on-write decision log behind atomics, so
+	// SelfStats stays a no-lock reader.
+	topoStats topologyStats
 
 	// spools registers every Worker's event spool so slow-path events and
 	// consistent reads can drain them (flush-on-read). The list only
@@ -247,8 +284,9 @@ func NewManager(opts Options) *Manager {
 	}
 	m.reg.pboxes = make(map[int]*PBox)
 	m.reg.bindings = make(map[uintptr]*PBox)
-	m.shards, m.shardShift = newShards(opts.Shards)
-	m.contention = make([]atomic.Int64, contentionSlots)
+	m.shards.Store(newShardSet(opts.Shards))
+	m.contention.unpadded = opts.NoCachePad
+	m.spoolCap.Store(int64(opts.SpoolSize))
 	if ao, ok := opts.Observer.(AttributionObserver); ok {
 		m.attrObs = ao
 	}
@@ -267,8 +305,14 @@ func NewManager(opts Options) *Manager {
 	return m
 }
 
-// ShardCount returns the number of resource-side lock stripes.
-func (m *Manager) ShardCount() int { return len(m.shards) }
+// ShardCount returns the current number of resource-side lock stripes (which
+// the adaptive sizer may change over the manager's life).
+func (m *Manager) ShardCount() int { return len(m.shards.Load().shards) }
+
+// SpoolCapacity returns the capacity new Worker spools are sized to (which
+// the adaptive sizer may change over the manager's life). Non-positive means
+// spooling is disabled.
+func (m *Manager) SpoolCapacity() int { return int(m.spoolCap.Load()) }
 
 // ErrReleased is returned when an operation references a destroyed pBox.
 var ErrReleased = errors.New("pbox: operation on released pBox")
@@ -314,18 +358,14 @@ func (m *Manager) Release(p *PBox) error {
 	}
 	p.setState(StateDestroyed)
 	for key := range p.preparing {
-		s := m.shardFor(key)
-		s.mu.Lock()
-		s.locks.Add(1)
+		s := m.lockShard(key)
 		if cl := s.competitors[key]; cl != nil {
 			cl.removeAllFor(p)
 		}
 		s.mu.Unlock()
 	}
 	for key := range p.holders {
-		s := m.shardFor(key)
-		s.mu.Lock()
-		s.locks.Add(1)
+		s := m.lockShard(key)
 		if hm := s.holdersByKey[key]; hm != nil {
 			delete(hm, p)
 		}
@@ -448,9 +488,7 @@ func (m *Manager) Freeze(p *PBox) {
 	// waiter records first, then clear the map in one sweep.
 	if len(p.preparing) > 0 {
 		for key := range p.preparing {
-			s := m.shardFor(key)
-			s.mu.Lock()
-			s.locks.Add(1)
+			s := m.lockShard(key)
 			if cl := s.competitors[key]; cl != nil {
 				cl.removeAllFor(p)
 			}
@@ -556,9 +594,7 @@ func (m *Manager) applyLocked(p *PBox, key ResourceKey, ev EventType, now int64)
 	} else if m.obs != nil {
 		m.obs.StateEvent(p.id, key, ev)
 	}
-	s := m.shardFor(key)
-	s.mu.Lock()
-	s.locks.Add(1)
+	s := m.lockShard(key)
 	m.applyArmLocked(p, s, key, ev, now)
 	s.mu.Unlock()
 }
@@ -876,10 +912,8 @@ func (m *Manager) Crossings() int64 { return m.crossings.Load() }
 // Waiters returns how many pBoxes currently wait on key (tests/diagnostics).
 func (m *Manager) Waiters(key ResourceKey) int {
 	m.sweepSpools() // flush-on-read: spooled records must be visible
-	s := m.shardFor(key)
-	s.mu.Lock()
+	s := m.lockShard(key)
 	defer s.mu.Unlock()
-	s.locks.Add(1)
 	if cl := s.competitors[key]; cl != nil {
 		return len(cl.waiters)
 	}
@@ -889,10 +923,8 @@ func (m *Manager) Waiters(key ResourceKey) int {
 // Holders returns how many pBoxes currently hold key (tests/diagnostics).
 func (m *Manager) Holders(key ResourceKey) int {
 	m.sweepSpools() // flush-on-read: spooled records must be visible
-	s := m.shardFor(key)
-	s.mu.Lock()
+	s := m.lockShard(key)
 	defer s.mu.Unlock()
-	s.locks.Add(1)
 	return len(s.holdersByKey[key])
 }
 
@@ -909,17 +941,28 @@ func (m *Manager) Live() int {
 // dedicated name lock, so ResourceName is safe to call from Observer hook
 // callbacks.
 func (m *Manager) NameResource(key ResourceKey, name string) {
-	s := m.shardFor(key)
-	s.namesMu.Lock()
-	defer s.namesMu.Unlock()
-	if name == "" {
-		delete(s.names, key)
+	for {
+		s := m.shardFor(key)
+		s.namesMu.Lock()
+		if s.moved.Load() {
+			// A topology resize migrated this stripe's names to the new
+			// shard set (under namesMu, with moved set before release):
+			// retry against the live topology so the write cannot land in
+			// an orphaned map.
+			s.namesMu.Unlock()
+			continue
+		}
+		if name == "" {
+			delete(s.names, key)
+		} else {
+			if s.names == nil {
+				s.names = make(map[ResourceKey]string)
+			}
+			s.names[key] = name
+		}
+		s.namesMu.Unlock()
 		return
 	}
-	if s.names == nil {
-		s.names = make(map[ResourceKey]string)
-	}
-	s.names[key] = name
 }
 
 // ResourceName returns the registered name for key ("" when unnamed).
@@ -930,12 +973,19 @@ func (m *Manager) ResourceName(key ResourceKey) string {
 }
 
 // resourceName looks up a registered resource name under the shard's name
-// lock.
+// lock, retrying across topology resizes like NameResource.
 func (m *Manager) resourceName(key ResourceKey) string {
-	s := m.shardFor(key)
-	s.namesMu.RLock()
-	defer s.namesMu.RUnlock()
-	return s.names[key]
+	for {
+		s := m.shardFor(key)
+		s.namesMu.RLock()
+		if s.moved.Load() {
+			s.namesMu.RUnlock()
+			continue
+		}
+		name := s.names[key]
+		s.namesMu.RUnlock()
+		return name
+	}
 }
 
 // SetLabel attaches a diagnostic label to the pBox (connection name,

@@ -12,15 +12,25 @@ import (
 // unrelated resources never touches the same lock. See DESIGN.md §8 for the
 // full lock-order contract:
 //
-//	snap → spools → flushMu → registry → pbox.mu → shard.mu → verdictMu →
-//	leaf locks (actMu, penMu, shard.namesMu, trace ring)
+//	snap → topo → spools → flushMu → registry → pbox.mu → shard.mu →
+//	verdictMu → leaf locks (actMu, penMu, shard.namesMu, trace ring)
 //
 // with two extra rules: a shard lock is never held while acquiring the
 // registry lock, and at most one pBox's actMu (or penMu) is held at a time.
+//
+// The stripe set itself is no longer fixed for the manager's lifetime: the
+// adaptive-topology sizer (topology.go, DESIGN.md §13) may grow or shrink
+// it at runtime. The live topology is one immutable shardSet behind an
+// atomic pointer, and every lock site revalidates with the per-shard moved
+// flag (see lockShard) so a resize can migrate state without a reader-side
+// lock on the hot path.
 
-// shard is one stripe of the resource-side state. The trailing pad keeps
-// hot shards on different cache lines so disjoint-resource traffic does not
-// false-share.
+// shard is one stripe of the resource-side state. Field groups are spaced
+// by cache-line pads (pad.go): the stripe mutex + maps that one event
+// mutates, the name leaf lock that observer callbacks read, and the
+// acquisition counter that SelfStats sums are touched by different
+// goroutines for different reasons, and hot shards must not false-share
+// across groups or with neighboring allocations.
 type shard struct {
 	mu sync.Mutex
 	// competitors holds the per-resource waiter lists (the competitor map
@@ -29,6 +39,16 @@ type shard struct {
 	// holdersByKey indexes current holders per resource so UNHOLD can
 	// attribute blame and tests can inspect contention.
 	holdersByKey map[ResourceKey]map[*PBox]int64
+
+	// moved marks a stripe whose state has migrated to a newer shardSet
+	// (set under mu by the topology resize, before the old locks are
+	// released). Any path that locked this shard via a stale topology
+	// pointer observes the flag and retries against the current set; the
+	// stale maps are never mutated again. Atomic because the namesMu-only
+	// paths read it without holding mu.
+	moved atomic.Bool
+
+	_ cacheLinePad
 
 	// names maps virtual-resource keys to human-readable names registered
 	// via NameResource. It lives under its own lock (not shard.mu) so
@@ -39,32 +59,71 @@ type shard struct {
 	namesMu sync.RWMutex
 	names   map[ResourceKey]string
 
+	_ cacheLinePad
+
 	// locks counts mu acquisitions on this stripe for the self-telemetry
 	// report (SelfStats.ShardLockAcquisitions): every s.mu.Lock() site adds
 	// one. It is an atomic so SelfStats can read it without the stripe lock.
 	locks atomic.Int64
 
-	_ [64]byte // cache-line padding against false sharing
+	_ cacheLinePad // keep the counter off the next allocation's line
+}
+
+// shardSet is one immutable shard topology: the stripe array plus the
+// matching index shift. The manager publishes the live set through one
+// atomic pointer (Manager.shards); a resize builds a fresh set, migrates
+// state under every old stripe lock, and swaps the pointer whole, so
+// shardFor stays a single load on the hot path.
+type shardSet struct {
+	shards []*shard
+	// shift is 64 - log2(len(shards)); a shift of 64 (single shard) yields
+	// index 0 by Go's defined >=width shift semantics.
+	shift uint
+}
+
+// shardOf returns the shard owning key within this set.
+//
+//pbox:hotpath
+func (ss *shardSet) shardOf(key ResourceKey) *shard {
+	return ss.shards[(uint64(key)*fibMix)>>ss.shift]
 }
 
 // fibMix is the 64-bit golden-ratio multiplier of Fibonacci hashing. Raw
 // ResourceKeys are usually pointer values whose low bits are all zero from
-// alignment; the multiply spreads them across the high bits, which shardFor
+// alignment; the multiply spreads them across the high bits, which shardOf
 // then shifts down.
 const fibMix = 0x9e3779b97f4a7c15
 
-// shardFor returns the shard owning key.
+// shardFor returns the shard owning key in the current topology. The result
+// is advisory until locked and revalidated — see lockShard.
 //
 //pbox:hotpath
 func (m *Manager) shardFor(key ResourceKey) *shard {
-	// shardShift is 64 - log2(len(shards)); a shift of 64 (single shard)
-	// yields index 0 by Go's defined >=width shift semantics.
-	return m.shards[(uint64(key)*fibMix)>>m.shardShift]
+	return m.shards.Load().shardOf(key)
 }
 
-// newShards allocates n shards (n must be a power of two) and returns them
-// with the matching index shift.
-func newShards(n int) ([]*shard, uint) {
+// lockShard returns key's shard with its stripe lock held, retrying across
+// topology swaps: a shard locked through a stale set pointer carries the
+// moved flag (set by the resize before it released the old locks), in which
+// case its maps have migrated and the current set must be consulted again.
+// Every event-side shard acquisition goes through here so a resize is
+// invisible to correctness and costs stale lockers one extra lock/unlock.
+//
+//pbox:hotpath
+func (m *Manager) lockShard(key ResourceKey) *shard {
+	for {
+		s := m.shardFor(key)
+		s.mu.Lock()
+		if !s.moved.Load() {
+			s.locks.Add(1)
+			return s
+		}
+		s.mu.Unlock()
+	}
+}
+
+// newShardSet allocates a set of n shards (n must be a power of two).
+func newShardSet(n int) *shardSet {
 	shards := make([]*shard, n)
 	for i := range shards {
 		shards[i] = &shard{
@@ -76,23 +135,42 @@ func newShards(n int) ([]*shard, uint) {
 	for 1<<bits < n {
 		bits++
 	}
-	return shards, 64 - bits
+	return &shardSet{shards: shards, shift: 64 - bits}
 }
 
-// defaultShardCount sizes the stripe set when Options.Shards is zero:
-// 4× the scheduler's parallelism, rounded up to a power of two and clamped
-// to [8, 256]. Oversubscribing the core count keeps two hot resources from
-// colliding in one stripe by birthday accident.
+// defaultShardCount sizes the stripe set when Options.Shards is zero.
 func defaultShardCount() int {
-	n := nextPow2(4 * runtime.GOMAXPROCS(0))
-	if n < 8 {
-		n = 8
+	return defaultShardCountFor(runtime.GOMAXPROCS(0))
+}
+
+// defaultShardCountFor is the sizing rule: 4× the scheduler's parallelism,
+// rounded up to a power of two and clamped to [8, 256]. Oversubscribing the
+// core count keeps two hot resources from colliding in one stripe by
+// birthday accident. The input is deliberately GOMAXPROCS, not NumCPU: in a
+// container with a CPU quota GOMAXPROCS reflects the runnable parallelism
+// the runtime will actually use, while NumCPU reports the host's cores —
+// sizing from NumCPU would over-stripe a quota-limited process (wasted
+// memory, colder stripe maps) for parallelism it can never exhibit.
+// TestDefaultShardCountRule pins this rule.
+func defaultShardCountFor(parallelism int) int {
+	n := nextPow2(4 * parallelism)
+	if n < minShards {
+		n = minShards
 	}
-	if n > 256 {
-		n = 256
+	if n > maxShards {
+		n = maxShards
 	}
 	return n
 }
+
+// minShards and maxShards bound the stripe count, for both the static
+// default and the adaptive sizer (topology.go). The floor keeps birthday
+// collisions rare even at GOMAXPROCS=1; the ceiling caps the stop-the-world
+// sweep cost of Status() and the per-manager memory.
+const (
+	minShards = 8
+	maxShards = 256
+)
 
 // nextPow2 rounds n up to the next power of two (minimum 1).
 func nextPow2(n int) int {
@@ -103,21 +181,36 @@ func nextPow2(n int) int {
 	return p
 }
 
-// lockAllShards acquires every shard lock in index order (the only order in
-// which more than one shard lock may ever be held) and returns the matching
-// reverse-order unlock. It is the stop-the-world half of Status(): with all
-// shards held, no event can move a waiter or holder, so the combined
-// snapshot can never pair a pBox list from one instant with resource-side
-// state from another.
+// lockAllShards acquires every stripe lock of the current topology in index
+// order (the only order in which more than one shard lock may ever be held)
+// and returns the matching reverse-order unlock. It is the stop-the-world
+// half of Status(): with all shards held, no event can move a waiter or
+// holder, so the combined snapshot can never pair a pBox list from one
+// instant with resource-side state from another. If a topology resize wins
+// the race (the pointer moved while this sweep was acquiring the old set),
+// the old locks are dropped and the sweep restarts on the new set — the
+// resize holds every old lock across its migration, so a completed sweep
+// over an unchanged pointer is guaranteed un-migrated.
 func (m *Manager) lockAllShards() func() {
-	for _, s := range m.shards {
-		//pboxlint:ignore lockorder stop-the-world sweep: shard locks are taken in ascending index order, the one sanctioned multi-shard hold (DESIGN.md §8)
-		s.mu.Lock()
-		s.locks.Add(1)
-	}
-	return func() {
-		for i := len(m.shards) - 1; i >= 0; i-- {
-			m.shards[i].mu.Unlock()
+	for {
+		ss := m.shards.Load()
+		for _, s := range ss.shards {
+			//pboxlint:ignore lockorder stop-the-world sweep: shard locks are taken in ascending index order, the one sanctioned multi-shard hold (DESIGN.md §8)
+			s.mu.Lock()
+			s.locks.Add(1)
+		}
+		if m.shards.Load() == ss {
+			return func() {
+				for i := len(ss.shards) - 1; i >= 0; i-- {
+					ss.shards[i].mu.Unlock()
+				}
+			}
+		}
+		// A resize published a new set while this sweep held none-to-some
+		// of the old locks; the old stripes are (or are about to be)
+		// migrated. Release and restart against the live topology.
+		for i := len(ss.shards) - 1; i >= 0; i-- {
+			ss.shards[i].mu.Unlock()
 		}
 	}
 }

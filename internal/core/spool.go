@@ -47,9 +47,9 @@ import (
 //
 // Lock order (extends DESIGN.md §8; the lint lockorder table enforces it):
 //
-//	Manager.snap → Manager.spools → eventSpool.flushMu → registry →
-//	pbox.mu → shard.mu → verdictMu → leaves (eventSpool.mu joins actMu,
-//	penMu, …)
+//	Manager.snap → Manager.topo → Manager.spools → eventSpool.flushMu →
+//	registry → pbox.mu → shard.mu → verdictMu → leaves (eventSpool.mu
+//	joins actMu, penMu, …)
 //
 // Flush triggers: the spool fills, a slow-path event arrives on the worker
 // (own spool first, so per-pBox order holds), the worker rebinds or unbinds,
@@ -58,13 +58,63 @@ import (
 // flush-on-read via the registered-spool sweep).
 
 // contentionSlots is the fixed size of the contention-slot table (power of
-// two; 8 KiB of atomics per manager). More slots mean fewer aliasing
-// collisions, and a collision costs performance only (a shared claim fails
-// and falls to the slow path).
+// two). More slots mean fewer aliasing collisions, and a collision costs
+// performance only (a shared claim fails and falls to the slow path).
 const (
 	contentionSlots = 1024
 	contentionShift = 54 // 64 - log2(contentionSlots)
 )
+
+// contentionTable is the slot array of the fast path, embedded by value in
+// the Manager so Worker.Update resolves a slot with one offset computation
+// from the manager pointer — no table-pointer chase, slice-header load, or
+// runtime stride multiply, each of which measurably taxes the ~50 ns
+// uncontended op. Storage is always the padded size; the layout switch only
+// changes index arithmetic. Padded (the default), consecutive slots sit on
+// distinct cache lines — 64 KiB per manager — because adjacent 8-byte
+// atomics hammered by different workers' CAS/Load traffic false-share
+// catastrophically on multicore (pad.go). The benchmark-only
+// Options.NoCachePad packs the slots adjacently into the first 8 KiB (the
+// old layout) so BENCH_scale.json can carry before/after rows from one
+// binary.
+type contentionTable struct {
+	slots    [contentionSlots * padWords]atomic.Int64
+	unpadded bool
+}
+
+// stride is the slot spacing, in 8-byte words, of the active layout.
+func (t *contentionTable) stride() uint64 {
+	if t.unpadded {
+		return 1
+	}
+	return padWords
+}
+
+// slot returns the contention slot owning key. Each arm indexes with a
+// compile-time-constant stride into a fixed-size array, so the shift-bounded
+// index needs no bounds check.
+//
+//pbox:hotpath
+func (t *contentionTable) slot(key ResourceKey) *atomic.Int64 {
+	idx := (uint64(key) * fibMix) >> contentionShift
+	if t.unpadded {
+		return &t.slots[idx]
+	}
+	return &t.slots[idx*padWords]
+}
+
+// stickySlots counts slots currently stuck at the contended value.
+//
+//pbox:snapshotreader
+func (t *contentionTable) stickySlots() int {
+	n, stride := 0, t.stride()
+	for i := uint64(0); i < contentionSlots; i++ {
+		if t.slots[i*stride].Load() == contendedSlot {
+			n++
+		}
+	}
+	return n
+}
 
 // defaultSpoolSize is the per-worker spool capacity when Options.SpoolSize
 // is zero.
@@ -85,6 +135,12 @@ type spoolRec struct {
 // buffer itself, so the append path is a leaf-only operation ("the spool is
 // a leaf owned by its Worker"). The buffers are preallocated at construction
 // and the append/flush cycle allocates nothing.
+// The flush-side fields (flushMu, drain) and the append-side fields (mu and
+// the buffer header) form two groups touched by different goroutines — the
+// owning worker appends while a sweep flushes — separated by cache-line pads
+// (pad.go) so a sweep on one core does not invalidate the append header's
+// line on the worker's core. Spool headers are the per-worker hot state; one
+// line of padding per worker is the whole cost.
 type eventSpool struct {
 	m *Manager
 
@@ -92,6 +148,11 @@ type eventSpool struct {
 	// in the lock order: replay acquires pbox/shard/verdict locks under it,
 	// and nothing may acquire it while holding any manager lock.
 	flushMu sync.Mutex
+
+	// drain is the flush-side copy buffer, touched only under flushMu.
+	drain []spoolRec
+
+	_ cacheLinePad
 
 	// mu is the buffer leaf. Held only for the few stores of an append or
 	// the copy-out of a flush; nothing is ever acquired under it.
@@ -109,8 +170,7 @@ type eventSpool struct {
 	// atomic the fast path would otherwise contend on.
 	crossings int64
 
-	// drain is the flush-side copy buffer, touched only under flushMu.
-	drain []spoolRec
+	_ cacheLinePad // keep the header off the next allocation's line
 }
 
 func newEventSpool(m *Manager, capacity int) *eventSpool {
@@ -204,7 +264,28 @@ func (sp *eventSpool) flush(serve bool) {
 //
 //pbox:hotpath
 func (m *Manager) contentionSlot(key ResourceKey) *atomic.Int64 {
-	return &m.contention[(uint64(key)*fibMix)>>contentionShift]
+	return m.contention.slot(key)
+}
+
+// setCapacity reallocates the spool buffers to n records. It succeeds only
+// when the spool is empty and no flush is replaying — the adaptive sizer
+// (topology.go) flushes first, and a racing append simply defers the resize
+// to the next tick. Buffered records are never dropped or copied across a
+// capacity change.
+func (sp *eventSpool) setCapacity(n int) bool {
+	sp.flushMu.Lock()
+	defer sp.flushMu.Unlock()
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if sp.n > 0 || sp.draining {
+		return false
+	}
+	if len(sp.recs) == n {
+		return true
+	}
+	sp.recs = make([]spoolRec, n)
+	sp.drain = make([]spoolRec, n)
+	return true
 }
 
 // markContended revokes any fast-path claim on key's slot before a slow-path
@@ -331,13 +412,11 @@ func (m *Manager) replayQuiet(p *PBox, recs []spoolRec) {
 			if s != nil {
 				s.mu.Unlock()
 			}
-			s = ns
 			// The held shard is always released above before the next one is
-			// taken; the pass cannot correlate `s != nil` with the held-set
-			// (the same blind spot as lockAllShards' index-ordered sweep).
-			//pboxlint:ignore lockorder lazy shard hand-off unlocks the previous shard on every path before locking the next
-			s.mu.Lock()
-			s.locks.Add(1)
+			// taken (the same blind spot as lockAllShards' index-ordered
+			// sweep); lockShard revalidates the topology after acquiring, so
+			// a resize racing the batch is retried, never mutated-through.
+			s = m.lockShard(r.key)
 		}
 		if paired && r.ev == Hold && recs[i+1].ev == Unhold {
 			if _, held := p.holders[r.key]; !held {

@@ -1,0 +1,373 @@
+package core
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Adaptive shard/spool topology (DESIGN.md §13). The stripe count and spool
+// capacity chosen at construction are guesses: 4×GOMAXPROCS stripes and
+// 256-record spools are right for a balanced load, wrong for a skewed one.
+// This file makes both self-tuning. A sizer tick — piggybacked on the
+// snapshot rebuild's cadence, so it costs no goroutine and follows the
+// manager clock — reads the manager's own telemetry deltas (per-stripe lock
+// traffic, spool overflows versus flushed batch sizes) and, within fixed
+// bounds, doubles or halves the shard stripe set and the per-worker spool
+// capacity.
+//
+// Resize protocol (shards). The live topology is one immutable shardSet
+// behind Manager.shards. The resizer, under Manager.topo:
+//
+//  1. builds the new set unpublished,
+//  2. locks every old stripe in index order (the lockAllShards order, so the
+//     two all-shard holders cannot deadlock),
+//  3. per old stripe: takes its name leaf lock, moves competitors, holder
+//     indexes, and names into the new set, folds its lock counter into the
+//     retired total (keeping SelfStats monotone), and sets the moved flag —
+//     while both locks are held, so any later acquirer of either lock
+//     observes it,
+//  4. publishes the new set, then releases the old locks in reverse.
+//
+// An event path that locked a stripe through the stale pointer finds moved
+// set and retries against the published set (lockShard); the stale maps are
+// never read or written again. The window costs stale lockers one extra
+// lock/unlock — there is no reader-side barrier, and the hot path is
+// unchanged: one atomic pointer load.
+//
+// Verdict neutrality: shard assignment decides which mutex serializes a
+// key's bookkeeping, never the bookkeeping itself, and the migration moves
+// the waiter/holder structures wholesale under full mutual exclusion with
+// no event applied in between. Spool capacity only changes batch boundaries,
+// and replay applies records with their recorded timestamps. A resized run
+// therefore produces the identical verdict stream to a fixed-topology twin
+// over the same events — which the differential test asserts.
+//
+// Lock rank: Manager.topo sits between snap and spools (snap → topo →
+// spools → …): the sizer runs under snap (from the rebuild), and a spool
+// resize flushes spools under topo. The lockorder pass enforces the rank.
+
+// Topology bounds. Shard bounds (minShards/maxShards) live in shard.go and
+// are shared with the static default.
+const (
+	// minSpoolCap and maxSpoolCap bound the adaptive per-worker spool
+	// capacity. The floor keeps the flush amortization meaningful; the
+	// ceiling bounds per-worker memory (two buffers of 24-byte records)
+	// and the worst-case replay batch a reader can stall behind.
+	minSpoolCap = 64
+	maxSpoolCap = 8192
+
+	// sizerMinIntervalNs rate-limits sizer ticks on the manager clock; the
+	// snapshot rebuild cadence already bounds them above, this keeps a
+	// forced-rebuild storm from thrashing the topology.
+	sizerMinIntervalNs = int64(10 * time.Millisecond)
+
+	// sizerGrowLocksPerStripe is the per-stripe lock-acquisition delta per
+	// tick past which the stripe set doubles: the stripes are hot enough
+	// that halving the collision odds is worth one migration.
+	sizerGrowLocksPerStripe = 512
+
+	// sizerShrinkLocksPerStripe is the per-stripe delta below which a tick
+	// counts as quiet; sizerQuietTicks consecutive quiet ticks halve the
+	// stripe set (hysteresis, so one idle interval cannot flap the
+	// topology that the next burst needs).
+	sizerShrinkLocksPerStripe = 32
+	sizerQuietTicks           = 3
+
+	// Spool policy: grow when the interval saw overflows and the average
+	// flushed batch nearly fills the buffer (the workload produces longer
+	// uncontended runs than the spool can hold); shrink after
+	// sizerQuietTicks intervals whose average batch used under 1/8 of the
+	// capacity (the memory buys nothing).
+	sizerSpoolFillNum = 3
+	sizerSpoolFillDen = 4
+	sizerSpoolLowDen  = 8
+
+	// topologyDecisionLog bounds the retained decision history.
+	topologyDecisionLog = 32
+)
+
+// TopologyDecision is one sizer (or manual) resize decision, retained in a
+// bounded log exposed through SelfStats for `pboxctl self` and telemetry.
+type TopologyDecision struct {
+	// AtNs is the manager-clock time of the decision.
+	AtNs int64
+	// Kind is "shards" or "spool".
+	Kind string
+	// From and To are the stripe counts or spool capacities.
+	From int
+	To   int
+	// Reason is the triggering condition ("grow:lock-traffic",
+	// "shrink:quiet", "grow:overflow", "shrink:underfill", "manual").
+	Reason string
+}
+
+// topologyStats is the sizer's lock-free telemetry: counters updated under
+// Manager.topo but read by SelfStats with no locks, plus a copy-on-write
+// decision log swapped whole.
+type topologyStats struct {
+	ticks        atomic.Int64
+	shardResizes atomic.Int64
+	spoolResizes atomic.Int64
+	// shardLocksRetired folds the lock counters of retired shard sets so
+	// SelfStats.ShardLockAcquisitions stays monotone across resizes.
+	shardLocksRetired atomic.Int64
+	decisions         atomic.Pointer[[]TopologyDecision]
+}
+
+// record appends one decision to the bounded log. Caller holds Manager.topo
+// (the single writer); readers Load the slice pointer and never mutate it.
+func (ts *topologyStats) record(d TopologyDecision) {
+	var base []TopologyDecision
+	if old := ts.decisions.Load(); old != nil {
+		base = *old
+	}
+	start := 0
+	if n := len(base); n >= topologyDecisionLog {
+		start = n - topologyDecisionLog + 1
+	}
+	nw := make([]TopologyDecision, 0, len(base)-start+1)
+	nw = append(nw, base[start:]...)
+	nw = append(nw, d)
+	ts.decisions.Store(&nw)
+}
+
+// sizerState is the sizer's between-ticks memory: the last tick time and the
+// last-seen counter values the per-tick deltas are taken against, plus the
+// shrink hysteresis counters. Guarded by Manager.topo.
+type sizerState struct {
+	lastTickNs        int64
+	ticked            bool // first tick only establishes the baselines
+	lastShardLocks    int64
+	lastOverflows     int64
+	lastFlushes       int64
+	lastFlushedEvents int64
+	shardQuiet        int
+	spoolQuiet        int
+}
+
+// maybeAdaptTopology is the sizer hook on the snapshot rebuild path: a no-op
+// unless Options.AdaptiveTopology is set and the rate limit has elapsed.
+// Caller holds m.snap (rank −30; topo is −25, so the descent is in order).
+func (m *Manager) maybeAdaptTopology(now int64) {
+	if !m.opts.AdaptiveTopology {
+		return
+	}
+	m.topo.Lock()
+	defer m.topo.Unlock()
+	sz := &m.topo.sizer
+	if sz.ticked && now-sz.lastTickNs < sizerMinIntervalNs {
+		return
+	}
+	m.adaptLocked(now)
+}
+
+// AdaptTopology forces one sizer tick immediately, ignoring the rate limit —
+// the deterministic entry point for tests and for operators who just changed
+// the load shape. It requires Options.AdaptiveTopology; with the sizer
+// disabled it is a no-op. Caller holds no manager locks.
+func (m *Manager) AdaptTopology() {
+	if !m.opts.AdaptiveTopology {
+		return
+	}
+	m.topo.Lock()
+	defer m.topo.Unlock()
+	m.adaptLocked(m.opts.Now())
+}
+
+// adaptLocked runs one sizer tick: compute the telemetry deltas since the
+// previous tick, decide, resize. Caller holds m.topo.
+func (m *Manager) adaptLocked(now int64) {
+	sz := &m.topo.sizer
+	m.topoStats.ticks.Add(1)
+
+	shardLocks := m.shardLocksTotal()
+	overflows := m.self.spoolOverflows.Load()
+	flushes := m.self.spoolFlushes.Load()
+	flushedEvents := m.self.spoolFlushedEvents.Load()
+
+	if !sz.ticked {
+		// First tick: establish the delta baselines, decide nothing — a
+		// manager that ran minutes before the sizer was first consulted
+		// must not resize on its lifetime totals.
+		sz.ticked = true
+	} else {
+		m.adaptShardsLocked(now, shardLocks-sz.lastShardLocks)
+		m.adaptSpoolLocked(now,
+			overflows-sz.lastOverflows,
+			flushes-sz.lastFlushes,
+			flushedEvents-sz.lastFlushedEvents)
+	}
+	sz.lastTickNs = now
+	sz.lastShardLocks = shardLocks
+	sz.lastOverflows = overflows
+	sz.lastFlushes = flushes
+	sz.lastFlushedEvents = flushedEvents
+}
+
+// shardLocksTotal is the monotone all-time shard-lock acquisition count:
+// live stripes plus retired sets.
+func (m *Manager) shardLocksTotal() int64 {
+	total := m.topoStats.shardLocksRetired.Load()
+	for _, s := range m.shards.Load().shards {
+		total += s.locks.Load()
+	}
+	return total
+}
+
+// adaptShardsLocked applies the stripe-count policy to one tick's lock-delta.
+// Caller holds m.topo.
+func (m *Manager) adaptShardsLocked(now, lockDelta int64) {
+	n := len(m.shards.Load().shards)
+	perStripe := lockDelta / int64(n)
+	switch {
+	case perStripe >= sizerGrowLocksPerStripe && n < maxShards:
+		sz := &m.topo.sizer
+		sz.shardQuiet = 0
+		m.resizeShardsLocked(now, n*2, "grow:lock-traffic")
+	case perStripe < sizerShrinkLocksPerStripe:
+		sz := &m.topo.sizer
+		sz.shardQuiet++
+		if sz.shardQuiet >= sizerQuietTicks && n > minShards {
+			sz.shardQuiet = 0
+			m.resizeShardsLocked(now, n/2, "shrink:quiet")
+		}
+	default:
+		m.topo.sizer.shardQuiet = 0
+	}
+}
+
+// adaptSpoolLocked applies the spool-capacity policy to one tick's deltas.
+// Caller holds m.topo.
+func (m *Manager) adaptSpoolLocked(now, overflows, flushes, flushedEvents int64) {
+	cap := int(m.spoolCap.Load())
+	if cap <= 0 {
+		return // spooling disabled; nothing to tune
+	}
+	var avgBatch int64
+	if flushes > 0 {
+		avgBatch = flushedEvents / flushes
+	}
+	sz := &m.topo.sizer
+	switch {
+	case overflows > 0 && avgBatch >= int64(cap*sizerSpoolFillNum/sizerSpoolFillDen) && cap < maxSpoolCap:
+		sz.spoolQuiet = 0
+		m.resizeSpoolLocked(now, cap*2, "grow:overflow")
+	case flushes > 0 && avgBatch < int64(cap/sizerSpoolLowDen):
+		sz.spoolQuiet++
+		if sz.spoolQuiet >= sizerQuietTicks && cap > minSpoolCap {
+			sz.spoolQuiet = 0
+			m.resizeSpoolLocked(now, cap/2, "shrink:underfill")
+		}
+	default:
+		sz.spoolQuiet = 0
+	}
+}
+
+// ResizeShards sets the stripe count explicitly (rounded up to a power of
+// two, clamped to [minShards, maxShards]): the manual override and the test
+// entry point for the resize protocol. Caller holds no manager locks.
+func (m *Manager) ResizeShards(n int) {
+	n = nextPow2(n)
+	if n < minShards {
+		n = minShards
+	}
+	if n > maxShards {
+		n = maxShards
+	}
+	m.topo.Lock()
+	defer m.topo.Unlock()
+	m.resizeShardsLocked(m.opts.Now(), n, "manual")
+}
+
+// resizeShardsLocked migrates the live shard topology to n stripes per the
+// resize protocol in the file comment. Caller holds m.topo; n is a power of
+// two within bounds.
+func (m *Manager) resizeShardsLocked(now int64, n int, reason string) {
+	old := m.shards.Load()
+	if len(old.shards) == n {
+		return
+	}
+	next := newShardSet(n)
+	for _, s := range old.shards {
+		//pboxlint:ignore lockorder topology migration locks old stripes in ascending index order, the same sanctioned sweep as lockAllShards (DESIGN.md §13)
+		s.mu.Lock()
+	}
+	for _, s := range old.shards {
+		s.namesMu.Lock()
+		for key, cl := range s.competitors {
+			next.shardOf(key).competitors[key] = cl
+		}
+		for key, hm := range s.holdersByKey {
+			next.shardOf(key).holdersByKey[key] = hm
+		}
+		for key, name := range s.names {
+			ns := next.shardOf(key)
+			if ns.names == nil {
+				ns.names = make(map[ResourceKey]string)
+			}
+			ns.names[key] = name
+		}
+		m.topoStats.shardLocksRetired.Add(s.locks.Load())
+		// moved is set while both the stripe lock and the name leaf lock
+		// are held: any acquirer of either lock after this release observes
+		// it and retries against the published set.
+		s.moved.Store(true)
+		s.namesMu.Unlock()
+	}
+	// Publish before releasing the old locks, so a retrying lockShard finds
+	// the new set on its very next load instead of spinning on moved
+	// stripes.
+	m.shards.Store(next)
+	for i := len(old.shards) - 1; i >= 0; i-- {
+		old.shards[i].mu.Unlock()
+	}
+	m.topoStats.shardResizes.Add(1)
+	m.topoStats.record(TopologyDecision{
+		AtNs: now, Kind: "shards", From: len(old.shards), To: n, Reason: reason,
+	})
+}
+
+// ResizeSpoolCapacity sets the per-worker spool capacity explicitly (clamped
+// to [minSpoolCap, maxSpoolCap]): the manual override and the test entry
+// point. New workers spool at the new capacity immediately; live spools are
+// re-sized best-effort (a spool with a racing append keeps its old buffer
+// until the next resize reaches it). No-op when spooling is disabled.
+// Caller holds no manager locks.
+func (m *Manager) ResizeSpoolCapacity(n int) {
+	if n < minSpoolCap {
+		n = minSpoolCap
+	}
+	if n > maxSpoolCap {
+		n = maxSpoolCap
+	}
+	m.topo.Lock()
+	defer m.topo.Unlock()
+	m.resizeSpoolLocked(m.opts.Now(), n, "manual")
+}
+
+// resizeSpoolLocked retunes the spool capacity: the new-worker capacity is
+// set first, then every registered spool is flushed and reallocated.
+// setCapacity declines when an append raced in between — those spools keep
+// their old buffers and are caught by a later resize; correctness never
+// depends on capacity, only batching does. Caller holds m.topo; n is within
+// bounds.
+func (m *Manager) resizeSpoolLocked(now int64, n int, reason string) {
+	if m.spoolCap.Load() <= 0 {
+		return // spooling disabled at construction stays disabled
+	}
+	from := int(m.spoolCap.Load())
+	if from == n {
+		return
+	}
+	m.spoolCap.Store(int64(n))
+	m.spools.Lock()
+	for _, sp := range m.spools.list {
+		sp.flush(false)
+		sp.setCapacity(n)
+	}
+	m.spools.Unlock()
+	m.topoStats.spoolResizes.Add(1)
+	m.topoStats.record(TopologyDecision{
+		AtNs: now, Kind: "spool", From: from, To: n, Reason: reason,
+	})
+}

@@ -1,0 +1,589 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Tests for the adaptive shard/spool topology (topology.go, DESIGN.md §13):
+// the sizing rule, the resize protocol's state preservation, the sizer's
+// grow/shrink policy, verdict neutrality under mid-run resizes, and the
+// -race stress of resizing under live two-tier load.
+
+// TestDefaultShardCountRule pins the sizing rule: 4× parallelism, rounded up
+// to a power of two, clamped to [8, 256], and fed from GOMAXPROCS (not
+// NumCPU) so a CPU-quota'd container does not over-stripe.
+func TestDefaultShardCountRule(t *testing.T) {
+	cases := []struct{ parallelism, want int }{
+		{1, 8},   // floor
+		{2, 8},   // 4×2 = 8, at the floor exactly
+		{3, 16},  // 12 rounds up
+		{4, 16},  // exact power of two
+		{6, 32},  // 24 rounds up
+		{16, 64}, // 4×16
+		{64, 256},
+		{100, 256}, // ceiling
+		{512, 256}, // ceiling holds however large the host
+	}
+	for _, c := range cases {
+		if got := defaultShardCountFor(c.parallelism); got != c.want {
+			t.Errorf("defaultShardCountFor(%d) = %d, want %d", c.parallelism, got, c.want)
+		}
+	}
+	// The zero-Options default must agree with the rule applied to the
+	// live GOMAXPROCS value.
+	m := NewManager(Options{})
+	if got, want := m.ShardCount(), defaultShardCount(); got != want {
+		t.Errorf("default ShardCount = %d, want %d", got, want)
+	}
+}
+
+// TestResizeShardsPreservesState: live waiters, holders, and resource names
+// must survive a grow and a shrink unchanged, the lock-acquisition total
+// must stay monotone across the migrations, and every diagnostic keeps
+// answering through the new topology.
+func TestResizeShardsPreservesState(t *testing.T) {
+	h := newHarness(t)
+	holder := h.pbox(0.5)
+	waiter := h.pbox(0.5)
+	h.m.Activate(holder)
+	h.m.Activate(waiter)
+
+	// Spread state across many keys so both resizes really redistribute.
+	keys := make([]ResourceKey, 40)
+	for i := range keys {
+		keys[i] = ResourceKey(0x1000 + i*0x61) // odd stride: hit many stripes
+		h.m.NameResource(keys[i], fmt.Sprintf("res-%d", i))
+		h.m.Update(holder, keys[i], Hold)
+		h.m.Update(waiter, keys[i], Prepare)
+	}
+	check := func(stage string, wantShards int) {
+		t.Helper()
+		if got := h.m.ShardCount(); got != wantShards {
+			t.Fatalf("%s: ShardCount = %d, want %d", stage, got, wantShards)
+		}
+		for i, key := range keys {
+			if w := h.m.Waiters(key); w != 1 {
+				t.Fatalf("%s: Waiters(key %d) = %d, want 1", stage, i, w)
+			}
+			if hd := h.m.Holders(key); hd != 1 {
+				t.Fatalf("%s: Holders(key %d) = %d, want 1", stage, i, hd)
+			}
+			if name := h.m.ResourceName(key); name != fmt.Sprintf("res-%d", i) {
+				t.Fatalf("%s: ResourceName(key %d) = %q", stage, i, name)
+			}
+		}
+	}
+
+	check("before", defaultShardCount())
+	locksBefore := h.m.SelfStats().ShardLockAcquisitions
+
+	h.m.ResizeShards(64)
+	check("after grow", 64)
+	if got := h.m.SelfStats().ShardLockAcquisitions; got < locksBefore {
+		t.Fatalf("lock total went backwards across grow: %d -> %d", locksBefore, got)
+	}
+
+	h.m.ResizeShards(8)
+	check("after shrink", 8)
+
+	// The event machinery must keep working through migrated state: the
+	// held keys release cleanly and detection still sees the old waits.
+	h.advance(time.Millisecond)
+	for _, key := range keys {
+		h.m.Update(holder, key, Unhold)
+		h.m.Update(waiter, key, Enter)
+		h.m.Update(waiter, key, Hold)
+		h.m.Update(waiter, key, Unhold)
+	}
+	for i, key := range keys {
+		if w, hd := h.m.Waiters(key), h.m.Holders(key); w != 0 || hd != 0 {
+			t.Fatalf("dangling bookkeeping on key %d: waiters=%d holders=%d", i, w, hd)
+		}
+	}
+	st := h.m.SelfStats()
+	if st.ShardResizes != 2 {
+		t.Fatalf("ShardResizes = %d, want 2", st.ShardResizes)
+	}
+	if n := len(st.TopologyDecisions); n != 2 {
+		t.Fatalf("decision log has %d entries, want 2: %+v", n, st.TopologyDecisions)
+	}
+	if d := st.TopologyDecisions[0]; d.Kind != "shards" || d.To != 64 || d.Reason != "manual" {
+		t.Fatalf("first decision = %+v", d)
+	}
+}
+
+// TestResizeShardsClamps: the manual resize rounds to a power of two and
+// respects the [minShards, maxShards] bounds.
+func TestResizeShardsClamps(t *testing.T) {
+	h := newHarness(t)
+	h.m.ResizeShards(3)
+	if got := h.m.ShardCount(); got != minShards {
+		t.Fatalf("ResizeShards(3) -> %d, want floor %d", got, minShards)
+	}
+	h.m.ResizeShards(100)
+	if got := h.m.ShardCount(); got != 128 {
+		t.Fatalf("ResizeShards(100) -> %d, want next pow2 128", got)
+	}
+	h.m.ResizeShards(1 << 20)
+	if got := h.m.ShardCount(); got != maxShards {
+		t.Fatalf("ResizeShards(1<<20) -> %d, want ceiling %d", got, maxShards)
+	}
+}
+
+// TestResizeSpoolCapacity: live spools and new workers adopt the retuned
+// capacity; a spooling-disabled manager stays disabled.
+func TestResizeSpoolCapacity(t *testing.T) {
+	h := newHarness(t)
+	p := h.pbox(0.5)
+	h.m.Activate(p)
+	w := h.m.NewWorker()
+	if err := w.BindDirect(p); err != nil {
+		t.Fatalf("BindDirect: %v", err)
+	}
+	w.Update(ResourceKey(7), Hold) // leave a record buffered
+
+	h.m.ResizeSpoolCapacity(128)
+	if got := h.m.SpoolCapacity(); got != 128 {
+		t.Fatalf("SpoolCapacity = %d, want 128", got)
+	}
+	// The resize flushed the live spool before reallocating: the buffered
+	// HOLD must be visible, not lost.
+	if got := h.m.Holders(ResourceKey(7)); got != 1 {
+		t.Fatalf("Holders after spool resize = %d, want 1 (flushed, not dropped)", got)
+	}
+	if got := len(w.spool.recs); got != 128 {
+		t.Fatalf("live spool capacity = %d, want 128", got)
+	}
+	if w2 := h.m.NewWorker(); len(w2.spool.recs) != 128 {
+		t.Fatalf("new worker spool capacity = %d, want 128", len(w2.spool.recs))
+	}
+	// Bounds clamp.
+	h.m.ResizeSpoolCapacity(1)
+	if got := h.m.SpoolCapacity(); got != minSpoolCap {
+		t.Fatalf("SpoolCapacity after clamp = %d, want %d", got, minSpoolCap)
+	}
+
+	// Spooling disabled at construction stays disabled through a resize.
+	h2 := newHarness(t, func(o *Options) { o.SpoolSize = -1 })
+	h2.m.ResizeSpoolCapacity(256)
+	if got := h2.m.SpoolCapacity(); got > 0 {
+		t.Fatalf("disabled manager gained spool capacity %d", got)
+	}
+	if w := h2.m.NewWorker(); w.spool != nil {
+		t.Fatal("disabled manager handed out a spool after resize")
+	}
+}
+
+// TestAdaptiveSizerGrowShrink drives the sizer's policy deterministically:
+// telemetry counters are advanced by hand between forced ticks, and the
+// stripe set and spool capacity must double on hot deltas, halve only after
+// the quiet-tick hysteresis, and respect the bounds.
+func TestAdaptiveSizerGrowShrink(t *testing.T) {
+	h := newHarness(t, func(o *Options) {
+		o.AdaptiveTopology = true
+		o.Shards = 8
+	})
+	m := h.m
+	tick := func() {
+		h.advance(20 * time.Millisecond)
+		m.AdaptTopology()
+	}
+
+	tick() // first tick: baselines only, no decision
+	if got := m.ShardCount(); got != 8 {
+		t.Fatalf("shards after baseline tick = %d", got)
+	}
+
+	// Hot interval: per-stripe delta ≥ the grow threshold → double.
+	m.shards.Load().shards[0].locks.Add(8 * sizerGrowLocksPerStripe)
+	tick()
+	if got := m.ShardCount(); got != 16 {
+		t.Fatalf("shards after hot tick = %d, want 16", got)
+	}
+
+	// One quiet interval must NOT shrink (hysteresis)...
+	tick()
+	if got := m.ShardCount(); got != 16 {
+		t.Fatalf("shards after one quiet tick = %d, want 16 (hysteresis)", got)
+	}
+	// ...but sizerQuietTicks of them do, down to the floor and no further.
+	for i := 0; i < 3*sizerQuietTicks; i++ {
+		tick()
+	}
+	if got := m.ShardCount(); got != minShards {
+		t.Fatalf("shards after sustained quiet = %d, want floor %d", got, minShards)
+	}
+
+	// Spool grow: overflows with near-full average batches.
+	m.self.spoolOverflows.Add(4)
+	m.self.spoolFlushes.Add(10)
+	m.self.spoolFlushedEvents.Add(10 * 250) // avg 250 of 256: nearly full
+	tick()
+	if got := m.SpoolCapacity(); got != 512 {
+		t.Fatalf("spool capacity after overflow tick = %d, want 512", got)
+	}
+
+	// Spool shrink: sustained tiny batches.
+	for i := 0; i < sizerQuietTicks; i++ {
+		m.self.spoolFlushes.Add(10)
+		m.self.spoolFlushedEvents.Add(10 * 2) // avg 2 of 512
+		tick()
+	}
+	if got := m.SpoolCapacity(); got != 256 {
+		t.Fatalf("spool capacity after underfill ticks = %d, want 256", got)
+	}
+
+	st := m.SelfStats()
+	if !st.AdaptiveTopology {
+		t.Fatal("SelfStats.AdaptiveTopology = false")
+	}
+	if st.TopologyTicks == 0 || st.ShardResizes < 2 || st.SpoolResizes < 2 {
+		t.Fatalf("telemetry: ticks=%d shardResizes=%d spoolResizes=%d",
+			st.TopologyTicks, st.ShardResizes, st.SpoolResizes)
+	}
+	for _, d := range st.TopologyDecisions {
+		if d.Reason == "manual" {
+			t.Fatalf("sizer decision logged as manual: %+v", d)
+		}
+	}
+
+	// The sizer must be inert when disabled.
+	h2 := newHarness(t)
+	h2.m.shards.Load().shards[0].locks.Add(1 << 20)
+	h2.m.AdaptTopology()
+	h2.m.AdaptTopology()
+	if got := h2.m.SelfStats(); got.TopologyTicks != 0 || got.ShardResizes != 0 {
+		t.Fatalf("disabled sizer acted: %+v", got)
+	}
+}
+
+// TestAdaptiveSizerTicksFromRebuild: with AdaptiveTopology on, the snapshot
+// rebuild cadence drives sizer ticks with no explicit AdaptTopology call.
+func TestAdaptiveSizerTicksFromRebuild(t *testing.T) {
+	h := newHarness(t, func(o *Options) {
+		o.AdaptiveTopology = true
+		o.Shards = 8
+		o.SnapshotInterval = 10 * time.Millisecond
+	})
+	h.m.StatusView() // first rebuild: baseline tick
+	h.m.shards.Load().shards[0].locks.Add(8 * sizerGrowLocksPerStripe)
+	h.advance(20 * time.Millisecond)
+	h.m.StatusView() // stale view: rebuild, sizer observes the hot delta
+	if got := h.m.ShardCount(); got != 16 {
+		t.Fatalf("shards after rebuild-driven tick = %d, want 16", got)
+	}
+	if ticks := h.m.SelfStats().TopologyTicks; ticks < 2 {
+		t.Fatalf("TopologyTicks = %d, want ≥ 2", ticks)
+	}
+}
+
+// runTopologyDiffScript is the verdict-neutrality differential: the exact
+// interference script of the spool differential, optionally with topology
+// churn injected mid-script — shard grows and shrinks, spool retunes, and
+// forced sizer ticks between phases and inside the contended window.
+func runTopologyDiffScript(t *testing.T, churn bool) diffResult {
+	t.Helper()
+	var obs *diffObserver
+	h := newHarness(t, func(o *Options) {
+		o.Attribution = true
+		o.SpoolSize = 16
+		o.AdaptiveTopology = churn
+		obs = newDiffObserver()
+		o.Observer = obs
+	})
+	noisy := h.pbox(0.5)
+	victim := h.pbox(0.5)
+	h.m.Activate(noisy)
+	h.m.Activate(victim)
+
+	nw := h.m.NewWorker()
+	vw := h.m.NewWorker()
+	if err := nw.BindDirect(noisy); err != nil {
+		t.Fatalf("BindDirect(noisy): %v", err)
+	}
+	if err := vw.BindDirect(victim); err != nil {
+		t.Fatalf("BindDirect(victim): %v", err)
+	}
+	resize := func(shards, spool int) {
+		if churn {
+			h.m.ResizeShards(shards)
+			h.m.ResizeSpoolCapacity(spool)
+			h.m.AdaptTopology()
+		}
+	}
+
+	// Phase 1: disjoint fast-path traffic with a resize in the middle of
+	// the spooling, so buffered records cross a spool-capacity flush and a
+	// shard migration.
+	const coldN, coldV = ResourceKey(0x100), ResourceKey(0x200)
+	for i := 0; i < 40; i++ {
+		if i == 20 {
+			resize(64, 64)
+		}
+		nw.Update(coldN, Hold)
+		h.advance(2 * time.Microsecond)
+		nw.Update(coldN, Unhold)
+		h.advance(2 * time.Microsecond)
+		vw.Update(coldV, Prepare)
+		h.advance(time.Microsecond)
+		vw.Update(coldV, Enter)
+		h.advance(3 * time.Microsecond)
+		vw.Update(coldV, Hold)
+		vw.Update(coldV, Unhold)
+		h.advance(2 * time.Microsecond)
+	}
+	resize(8, 128)
+
+	// Phase 2: cross-pBox interference, with a shard migration while the
+	// noisy HOLD and the victim's wait are live on the shared key's shard —
+	// the waiter/holder records cross the migration and the verdict must
+	// still fire identically.
+	const shared = ResourceKey(42)
+	nw.Update(shared, Hold)
+	h.advance(100 * time.Microsecond)
+	vw.Update(shared, Prepare)
+	resize(32, 64)
+	h.advance(900 * time.Microsecond)
+	nw.Update(shared, Unhold) // settle: detection + penalty on noisy
+	h.advance(10 * time.Microsecond)
+	vw.Update(shared, Enter)
+	h.advance(50 * time.Microsecond)
+	vw.Update(shared, Hold)
+	h.advance(20 * time.Microsecond)
+	vw.Update(shared, Unhold)
+
+	nw.Flush()
+	vw.Flush()
+	h.m.Freeze(noisy)
+	h.m.Freeze(victim)
+
+	res := diffResult{
+		sleeps:    h.sleeps,
+		obs:       obs,
+		snapshots: make(map[int]Snapshot),
+		attr:      make(map[diffTriple]AttributionRecord),
+		crossings: h.m.Crossings(),
+	}
+	st := h.m.Status()
+	for _, s := range st.Snapshots {
+		res.snapshots[s.ID] = s
+	}
+	for _, r := range st.Attribution {
+		res.attr[diffTriple{r.CulpritID, r.VictimID, r.Key}] = r
+	}
+	return res
+}
+
+// TestTopologyDifferentialVerdicts is the verdict-neutrality acceptance
+// check: a run whose topology is grown, shrunk, and sizer-ticked mid-script
+// must produce the identical detection verdicts, penalty actions, sleeps,
+// snapshots, and attribution totals as a fixed-topology run of the same
+// script.
+func TestTopologyDifferentialVerdicts(t *testing.T) {
+	churned := runTopologyDiffScript(t, true)
+	fixed := runTopologyDiffScript(t, false)
+
+	if len(fixed.obs.dets) == 0 || len(fixed.obs.acts) == 0 || len(fixed.sleeps) == 0 {
+		t.Fatalf("script produced no interference: dets=%d acts=%d sleeps=%d",
+			len(fixed.obs.dets), len(fixed.obs.acts), len(fixed.sleeps))
+	}
+	compareDiffResults(t, churned, fixed)
+	if len(churned.obs.dets) != len(fixed.obs.dets) {
+		t.Fatalf("detections: churned %v, fixed %v", churned.obs.dets, fixed.obs.dets)
+	}
+	for i := range fixed.obs.dets {
+		if churned.obs.dets[i] != fixed.obs.dets[i] {
+			t.Fatalf("detection %d: churned %+v, fixed %+v", i, churned.obs.dets[i], fixed.obs.dets[i])
+		}
+	}
+	for i := range fixed.obs.acts {
+		if churned.obs.acts[i] != fixed.obs.acts[i] {
+			t.Fatalf("action %d: churned %+v, fixed %+v", i, churned.obs.acts[i], fixed.obs.acts[i])
+		}
+	}
+}
+
+// TestNoCachePadLayout: the benchmark-only unpadded switch selects the
+// adjacent-slot table; both layouts route a key to a working slot.
+func TestNoCachePadLayout(t *testing.T) {
+	padded := NewManager(Options{})
+	if got := padded.contention.stride(); got != padWords {
+		t.Fatalf("padded stride = %d words, want %d", got, padWords)
+	}
+	unpadded := NewManager(Options{NoCachePad: true})
+	if got := unpadded.contention.stride(); got != 1 {
+		t.Fatalf("unpadded stride = %d words, want 1", got)
+	}
+	for _, m := range []*Manager{padded, unpadded} {
+		slot := m.contentionSlot(ResourceKey(0xdeadbeef))
+		slot.Store(7)
+		if got := m.contentionSlot(ResourceKey(0xdeadbeef)).Load(); got != 7 {
+			t.Fatal("slot lookup is not stable")
+		}
+		slot.Store(contendedSlot)
+		if got := m.contention.stickySlots(); got != 1 {
+			t.Fatalf("stickySlots = %d, want 1", got)
+		}
+	}
+}
+
+// TestConcurrentTopologyResizeStress runs disjoint fast-path load, contended
+// slow-path load, and diagnostic readers while the topology is resized
+// continuously — both by explicit ResizeShards/ResizeSpoolCapacity cycling
+// and by the adaptive sizer ticking off forced snapshot rebuilds. Run under
+// -race (the CI race step matches TestConcurrent*). Asserts: snapshot epochs
+// are strictly monotone per refresh and non-decreasing per read, no view is
+// torn (resource views never go negative and the pBox list stays sorted),
+// and after quiescence every waiter/holder record is gone and the lock
+// totals are monotone.
+func TestConcurrentTopologyResizeStress(t *testing.T) {
+	m := NewManager(Options{
+		MinPenalty:       20 * time.Microsecond,
+		MaxPenalty:       100 * time.Microsecond,
+		AdaptiveTopology: true,
+		Shards:           8,
+		SpoolSize:        64,
+		SnapshotInterval: time.Millisecond,
+	})
+	const (
+		workers = 6
+		rounds  = 40
+	)
+	hotKeys := []ResourceKey{0x10, 0x11}
+
+	stop := make(chan struct{})
+	var aux sync.WaitGroup
+
+	// Topology churn: cycle the stripe set and spool capacity while load runs.
+	aux.Add(1)
+	go func() {
+		defer aux.Done()
+		sizes := []int{8, 16, 64, 32}
+		caps := []int{64, 128, 256}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			m.ResizeShards(sizes[i%len(sizes)])
+			m.ResizeSpoolCapacity(caps[i%len(caps)])
+			m.AdaptTopology()
+		}
+	}()
+
+	// Snapshot readers: epochs must never go backwards, forced refreshes
+	// must strictly advance, and no view may be torn.
+	aux.Add(1)
+	go func() {
+		defer aux.Done()
+		var lastEpoch uint64
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var v *StatusView
+			if i%4 == 0 {
+				v = m.RefreshStatusView()
+				if v.Epoch <= lastEpoch {
+					t.Errorf("refresh epoch not strictly monotone: %d after %d", v.Epoch, lastEpoch)
+					return
+				}
+			} else {
+				v = m.StatusView()
+				if v.Epoch < lastEpoch {
+					t.Errorf("view epoch went backwards: %d after %d", v.Epoch, lastEpoch)
+					return
+				}
+			}
+			lastEpoch = v.Epoch
+			for _, rv := range v.Resources {
+				if rv.Waiters < 0 || rv.Holders < 0 {
+					t.Errorf("torn resource view: %+v", rv)
+					return
+				}
+			}
+			for j := 1; j < len(v.Snapshots); j++ {
+				if v.Snapshots[j-1].ID >= v.Snapshots[j].ID {
+					t.Errorf("torn snapshot list: ids %d, %d", v.Snapshots[j-1].ID, v.Snapshots[j].ID)
+					return
+				}
+			}
+			_ = m.SelfStats()
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			worker := m.NewWorker()
+			p, err := m.Create(DefaultRule())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer func() {
+				if err := m.Release(p); err != nil {
+					t.Error(err)
+				}
+			}()
+			if err := worker.BindDirect(p); err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < rounds; i++ {
+				m.Activate(p)
+				// Disjoint fast-path traffic on per-goroutine keys.
+				for k := 0; k < 8; k++ {
+					cold := ResourceKey(0x1000 + g*64 + k)
+					worker.Update(cold, Hold)
+					worker.Update(cold, Unhold)
+				}
+				// Contended slow-path traffic on the shared hot set.
+				hot := hotKeys[(g+i)%len(hotKeys)]
+				m.Update(p, hot, Prepare)
+				m.Update(p, hot, Enter)
+				m.Update(p, hot, Hold)
+				if i%8 == 0 {
+					time.Sleep(20 * time.Microsecond)
+				}
+				m.Update(p, hot, Unhold)
+				worker.Flush()
+				m.Freeze(p)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	aux.Wait()
+
+	if live := m.Live(); live != 0 {
+		t.Fatalf("live pboxes after stress = %d", live)
+	}
+	for g := 0; g < workers; g++ {
+		for k := 0; k < 8; k++ {
+			if key := ResourceKey(0x1000 + g*64 + k); m.Waiters(key) != 0 || m.Holders(key) != 0 {
+				t.Fatalf("dangling bookkeeping on cold key %#x", uintptr(key))
+			}
+		}
+	}
+	for _, key := range hotKeys {
+		if m.Waiters(key) != 0 || m.Holders(key) != 0 {
+			t.Fatalf("dangling bookkeeping on hot key %#x", uintptr(key))
+		}
+	}
+	st := m.SelfStats()
+	if st.ShardResizes == 0 || st.SpoolResizes == 0 {
+		t.Fatalf("stress performed no resizes: %+v", st)
+	}
+	if st.ShardLockAcquisitions <= 0 {
+		t.Fatalf("lock total not preserved across resizes: %d", st.ShardLockAcquisitions)
+	}
+}

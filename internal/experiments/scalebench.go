@@ -1,0 +1,565 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"pbox/internal/core"
+)
+
+// Multicore scalability sweep: where BENCH_core.json compares ingestion
+// disciplines (global lock vs. sharded vs. fastpath) at a fixed topology,
+// BENCH_scale.json sweeps the topology itself — GOMAXPROCS, goroutine count,
+// shard count, spool capacity, cache-line padding, and the adaptive sizer —
+// over the three hot-path scenarios. Every row records the GOMAXPROCS and
+// NumCPU it ran under, because scalability numbers are meaningless without
+// that provenance: a 4-goroutine row measured on one core measures
+// serialization, the same row on four cores measures parallel speedup, and a
+// regression gate must never compare the two.
+
+// ScaleBenchRow is one point of the sweep. Shards and SpoolSize record the
+// values the manager actually resolved (defaults included), so rows remain
+// self-describing when the defaults move.
+type ScaleBenchRow struct {
+	// Axis names the sweep section that produced the row ("base", "shards",
+	// "spool", "padding", "adaptive"). It also disambiguates rows whose
+	// swept value happens to equal the host's resolved default (e.g. the
+	// 8-stripe shard-axis row on a host whose default is 8 stripes), which
+	// would otherwise collide with a base-grid row in the regression gate.
+	Axis string `json:"axis"`
+	// Scenario is "disjoint" (direct Manager.Update, per-goroutine keys),
+	// "contended" (direct Manager.Update, one shared key), or "fastpath"
+	// (Worker.Update on per-goroutine keys — the Tier A spool path).
+	Scenario   string `json:"scenario"`
+	Gomaxprocs int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"numcpu"`
+	Goroutines int    `json:"goroutines"`
+	Shards     int    `json:"shards"`
+	SpoolSize  int    `json:"spool_size"`
+	// Padded is false when the run disabled cache-line padding of the
+	// contention table (Options.NoCachePad) — the false-sharing ablation.
+	Padded bool `json:"padded"`
+	// Adaptive is true when the run enabled the §13 topology sizer with a
+	// background snapshot poller driving its ticks.
+	Adaptive  bool    `json:"adaptive"`
+	Ops       int64   `json:"ops"`
+	NsPerOp   float64 `json:"ns_per_op"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+}
+
+// ScaleBenchFile is the BENCH_scale.json document.
+type ScaleBenchFile struct {
+	GOMAXPROCS      int             `json:"gomaxprocs"`
+	NumCPU          int             `json:"numcpu"`
+	OpsPerGoroutine int             `json:"ops_per_goroutine"`
+	Rows            []ScaleBenchRow `json:"rows"`
+	// ScalingEfficiency maps "<scenario>/gmp<P>/g<N>" to
+	// ops/sec at N goroutines ÷ (N × ops/sec at 1 goroutine), both measured
+	// at GOMAXPROCS=P on the default topology. 1.0 is perfect scaling; on a
+	// single-CPU host every value sits near 1/N by construction (no
+	// parallelism exists), which is why the CI gate reads NumCPU first.
+	ScalingEfficiency map[string]float64 `json:"scaling_efficiency"`
+	// PaddingSpeedup maps "<scenario>/g<N>" to padded ops/sec ÷ unpadded
+	// ops/sec at the maximum swept GOMAXPROCS — the false-sharing ablation.
+	// ≥1 means the cache-line pads pay for themselves; on one core the two
+	// layouts are equivalent and the ratio hovers at 1.0.
+	PaddingSpeedup map[string]float64 `json:"padding_speedup"`
+	// AdaptiveOverhead maps "fastpath/g<N>" to adaptive ns/op ÷ fixed ns/op:
+	// the hot-path price of running the §13 sizer (with a snapshot poller
+	// ticking it) against the same fixed-topology run.
+	AdaptiveOverhead map[string]float64 `json:"adaptive_overhead"`
+}
+
+// scaleBenchScenarios orders the swept scenarios.
+var scaleBenchScenarios = []string{"disjoint", "contended", "fastpath"}
+
+// scaleConfig is one row's topology knobs.
+type scaleConfig struct {
+	axis       string
+	scenario   string
+	gomaxprocs int
+	goroutines int
+	shards     int // 0 = manager default
+	spoolSize  int // 0 = manager default
+	padded     bool
+	adaptive   bool
+}
+
+// scaleAdaptiveSnapshotInterval bounds view staleness on adaptive rows so
+// the background poller actually produces rebuilds (and therefore sizer
+// ticks) within a sub-second benchmark run.
+const scaleAdaptiveSnapshotInterval = 5 * time.Millisecond
+
+// runScaleBench measures one row: sc.goroutines goroutines each running
+// opsPer Hold/Unhold cycles under GOMAXPROCS=sc.gomaxprocs. The previous
+// GOMAXPROCS is restored before returning. Penalties are swallowed — the
+// sweep measures the manager, not the clock.
+func runScaleBench(sc scaleConfig, opsPer int) ScaleBenchRow {
+	prev := runtime.GOMAXPROCS(sc.gomaxprocs)
+	defer runtime.GOMAXPROCS(prev)
+
+	opts := core.Options{
+		Sleep:            func(time.Duration) {},
+		Shards:           sc.shards,
+		SpoolSize:        sc.spoolSize,
+		NoCachePad:       !sc.padded,
+		AdaptiveTopology: sc.adaptive,
+	}
+	if sc.adaptive {
+		opts.SnapshotInterval = scaleAdaptiveSnapshotInterval
+	}
+	m := core.NewManager(opts)
+
+	row := ScaleBenchRow{
+		Axis:       sc.axis,
+		Scenario:   sc.scenario,
+		Gomaxprocs: sc.gomaxprocs,
+		NumCPU:     runtime.NumCPU(),
+		Goroutines: sc.goroutines,
+		Shards:     m.ShardCount(),
+		SpoolSize:  m.SpoolCapacity(),
+		Padded:     sc.padded,
+		Adaptive:   sc.adaptive,
+	}
+
+	g := sc.goroutines
+	pboxes := make([]*core.PBox, g)
+	keys := make([]core.ResourceKey, g)
+	for i := range pboxes {
+		p, err := m.Create(core.DefaultRule())
+		if err != nil {
+			panic(err)
+		}
+		m.Activate(p)
+		pboxes[i] = p
+		keys[i] = core.ResourceKey(0x100) // contended: one key for all
+		if sc.scenario != "contended" {
+			keys[i] = core.ResourceKey(0x1000 + i)
+		}
+	}
+
+	var start, stop sync.WaitGroup
+	gate := make(chan struct{})
+	start.Add(g)
+	stop.Add(g)
+	for i := 0; i < g; i++ {
+		if sc.scenario == "fastpath" {
+			w := m.NewWorker()
+			if err := w.BindDirect(pboxes[i]); err != nil {
+				panic(err)
+			}
+			go func(w *core.Worker, key core.ResourceKey) {
+				defer stop.Done()
+				start.Done()
+				<-gate
+				for n := 0; n < opsPer; n++ {
+					w.Update(key, core.Hold)
+					w.Update(key, core.Unhold)
+				}
+				w.Flush()
+			}(w, keys[i])
+			continue
+		}
+		go func(p *core.PBox, key core.ResourceKey) {
+			defer stop.Done()
+			start.Done()
+			<-gate
+			for n := 0; n < opsPer; n++ {
+				m.Update(p, key, core.Hold)
+				m.Update(p, key, core.Unhold)
+			}
+		}(pboxes[i], keys[i])
+	}
+
+	// Adaptive rows run the sizer the way a deployment would: a status
+	// poller whose reads escalate to snapshot rebuilds, which tick the
+	// sizer (DESIGN.md §13). Fixed rows carry no poller, so AdaptiveOverhead
+	// prices the sizer together with the polling that feeds it.
+	pollerQuit := make(chan struct{})
+	var pollerDone sync.WaitGroup
+	if sc.adaptive {
+		pollerDone.Add(1)
+		go func() {
+			defer pollerDone.Done()
+			tick := time.NewTicker(scaleAdaptiveSnapshotInterval / 2)
+			defer tick.Stop()
+			for {
+				select {
+				case <-pollerQuit:
+					return
+				case <-tick.C:
+					_ = m.StatusView()
+				}
+			}
+		}()
+	}
+
+	start.Wait()
+	t0 := time.Now()
+	close(gate)
+	stop.Wait()
+	elapsed := time.Since(t0)
+	close(pollerQuit)
+	pollerDone.Wait()
+
+	ops := int64(g) * int64(opsPer) * 2 // two Update events per cycle
+	row.Ops = ops
+	if sec := elapsed.Seconds(); sec > 0 {
+		row.OpsPerSec = float64(ops) / sec
+		row.NsPerOp = float64(elapsed.Nanoseconds()) / float64(ops)
+	}
+	return row
+}
+
+// scaleBenchGmps returns the GOMAXPROCS values to sweep: 1 and NumCPU,
+// deduplicated ascending.
+func scaleBenchGmps() []int {
+	if n := runtime.NumCPU(); n > 1 {
+		return []int{1, n}
+	}
+	return []int{1}
+}
+
+// scaleBenchGoroutines returns the goroutine counts of the base grid:
+// 1, 2, 4, NumCPU — deduplicated and ascending.
+func scaleBenchGoroutines() []int {
+	counts := []int{1, 2, 4, runtime.NumCPU()}
+	seen := map[int]bool{}
+	var out []int
+	for _, c := range counts {
+		if c > 0 && !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// scaleBaseKey indexes base-grid rows for the summary maps.
+func scaleBaseKey(scenario string, gmp, g int) string {
+	return fmt.Sprintf("%s/gmp%d/g%d", scenario, gmp, g)
+}
+
+// ScaleBench runs the full sweep and assembles the document. The sweep is:
+// a base grid (GOMAXPROCS × scenario × goroutines at the default topology,
+// padded) feeding ScalingEfficiency; a shard axis (8/32/128 stripes at four
+// goroutines, disjoint and contended); a spool axis (64/256/1024 capacity at
+// four fastpath goroutines); a padding ablation (unpadded twins of the
+// contended and fastpath base rows) feeding PaddingSpeedup; and an adaptive
+// axis (fastpath with the sizer plus poller) feeding AdaptiveOverhead.
+// Quick mode cuts the per-goroutine op count for smoke tests.
+func ScaleBench(cfg Config) ScaleBenchFile {
+	opsPer := 100_000
+	if cfg.Quick {
+		opsPer = 20_000
+	}
+	doc := ScaleBenchFile{
+		GOMAXPROCS:        runtime.GOMAXPROCS(0),
+		NumCPU:            runtime.NumCPU(),
+		OpsPerGoroutine:   opsPer,
+		ScalingEfficiency: map[string]float64{},
+		PaddingSpeedup:    map[string]float64{},
+		AdaptiveOverhead:  map[string]float64{},
+	}
+
+	gmps := scaleBenchGmps()
+	gs := scaleBenchGoroutines()
+	gmpMax := gmps[len(gmps)-1]
+
+	base := map[string]ScaleBenchRow{}
+	for _, gmp := range gmps {
+		for _, scenario := range scaleBenchScenarios {
+			for _, g := range gs {
+				row := measureScaleBench(scaleConfig{
+					axis: "base", scenario: scenario, gomaxprocs: gmp, goroutines: g, padded: true,
+				}, opsPer)
+				doc.Rows = append(doc.Rows, row)
+				base[scaleBaseKey(scenario, gmp, g)] = row
+			}
+		}
+	}
+	for _, gmp := range gmps {
+		for _, scenario := range scaleBenchScenarios {
+			one := base[scaleBaseKey(scenario, gmp, 1)]
+			if one.OpsPerSec <= 0 {
+				continue
+			}
+			for _, g := range gs {
+				if g == 1 {
+					continue
+				}
+				r := base[scaleBaseKey(scenario, gmp, g)]
+				doc.ScalingEfficiency[scaleBaseKey(scenario, gmp, g)] =
+					r.OpsPerSec / (float64(g) * one.OpsPerSec)
+			}
+		}
+	}
+
+	// Shard axis: does stripe count still matter at this core count?
+	for _, scenario := range []string{"disjoint", "contended"} {
+		for _, shards := range []int{8, 32, 128} {
+			doc.Rows = append(doc.Rows, measureScaleBench(scaleConfig{
+				axis: "shards", scenario: scenario, gomaxprocs: gmpMax, goroutines: 4,
+				shards: shards, padded: true,
+			}, opsPer))
+		}
+	}
+
+	// Spool axis: batching depth on the fast path.
+	for _, spool := range []int{64, 256, 1024} {
+		doc.Rows = append(doc.Rows, measureScaleBench(scaleConfig{
+			axis: "spool", scenario: "fastpath", gomaxprocs: gmpMax, goroutines: 4,
+			spoolSize: spool, padded: true,
+		}, opsPer))
+	}
+
+	// Padding ablation: unpadded twins of base rows that hammer shared
+	// cache lines (the contended slot, the fastpath contention checks).
+	for _, scenario := range []string{"contended", "fastpath"} {
+		for _, g := range []int{1, 4} {
+			row := measureScaleBench(scaleConfig{
+				axis: "padding", scenario: scenario, gomaxprocs: gmpMax, goroutines: g, padded: false,
+			}, opsPer)
+			doc.Rows = append(doc.Rows, row)
+			if p, ok := base[scaleBaseKey(scenario, gmpMax, g)]; ok && row.OpsPerSec > 0 {
+				doc.PaddingSpeedup[fmt.Sprintf("%s/g%d", scenario, g)] =
+					p.OpsPerSec / row.OpsPerSec
+			}
+		}
+	}
+
+	// Adaptive axis: the sizer plus its feeding poller against the fixed twin.
+	for _, g := range []int{1, 4} {
+		row := measureScaleBench(scaleConfig{
+			axis: "adaptive", scenario: "fastpath", gomaxprocs: gmpMax, goroutines: g,
+			padded: true, adaptive: true,
+		}, opsPer)
+		doc.Rows = append(doc.Rows, row)
+		if p, ok := base[scaleBaseKey("fastpath", gmpMax, g)]; ok && p.NsPerOp > 0 {
+			doc.AdaptiveOverhead[fmt.Sprintf("fastpath/g%d", g)] = row.NsPerOp / p.NsPerOp
+		}
+	}
+	return doc
+}
+
+// Gate thresholds. The efficiency and padding gates only mean something
+// with real parallelism, so they arm at scaleBenchMulticoreMin cores and
+// are skipped (with a logged notice) below it — a single-CPU host measures
+// serialization, where 4-goroutine "efficiency" is ~0.25 by construction.
+const (
+	// scaleBenchRegressionTolerance bounds ns/op against a committed
+	// baseline row of identical configuration and provenance; matches the
+	// corebench guard band (CI machines are noisy).
+	scaleBenchRegressionTolerance = 1.25
+	// scaleBenchMinEfficiency is the floor on disjoint and fastpath
+	// scaling efficiency at 4 goroutines with GOMAXPROCS = NumCPU ≥ 4.
+	scaleBenchMinEfficiency = 0.7
+	// scaleBenchPaddingTolerance is how far below 1.0 a PaddingSpeedup
+	// entry may fall: padded must not measure slower than unpadded beyond
+	// run-to-run noise.
+	scaleBenchPaddingTolerance = 0.95
+	// scaleBenchMulticoreMin arms the two gates above.
+	scaleBenchMulticoreMin = 4
+)
+
+// scaleRowKey identifies a row by its complete configuration including
+// provenance, so baselines from different hosts never cross-compare.
+type scaleRowKey struct {
+	axis, scenario     string
+	gomaxprocs, numcpu int
+	goroutines, shards int
+	spoolSize          int
+	padded, adaptive   bool
+}
+
+func (r ScaleBenchRow) key() scaleRowKey {
+	return scaleRowKey{r.Axis, r.Scenario, r.Gomaxprocs, r.NumCPU,
+		r.Goroutines, r.Shards, r.SpoolSize, r.Padded, r.Adaptive}
+}
+
+// scaleBenchReps is how many times each row is measured; the fastest rep is
+// kept. A min-of-N over fresh managers filters the transient interference —
+// a GC from the previous row, a neighbor stealing the core — that otherwise
+// puts 30%+ of noise on a single millisecond-scale measurement, which a 25%
+// regression gate cannot live with.
+const scaleBenchReps = 3
+
+// measureScaleBench runs sc scaleBenchReps times and returns the fastest
+// row.
+func measureScaleBench(sc scaleConfig, opsPer int) ScaleBenchRow {
+	best := runScaleBench(sc, opsPer)
+	for i := 1; i < scaleBenchReps; i++ {
+		if r := runScaleBench(sc, opsPer); r.NsPerOp < best.NsPerOp {
+			best = r
+		}
+	}
+	return best
+}
+
+// CompareScaleBench gates a fresh sweep. Against the committed baseline it
+// checks ns/op regressions on disjoint and fastpath rows whose full
+// configuration (topology and host provenance) matches a baseline row —
+// rows the two hosts don't share are skipped, and when the two documents
+// were measured at different ops-per-goroutine scales (quick CI run vs
+// committed full sweep) the row gate narrows to the duration-stable
+// single-goroutine fastpath rows. On a host with at least
+// scaleBenchMulticoreMin cores it additionally enforces the scaling
+// efficiency floor and the padded-vs-unpadded ordering; below that it logs
+// a notice through logf and skips those checks. Returns an error listing
+// every failure.
+func CompareScaleBench(baseline, current ScaleBenchFile, logf func(format string, args ...any)) error {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	base := map[scaleRowKey]ScaleBenchRow{}
+	for _, r := range baseline.Rows {
+		base[r.key()] = r
+	}
+	// Rows measured at different ops-per-goroutine scales are not
+	// comparable across the board: multi-goroutine and shard-map rows run
+	// hot for so little wall time in quick mode that scheduler wakeups
+	// and GC skew them 1.3-1.8x against a full-sweep baseline. The
+	// single-goroutine fastpath rows are duration-stable (the same loop
+	// the core bench guards), so a scale mismatch narrows the row gate to
+	// those instead of disabling it.
+	scaleMismatch := baseline.OpsPerGoroutine != current.OpsPerGoroutine
+	if scaleMismatch {
+		logf("scale gate: ops_per_goroutine differs (baseline %d, current %d) — row gate restricted to 1-goroutine fastpath rows",
+			baseline.OpsPerGoroutine, current.OpsPerGoroutine)
+	}
+	var failures []string
+	for _, r := range current.Rows {
+		if r.Adaptive || (r.Scenario != "disjoint" && r.Scenario != "fastpath") {
+			continue
+		}
+		if scaleMismatch && (r.Scenario != "fastpath" || r.Goroutines != 1) {
+			continue
+		}
+		b, ok := base[r.key()]
+		if !ok || b.NsPerOp <= 0 || r.NsPerOp <= 0 {
+			continue
+		}
+		if r.NsPerOp > b.NsPerOp*scaleBenchRegressionTolerance {
+			failures = append(failures, fmt.Sprintf(
+				"%s gmp=%d g=%d shards=%d spool=%d: %.1f ns/op vs baseline %.1f ns/op (%.2fx > %.2fx allowed)",
+				r.Scenario, r.Gomaxprocs, r.Goroutines, r.Shards, r.SpoolSize,
+				r.NsPerOp, b.NsPerOp, r.NsPerOp/b.NsPerOp, scaleBenchRegressionTolerance))
+		}
+	}
+
+	if current.NumCPU >= scaleBenchMulticoreMin {
+		for _, scenario := range []string{"disjoint", "fastpath"} {
+			key := scaleBaseKey(scenario, current.NumCPU, 4)
+			eff, ok := current.ScalingEfficiency[key]
+			if !ok {
+				failures = append(failures, fmt.Sprintf("missing scaling_efficiency entry %q", key))
+				continue
+			}
+			if eff < scaleBenchMinEfficiency {
+				failures = append(failures, fmt.Sprintf(
+					"scaling_efficiency[%s] = %.2f < %.2f floor", key, eff, scaleBenchMinEfficiency))
+			}
+		}
+		for key, s := range current.PaddingSpeedup {
+			if s < scaleBenchPaddingTolerance {
+				failures = append(failures, fmt.Sprintf(
+					"padding_speedup[%s] = %.2f < %.2f: padded slower than unpadded",
+					key, s, scaleBenchPaddingTolerance))
+			}
+		}
+	} else {
+		logf("scale gate: host has %d CPU(s) < %d — skipping scaling-efficiency and padding gates (rows recorded with provenance only)",
+			current.NumCPU, scaleBenchMulticoreMin)
+	}
+
+	if len(failures) > 0 {
+		return fmt.Errorf("scale bench regression:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
+// CheckScaleAgainstCore cross-checks the sweep against BENCH_core.json: the
+// single-goroutine fastpath row of the base grid (default topology, padded)
+// must stay within the regression tolerance of the core bench's
+// disjoint/fastpath/1 row — the two harnesses measure the same loop, so a
+// gap between them means the sweep harness itself grew overhead. The check
+// only fires when the core baseline's host provenance matches; otherwise it
+// logs a notice and passes.
+func CheckScaleAgainstCore(corebase CoreBenchFile, current ScaleBenchFile, logf func(format string, args ...any)) error {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	var coreRow CoreBenchRow
+	for _, r := range corebase.Rows {
+		if r.Scenario == "disjoint" && r.Variant == "fastpath" && r.Goroutines == 1 {
+			coreRow = r
+		}
+	}
+	if coreRow.NsPerOp <= 0 {
+		logf("scale gate: core baseline has no disjoint/fastpath/1 row — skipping cross-check")
+		return nil
+	}
+	if corebase.NumCPU != current.NumCPU {
+		logf("scale gate: core baseline numcpu=%d != current numcpu=%d — skipping cross-check",
+			corebase.NumCPU, current.NumCPU)
+		return nil
+	}
+	for _, r := range current.Rows {
+		if r.Axis != "base" || r.Scenario != "fastpath" || r.Goroutines != 1 || !r.Padded || r.Adaptive {
+			continue
+		}
+		if r.Gomaxprocs != corebase.GOMAXPROCS {
+			continue
+		}
+		if r.NsPerOp <= 0 {
+			continue
+		}
+		if r.NsPerOp > coreRow.NsPerOp*scaleBenchRegressionTolerance {
+			return fmt.Errorf(
+				"scale bench fastpath/g1 (gmp=%d): %.1f ns/op vs core baseline %.1f ns/op (%.2fx > %.2fx allowed)",
+				r.Gomaxprocs, r.NsPerOp, coreRow.NsPerOp,
+				r.NsPerOp/coreRow.NsPerOp, scaleBenchRegressionTolerance)
+		}
+		return nil
+	}
+	logf("scale gate: no fastpath/g1 row at gmp=%d matches core baseline — skipping cross-check",
+		corebase.GOMAXPROCS)
+	return nil
+}
+
+// ReadScaleBench loads a committed BENCH_scale.json.
+func ReadScaleBench(path string) (ScaleBenchFile, error) {
+	var doc ScaleBenchFile
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return doc, err
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return doc, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return doc, nil
+}
+
+// WriteScaleBench writes the document at path (write-then-rename, so a
+// concurrent reader never sees a torn file).
+func WriteScaleBench(path string, doc ScaleBenchFile) error {
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

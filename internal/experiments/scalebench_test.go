@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestScaleBenchQuick runs the whole sweep at smoke scale and checks the
+// document's shape: row count, per-row provenance, summary maps, the
+// JSON round trip, and both gates against self-consistent inputs.
+func TestScaleBenchQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	doc := ScaleBench(quick)
+
+	gmps := len(scaleBenchGmps())
+	gs := len(scaleBenchGoroutines())
+	wantRows := gmps*3*gs + 6 + 3 + 4 + 2 // base grid + shard + spool + padding + adaptive axes
+	if len(doc.Rows) != wantRows {
+		t.Fatalf("got %d rows, want %d", len(doc.Rows), wantRows)
+	}
+	if doc.NumCPU != runtime.NumCPU() || doc.OpsPerGoroutine <= 0 {
+		t.Fatalf("document header = %+v", doc)
+	}
+	var adaptive, unpadded int
+	for _, r := range doc.Rows {
+		if r.Axis == "" || r.Gomaxprocs <= 0 || r.NumCPU != runtime.NumCPU() {
+			t.Fatalf("row missing provenance: %+v", r)
+		}
+		if r.Shards <= 0 || r.SpoolSize <= 0 {
+			t.Fatalf("row missing resolved topology: %+v", r)
+		}
+		if r.Ops <= 0 || r.NsPerOp <= 0 || r.OpsPerSec <= 0 {
+			t.Fatalf("row missing measurement: %+v", r)
+		}
+		if r.Adaptive {
+			adaptive++
+		}
+		if !r.Padded {
+			unpadded++
+		}
+	}
+	if adaptive != 2 || unpadded != 4 {
+		t.Fatalf("adaptive rows = %d (want 2), unpadded rows = %d (want 4)", adaptive, unpadded)
+	}
+	// One efficiency entry per (gmp, scenario, g>1) cell of the base grid.
+	if want := gmps * 3 * (gs - 1); len(doc.ScalingEfficiency) != want {
+		t.Fatalf("scaling_efficiency has %d entries, want %d: %v",
+			len(doc.ScalingEfficiency), want, doc.ScalingEfficiency)
+	}
+	for k, v := range doc.ScalingEfficiency {
+		if v <= 0 {
+			t.Fatalf("scaling_efficiency[%s] = %v", k, v)
+		}
+	}
+	if len(doc.PaddingSpeedup) != 4 || len(doc.AdaptiveOverhead) != 2 {
+		t.Fatalf("summary maps: padding=%v adaptive=%v", doc.PaddingSpeedup, doc.AdaptiveOverhead)
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_scale.json")
+	if err := WriteScaleBench(path, doc); err != nil {
+		t.Fatalf("WriteScaleBench: %v", err)
+	}
+	back, err := ReadScaleBench(path)
+	if err != nil {
+		t.Fatalf("ReadScaleBench: %v", err)
+	}
+	if len(back.Rows) != len(doc.Rows) || back.NumCPU != doc.NumCPU {
+		t.Fatalf("round trip lost rows: %d vs %d", len(back.Rows), len(doc.Rows))
+	}
+
+	// Self-comparison passes; on a small host the multicore gates must
+	// skip with a logged notice rather than fail.
+	var notices []string
+	logf := func(format string, args ...any) { notices = append(notices, format) }
+	if err := CompareScaleBench(back, doc, logf); err != nil {
+		t.Fatalf("self-comparison failed: %v", err)
+	}
+	if runtime.NumCPU() < scaleBenchMulticoreMin && len(notices) == 0 {
+		t.Fatalf("expected a skip notice on a %d-CPU host", runtime.NumCPU())
+	}
+
+	// A doctored regression on a guarded row must fail the gate.
+	bad := doc
+	bad.Rows = append([]ScaleBenchRow(nil), doc.Rows...)
+	doctored := false
+	for i, r := range bad.Rows {
+		if r.Scenario == "fastpath" && r.Padded && !r.Adaptive {
+			bad.Rows[i].NsPerOp *= 2
+			doctored = true
+			break
+		}
+	}
+	if !doctored {
+		t.Fatal("no guarded row to doctor")
+	}
+	if err := CompareScaleBench(doc, bad, nil); err == nil {
+		t.Fatal("doctored regression passed the gate")
+	} else if !strings.Contains(err.Error(), "fastpath") {
+		t.Fatalf("unexpected gate error: %v", err)
+	}
+
+	// A baseline measured at a different ops scale narrows the row gate
+	// to 1-goroutine fastpath rows: a doctored multi-goroutine row slips
+	// through with a notice, a doctored g=1 fastpath row still fails.
+	fullBase := doc
+	fullBase.OpsPerGoroutine = doc.OpsPerGoroutine * 10
+	multi := doc
+	multi.Rows = append([]ScaleBenchRow(nil), doc.Rows...)
+	for i, r := range multi.Rows {
+		if r.Scenario == "disjoint" && r.Goroutines > 1 {
+			multi.Rows[i].NsPerOp *= 2
+			break
+		}
+	}
+	notices = nil
+	if err := CompareScaleBench(fullBase, multi, logf); err != nil {
+		t.Fatalf("multi-goroutine row gated despite ops-scale mismatch: %v", err)
+	}
+	mismatchNoticed := false
+	for _, n := range notices {
+		if strings.Contains(n, "ops_per_goroutine differs") {
+			mismatchNoticed = true
+		}
+	}
+	if !mismatchNoticed {
+		t.Fatalf("no ops-scale mismatch notice, got %v", notices)
+	}
+	g1 := doc
+	g1.Rows = append([]ScaleBenchRow(nil), doc.Rows...)
+	for i, r := range g1.Rows {
+		if r.Scenario == "fastpath" && r.Goroutines == 1 && r.Padded && !r.Adaptive {
+			g1.Rows[i].NsPerOp *= 2
+			break
+		}
+	}
+	if err := CompareScaleBench(fullBase, g1, nil); err == nil {
+		t.Fatal("doctored g=1 fastpath row passed the narrowed gate")
+	}
+}
+
+// TestCheckScaleAgainstCore exercises the cross-harness guard with
+// synthetic core baselines around a real sweep row.
+func TestCheckScaleAgainstCore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	row := runScaleBench(scaleConfig{
+		axis: "base", scenario: "fastpath", gomaxprocs: runtime.GOMAXPROCS(0), goroutines: 1, padded: true,
+	}, 10_000)
+	current := ScaleBenchFile{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Rows:       []ScaleBenchRow{row},
+	}
+	mkCore := func(ns float64, numcpu int) CoreBenchFile {
+		return CoreBenchFile{
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			NumCPU:     numcpu,
+			Rows: []CoreBenchRow{{
+				Scenario: "disjoint", Variant: "fastpath", Goroutines: 1, NsPerOp: ns,
+			}},
+		}
+	}
+
+	if err := CheckScaleAgainstCore(mkCore(row.NsPerOp, runtime.NumCPU()), current, nil); err != nil {
+		t.Fatalf("matching baseline failed: %v", err)
+	}
+	if err := CheckScaleAgainstCore(mkCore(row.NsPerOp/10, runtime.NumCPU()), current, nil); err == nil {
+		t.Fatal("10x regression passed the cross-check")
+	}
+	// Provenance mismatch: skip with a notice, not a failure.
+	var notices []string
+	logf := func(format string, args ...any) { notices = append(notices, format) }
+	if err := CheckScaleAgainstCore(mkCore(row.NsPerOp/10, runtime.NumCPU()+1), current, logf); err != nil {
+		t.Fatalf("mismatched-host baseline failed instead of skipping: %v", err)
+	}
+	if len(notices) != 1 {
+		t.Fatalf("expected one skip notice, got %v", notices)
+	}
+}

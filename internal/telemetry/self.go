@@ -133,9 +133,26 @@ type SelfResponse struct {
 	ShardLockMax          int64 `json:"shard_lock_max"`
 	Shards                int   `json:"shards"`
 
+	AdaptiveTopology  bool               `json:"adaptive_topology"`
+	SpoolCapacity     int                `json:"spool_capacity"`
+	TopologyTicks     int64              `json:"topology_ticks"`
+	ShardResizes      int64              `json:"shard_resizes"`
+	SpoolResizes      int64              `json:"spool_resizes"`
+	TopologyDecisions []TopologyDecision `json:"topology_decisions,omitempty"`
+
 	Crossings int64 `json:"crossings"`
 
 	VerdictLatency VerdictLatencyStatus `json:"verdict_latency"`
+}
+
+// TopologyDecision is the wire form of one adaptive-sizer (or manual)
+// resize decision.
+type TopologyDecision struct {
+	AtNs   int64  `json:"at_ns"`
+	Kind   string `json:"kind"`
+	From   int    `json:"from"`
+	To     int    `json:"to"`
+	Reason string `json:"reason"`
 }
 
 // selfResponse converts SelfStats to wire form.
@@ -163,12 +180,23 @@ func selfResponse(st core.SelfStats) SelfResponse {
 		ShardLockMax:          st.ShardLockMax,
 		Shards:                st.Shards,
 
+		AdaptiveTopology: st.AdaptiveTopology,
+		SpoolCapacity:    st.SpoolCapacity,
+		TopologyTicks:    st.TopologyTicks,
+		ShardResizes:     st.ShardResizes,
+		SpoolResizes:     st.SpoolResizes,
+
 		Crossings: st.Crossings,
 
 		VerdictLatency: VerdictLatencyStatus{
 			Count: st.VerdictLatency.Count,
 			Sum:   st.VerdictLatency.Sum.String(),
 		},
+	}
+	for _, d := range st.TopologyDecisions {
+		resp.TopologyDecisions = append(resp.TopologyDecisions, TopologyDecision{
+			AtNs: d.AtNs, Kind: d.Kind, From: d.From, To: d.To, Reason: d.Reason,
+		})
 	}
 	h := st.VerdictLatency
 	for i, c := range h.Counts {
@@ -215,6 +243,16 @@ func writeSelfMetrics(w io.Writer, st core.SelfStats) {
 	writeSelfCounter(w, "pbox_self_shard_lock_acquisitions_total", "Shard-lock acquisitions across all stripes.", st.ShardLockAcquisitions)
 	writeSelfCounter(w, "pbox_self_shard_lock_max_total", "Shard-lock acquisitions on the hottest single stripe.", st.ShardLockMax)
 	writeSelfGauge(w, "pbox_self_shards", "Configured resource-state lock stripes.", int64(st.Shards))
+
+	adaptive := int64(0)
+	if st.AdaptiveTopology {
+		adaptive = 1
+	}
+	writeSelfGauge(w, "pbox_self_topology_adaptive", "1 when the adaptive topology sizer is enabled.", adaptive)
+	writeSelfGauge(w, "pbox_self_topology_spool_capacity", "Capacity new worker spools are sized to (sizer-retuned).", int64(st.SpoolCapacity))
+	writeSelfCounter(w, "pbox_self_topology_ticks_total", "Adaptive-sizer evaluation ticks.", st.TopologyTicks)
+	writeSelfCounter(w, "pbox_self_topology_shard_resizes_total", "Shard stripe-set migrations (adaptive or manual).", st.ShardResizes)
+	writeSelfCounter(w, "pbox_self_topology_spool_resizes_total", "Spool-capacity retunes (adaptive or manual).", st.SpoolResizes)
 
 	writeSelfCounter(w, "pbox_self_crossings_total", "Conceptual user/kernel boundary crossings.", st.Crossings)
 

@@ -1,0 +1,83 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestSelfEndpointTopologyFields drives manual topology resizes through the
+// manager and checks that /self reports them: mode, live spool capacity,
+// resize counters, and the bounded decision log with its reasons.
+func TestSelfEndpointTopologyFields(t *testing.T) {
+	m, exp, _ := newTestWorld(t)
+	srv := httptest.NewServer(exp)
+	defer srv.Close()
+
+	m.ResizeShards(32)
+	m.ResizeSpoolCapacity(128)
+
+	code, body := get(t, srv, "/self")
+	if code != http.StatusOK {
+		t.Fatalf("/self status = %d", code)
+	}
+	var st SelfResponse
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("/self not valid JSON: %v\n%s", err, body)
+	}
+	if st.AdaptiveTopology {
+		t.Fatal("adaptive_topology = true for a fixed-topology manager")
+	}
+	if st.Shards != 32 {
+		t.Fatalf("shards = %d, want 32", st.Shards)
+	}
+	if st.SpoolCapacity != 128 {
+		t.Fatalf("spool_capacity = %d, want 128", st.SpoolCapacity)
+	}
+	if st.ShardResizes != 1 || st.SpoolResizes != 1 {
+		t.Fatalf("resize counters = %d/%d, want 1/1", st.ShardResizes, st.SpoolResizes)
+	}
+	if len(st.TopologyDecisions) != 2 {
+		t.Fatalf("decision log = %+v, want 2 entries", st.TopologyDecisions)
+	}
+	kinds := map[string]TopologyDecision{}
+	for _, d := range st.TopologyDecisions {
+		kinds[d.Kind] = d
+	}
+	if d := kinds["shards"]; d.To != 32 || d.Reason != "manual" {
+		t.Fatalf("shards decision = %+v", d)
+	}
+	if d := kinds["spool"]; d.To != 128 || d.Reason != "manual" {
+		t.Fatalf("spool decision = %+v", d)
+	}
+}
+
+// TestMetricsTopologySeries checks the pbox_self_topology_* Prometheus
+// series render from the same counters.
+func TestMetricsTopologySeries(t *testing.T) {
+	m, exp, _ := newTestWorld(t)
+	srv := httptest.NewServer(exp)
+	defer srv.Close()
+
+	m.ResizeShards(16)
+	m.ResizeSpoolCapacity(512)
+
+	code, body := get(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	for _, want := range []string{
+		"pbox_self_topology_adaptive 0",
+		"pbox_self_topology_spool_capacity 512",
+		"pbox_self_topology_shard_resizes_total 1",
+		"pbox_self_topology_spool_resizes_total 1",
+		"pbox_self_topology_ticks_total 0",
+		"pbox_self_shards 16",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+}
