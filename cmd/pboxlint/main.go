@@ -1,29 +1,36 @@
 // Command pboxlint is the multichecker for the pbox static-analysis suite:
-// it loads packages, runs the enforcing passes (lockorder, hotpathalloc,
-// eventpair, reentry), applies //pboxlint:ignore suppressions, and prints
-// findings as file:line:col diagnostics.
+// it loads packages, builds the whole-program view, runs the enforcing
+// passes (atomicpublish, eventpair, hotpathalloc, lockorder, reentry,
+// snapshotreader, viewimmut), applies //pboxlint:ignore suppressions and the
+// committed baseline, and renders findings.
 //
 // Usage:
 //
 //	pboxlint [flags] [packages]
 //
 // Packages default to ./... relative to the current directory. Exit status
-// is 0 when the tree is clean, 1 when any finding survives suppression, and
-// 2 on loading or internal errors — the same convention as go vet, so CI
-// can gate on it directly:
+// is 0 when the tree is clean (or every finding is baselined), 1 when any
+// new finding survives suppression, and 2 on loading or internal errors —
+// the same convention as go vet, so CI can gate on it directly:
 //
-//	go run ./cmd/pboxlint ./...
+//	go run ./cmd/pboxlint -format sarif -baseline .pboxlint-baseline.json ./...
 //
 // Flags:
 //
-//	-passes p1,p2   run only the named passes (see -list)
-//	-list           print every registered pass with its doc and exit
-//	-suppressed     also report the count of suppressed findings
+//	-passes p1,p2     run only the named passes (see -list); unknown or
+//	                  empty selections are an error, never a silent no-op
+//	-list             print every registered pass with its doc and exit
+//	-suppressed       also report the count of suppressed findings
+//	-format f         output format: text (default), json, or sarif
+//	-baseline file    treat findings recorded in file as known: they do not
+//	                  fail the run and are marked suppressed in SARIF
+//	-writebaseline f  write the current findings to f as a baseline and exit 0
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -34,65 +41,144 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:]))
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string) int {
+func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("pboxlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	passes := fs.String("passes", "", "comma-separated pass names to run (default: all enforcing passes)")
 	list := fs.Bool("list", false, "list registered passes and exit")
 	showSuppressed := fs.Bool("suppressed", false, "report the number of suppressed findings")
+	format := fs.String("format", "text", "output format: text, json, or sarif")
+	baselinePath := fs.String("baseline", "", "baseline file of known findings (see -writebaseline)")
+	writeBaseline := fs.String("writebaseline", "", "write current findings to this baseline file and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
 	if *list {
 		for _, a := range lint.All() {
-			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
 		}
 		return 0
 	}
 
-	var selected []*analysis.Analyzer
-	if *passes == "" {
-		selected = lint.Default()
-	} else {
-		for _, name := range strings.Split(*passes, ",") {
-			name = strings.TrimSpace(name)
-			if name == "" {
-				continue
-			}
-			a := lint.ByName(name)
-			if a == nil {
-				fmt.Fprintf(os.Stderr, "pboxlint: unknown pass %q (try -list)\n", name)
-				return 2
-			}
-			selected = append(selected, a)
-		}
+	switch *format {
+	case "text", "json", "sarif":
+	default:
+		fmt.Fprintf(stderr, "pboxlint: unknown -format %q (want text, json, or sarif)\n", *format)
+		return 2
+	}
+
+	selected, err := selectPasses(*passes)
+	if err != nil {
+		fmt.Fprintf(stderr, "pboxlint: %v\n", err)
+		return 2
 	}
 
 	patterns := fs.Args()
 	cwd, err := os.Getwd()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "pboxlint: %v\n", err)
+		fmt.Fprintf(stderr, "pboxlint: %v\n", err)
 		return 2
 	}
 	pkgs, err := loader.Load(cwd, patterns...)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "pboxlint: %v\n", err)
+		fmt.Fprintf(stderr, "pboxlint: %v\n", err)
 		return 2
 	}
 
 	res, err := driver.Run(pkgs, selected)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "pboxlint: %v\n", err)
+		fmt.Fprintf(stderr, "pboxlint: %v\n", err)
 		return 2
 	}
-	if *showSuppressed {
-		fmt.Fprintf(os.Stderr, "pboxlint: %d finding(s) suppressed by //pboxlint:ignore\n", res.Suppressed)
+
+	if *writeBaseline != "" {
+		b := driver.NewBaseline(res, cwd)
+		if err := b.WriteFile(*writeBaseline); err != nil {
+			fmt.Fprintf(stderr, "pboxlint: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "pboxlint: wrote %d finding(s) to %s\n", len(b.Findings), *writeBaseline)
+		return 0
 	}
-	if driver.Render(os.Stdout, res) {
+
+	baselined := map[int]bool{}
+	if *baselinePath != "" {
+		b, err := driver.LoadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(stderr, "pboxlint: %v\n", err)
+			return 2
+		}
+		baselined = b.Match(res, cwd)
+	}
+
+	if *showSuppressed {
+		fmt.Fprintf(stderr, "pboxlint: %d finding(s) suppressed by //pboxlint:ignore\n", res.Suppressed)
+	}
+
+	newFindings := len(res.Diagnostics) - len(baselined)
+	switch *format {
+	case "sarif":
+		if err := driver.RenderSARIF(stdout, res, selected, cwd, baselined); err != nil {
+			fmt.Fprintf(stderr, "pboxlint: %v\n", err)
+			return 2
+		}
+	case "json":
+		if err := driver.RenderJSON(stdout, res, baselined); err != nil {
+			fmt.Fprintf(stderr, "pboxlint: %v\n", err)
+			return 2
+		}
+	default:
+		for i, d := range res.Diagnostics {
+			if baselined[i] {
+				continue
+			}
+			pos := res.Fset.Position(d.Pos)
+			fmt.Fprintf(stdout, "%s:%d:%d: [%s] %s\n", pos.Filename, pos.Line, pos.Column, d.Analyzer, d.Message)
+		}
+		if n := len(baselined); n > 0 {
+			fmt.Fprintf(stderr, "pboxlint: %d known finding(s) hidden by baseline %s\n", n, *baselinePath)
+		}
+	}
+	if newFindings > 0 {
 		return 1
 	}
 	return 0
+}
+
+// selectPasses resolves the -passes flag. An unknown name — or a selection
+// that nets zero passes, like "-passes ," — is an error listing the valid
+// names: a typo must never silently run nothing and exit green.
+func selectPasses(spec string) ([]*analysis.Analyzer, error) {
+	if spec == "" {
+		return lint.Default(), nil
+	}
+	var selected []*analysis.Analyzer
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a := lint.ByName(name)
+		if a == nil {
+			return nil, fmt.Errorf("unknown pass %q; valid passes: %s", name, passNames())
+		}
+		selected = append(selected, a)
+	}
+	if len(selected) == 0 {
+		return nil, fmt.Errorf("-passes %q selects no passes; valid passes: %s", spec, passNames())
+	}
+	return selected, nil
+}
+
+// passNames renders the full registry for error messages.
+func passNames() string {
+	var names []string
+	for _, a := range lint.All() {
+		names = append(names, a.Name)
+	}
+	return strings.Join(names, ", ")
 }

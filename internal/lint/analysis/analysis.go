@@ -13,6 +13,8 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+
+	"pbox/internal/lint/program"
 )
 
 // Analyzer describes one static analysis pass and its invariant.
@@ -36,6 +38,13 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+
+	// Prog is the whole-program view (DESIGN.md §14) shared by every pass
+	// of one driver run: the module-wide function index, call graph, and
+	// SCC order behind cross-package summaries. The driver always sets it;
+	// per-program computations belong in Prog.Cache so a pass invoked once
+	// per package pays for them once.
+	Prog *program.Program
 
 	// Report delivers one diagnostic. The driver fills in the analyzer
 	// name and applies suppression comments.

@@ -1,0 +1,19 @@
+package lint_test
+
+import (
+	"testing"
+
+	"pbox/internal/lint/atomicpublish"
+	"pbox/internal/lint/linttest"
+)
+
+func TestAtomicPublish(t *testing.T) {
+	linttest.Run(t, linttest.TestData(t), "atomicpublish", atomicpublish.Analyzer)
+}
+
+// TestAtomicPublishCrossPackage exercises the mixed atomic/plain access rule
+// across a package boundary: the atomic accesses live in xatomicdeps, the
+// plain ones in xatomicmixed.
+func TestAtomicPublishCrossPackage(t *testing.T) {
+	linttest.Run(t, linttest.TestData(t), "xatomicmixed", atomicpublish.Analyzer)
+}

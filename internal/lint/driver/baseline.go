@@ -1,0 +1,112 @@
+// Baseline support: a committed JSON multiset of known findings lets new
+// passes land enforcing from day one — existing debt is recorded, CI fails
+// only on findings not in the record, and a drift gate keeps the committed
+// file byte-identical to a fresh regeneration so the record can never rot
+// silently. Matching is by (rule, file, message) — line numbers shift with
+// every unrelated edit and deliberately do not participate.
+package driver
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// BaselineFile is the conventional committed baseline path, relative to the
+// repository root.
+const BaselineFile = ".pboxlint-baseline.json"
+
+// BaselineEntry is one recorded finding. Duplicate entries are meaningful:
+// the baseline is a multiset, so two identical findings in one file need two
+// entries.
+type BaselineEntry struct {
+	Rule    string `json:"rule"`
+	File    string `json:"file"`
+	Message string `json:"message"`
+}
+
+// Baseline is the committed finding record.
+type Baseline struct {
+	// Comment documents the file's purpose for humans reading the diff.
+	Comment string `json:"comment,omitempty"`
+	// Findings is sorted by (rule, file, message) for stable diffs.
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// NewBaseline records every diagnostic of res as a baseline, with files made
+// relative to baseDir (matching must survive checkouts at different paths).
+func NewBaseline(res *Result, baseDir string) *Baseline {
+	b := &Baseline{
+		Comment: "known pboxlint findings; CI fails only on findings not recorded here. " +
+			"Regenerate with: go run ./cmd/pboxlint -writebaseline " + BaselineFile + " ./...",
+		Findings: []BaselineEntry{},
+	}
+	for _, d := range res.Diagnostics {
+		pos := res.Fset.Position(d.Pos)
+		b.Findings = append(b.Findings, BaselineEntry{
+			Rule:    d.Analyzer,
+			File:    relativeURI(baseDir, pos.Filename),
+			Message: d.Message,
+		})
+	}
+	b.sort()
+	return b
+}
+
+func (b *Baseline) sort() {
+	sort.Slice(b.Findings, func(i, j int) bool {
+		x, y := b.Findings[i], b.Findings[j]
+		if x.Rule != y.Rule {
+			return x.Rule < y.Rule
+		}
+		if x.File != y.File {
+			return x.File < y.File
+		}
+		return x.Message < y.Message
+	})
+}
+
+// WriteFile writes the baseline as stable, indented JSON with a trailing
+// newline — the exact bytes the drift gate compares.
+func (b *Baseline) WriteFile(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadBaseline reads a baseline file.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("baseline %s: %v", path, err)
+	}
+	return &b, nil
+}
+
+// Match partitions res.Diagnostics against the baseline multiset: the
+// returned map marks the indexes of diagnostics covered by an entry (each
+// entry covers at most one diagnostic). Diagnostics not in the map are new.
+func (b *Baseline) Match(res *Result, baseDir string) map[int]bool {
+	type key struct{ rule, file, message string }
+	budget := make(map[key]int, len(b.Findings))
+	for _, e := range b.Findings {
+		budget[key{e.Rule, e.File, e.Message}]++
+	}
+	matched := make(map[int]bool)
+	for i, d := range res.Diagnostics {
+		pos := res.Fset.Position(d.Pos)
+		k := key{d.Analyzer, relativeURI(baseDir, pos.Filename), d.Message}
+		if budget[k] > 0 {
+			budget[k]--
+			matched[i] = true
+		}
+	}
+	return matched
+}

@@ -22,6 +22,7 @@ import (
 
 	"pbox/internal/lint/analysis"
 	"pbox/internal/lint/loader"
+	"pbox/internal/lint/program"
 )
 
 // ignorePrefix is the suppression comment marker.
@@ -48,8 +49,11 @@ type PassReturn struct {
 }
 
 // Run executes every analyzer over every package and merges the findings.
+// All packages of one Run share one whole-program view (Pass.Prog), so
+// passes see call chains that cross package boundaries.
 func Run(pkgs []*loader.Package, analyzers []*analysis.Analyzer) (*Result, error) {
 	res := &Result{}
+	prog := program.Build(pkgs)
 	for _, pkg := range pkgs {
 		res.Fset = pkg.Fset
 		sup := collectIgnores(pkg)
@@ -61,6 +65,7 @@ func Run(pkgs []*loader.Package, analyzers []*analysis.Analyzer) (*Result, error
 				Files:     pkg.Files,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.Info,
+				Prog:      prog,
 				Report: func(d analysis.Diagnostic) {
 					d.Analyzer = a.Name
 					diags = append(diags, d)

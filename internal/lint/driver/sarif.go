@@ -1,0 +1,185 @@
+// SARIF 2.1.0 rendering of a driver Result — the interchange format CI
+// uploads so findings annotate pull requests. Only the fields consumers
+// actually read are emitted: tool.driver with one reportingDescriptor per
+// pass, and one result per diagnostic with a physical location. Findings
+// matched by the committed baseline carry a suppression of kind "external",
+// which SARIF viewers render as "known, not newly introduced".
+package driver
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"sort"
+
+	"pbox/internal/lint/analysis"
+)
+
+// sarifVersion and sarifSchema pin the emitted format.
+const (
+	sarifVersion = "2.1.0"
+	sarifSchema  = "https://json.schemastore.org/sarif-2.1.0.json"
+)
+
+// SARIF document structure (the subset pboxlint emits).
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID       string             `json:"ruleId"`
+	RuleIndex    int                `json:"ruleIndex"`
+	Level        string             `json:"level"`
+	Message      sarifMessage       `json:"message"`
+	Locations    []sarifLocation    `json:"locations"`
+	Suppressions []sarifSuppression `json:"suppressions,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// RenderSARIF writes the result as a SARIF 2.1.0 log. analyzers supplies the
+// rule table (every selected pass appears, findings or not); baseDir, when
+// non-empty, makes artifact URIs repo-relative; baselined marks the
+// diagnostics (by index into res.Diagnostics) to emit with an external
+// suppression.
+func RenderSARIF(w io.Writer, res *Result, analyzers []*analysis.Analyzer, baseDir string, baselined map[int]bool) error {
+	rules := make([]sarifRule, 0, len(analyzers))
+	ruleIndex := make(map[string]int, len(analyzers))
+	for _, a := range analyzers {
+		ruleIndex[a.Name] = len(rules)
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}})
+	}
+	// The driver itself reports malformed suppressions under "pboxlint".
+	ensureRule := func(name string) int {
+		if i, ok := ruleIndex[name]; ok {
+			return i
+		}
+		ruleIndex[name] = len(rules)
+		rules = append(rules, sarifRule{ID: name, ShortDescription: sarifMessage{Text: "pboxlint driver diagnostics"}})
+		return ruleIndex[name]
+	}
+
+	results := make([]sarifResult, 0, len(res.Diagnostics))
+	for i, d := range res.Diagnostics {
+		pos := res.Fset.Position(d.Pos)
+		r := sarifResult{
+			RuleID:    d.Analyzer,
+			RuleIndex: ensureRule(d.Analyzer),
+			Level:     "error",
+			Message:   sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: relativeURI(baseDir, pos.Filename)},
+					Region:           sarifRegion{StartLine: pos.Line, StartColumn: pos.Column},
+				},
+			}},
+		}
+		if baselined[i] {
+			r.Suppressions = []sarifSuppression{{Kind: "external", Justification: "baselined in " + BaselineFile}}
+		}
+		results = append(results, r)
+	}
+
+	log := sarifLog{
+		Schema:  sarifSchema,
+		Version: sarifVersion,
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "pboxlint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}
+
+type sarifSuppression struct {
+	Kind          string `json:"kind"`
+	Justification string `json:"justification,omitempty"`
+}
+
+// relativeURI makes path relative to baseDir with forward slashes — SARIF
+// artifact URIs — falling back to the absolute path outside the base.
+func relativeURI(baseDir, path string) string {
+	if baseDir != "" {
+		if rel, err := filepath.Rel(baseDir, path); err == nil && !startsWithDotDot(rel) {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filepath.ToSlash(path)
+}
+
+func startsWithDotDot(rel string) bool {
+	return rel == ".." || len(rel) >= 3 && rel[:3] == ".."+string(filepath.Separator)
+}
+
+// RenderJSON writes the result as a flat JSON finding list (machine-readable
+// without the SARIF envelope).
+func RenderJSON(w io.Writer, res *Result, baselined map[int]bool) error {
+	type finding struct {
+		Rule      string `json:"rule"`
+		File      string `json:"file"`
+		Line      int    `json:"line"`
+		Column    int    `json:"column"`
+		Message   string `json:"message"`
+		Baselined bool   `json:"baselined,omitempty"`
+	}
+	out := make([]finding, 0, len(res.Diagnostics))
+	for i, d := range res.Diagnostics {
+		pos := res.Fset.Position(d.Pos)
+		out = append(out, finding{
+			Rule: d.Analyzer, File: pos.Filename, Line: pos.Line, Column: pos.Column,
+			Message: d.Message, Baselined: baselined[i],
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].Line < out[j].Line
+	})
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

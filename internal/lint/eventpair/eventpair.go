@@ -19,6 +19,16 @@
 // and also closes on some path must close on all paths; a function that
 // only opens is a split-phase API and is left to the dynamic state-machine
 // checks.
+//
+// The pass is interprocedural through the whole-program engine (DESIGN.md
+// §14): every program function gets an emission summary — the event calls
+// its body performs unconditionally (top-level statements and defers, with
+// the scan stopping conservatively at the first branching statement) — and
+// a call to such a helper counts as emitting those events at the call site,
+// with the caller's arguments substituted into the pairing keys. A wrapper
+// like emitHold(m, id) in another package therefore pairs against an
+// explicit Unhold for the same manager and id, and an early return between
+// the two is flagged exactly as if the events were inlined.
 package eventpair
 
 import (
@@ -26,8 +36,10 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 
 	"pbox/internal/lint/analysis"
+	"pbox/internal/lint/program"
 )
 
 // Analyzer is the eventpair pass.
@@ -96,7 +108,7 @@ func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
 	opened := map[string]map[string]bool{} // key → set of events seen
 	inspectSkipFuncLits(body, func(n ast.Node) {
 		if call, ok := n.(*ast.CallExpr); ok {
-			if ec, ok := classify(pass, call); ok {
+			for _, ec := range expand(pass, call) {
 				if opened[ec.key] == nil {
 					opened[ec.key] = map[string]bool{}
 				}
@@ -125,11 +137,18 @@ func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
 
 // classify recognizes a call that passes a lifecycle-event constant and
 // derives its pairing key.
-func classify(pass *analysis.Pass, call *ast.CallExpr) (eventCall, bool) {
+func classify(info *types.Info, call *ast.CallExpr) (eventCall, bool) {
+	return classifyWith(info, call, nil)
+}
+
+// classifyWith is classify with an identifier resolver threaded into the key
+// rendering — the summary builder substitutes placeholders for the enclosing
+// function's parameters.
+func classifyWith(info *types.Info, call *ast.CallExpr, resolve func(*ast.Ident) (string, bool)) (eventCall, bool) {
 	eventIdx := -1
 	var event string
 	for i, arg := range call.Args {
-		name, ok := eventConst(pass, arg)
+		name, ok := eventConst(info, arg)
 		if !ok {
 			continue
 		}
@@ -144,19 +163,19 @@ func classify(pass *analysis.Pass, call *ast.CallExpr) (eventCall, bool) {
 	if eventIdx < 0 {
 		return eventCall{}, false
 	}
-	key := render(call.Fun)
+	key := renderWith(call.Fun, resolve)
 	for i, arg := range call.Args {
 		if i == eventIdx {
 			continue
 		}
-		key += "," + render(arg)
+		key += "," + renderWith(arg, resolve)
 	}
 	return eventCall{key: key, event: event, pos: call.Pos()}, true
 }
 
 // eventConst reports whether expr is a constant of the EventType named type
 // and returns its declared name.
-func eventConst(pass *analysis.Pass, expr ast.Expr) (string, bool) {
+func eventConst(info *types.Info, expr ast.Expr) (string, bool) {
 	var id *ast.Ident
 	switch x := expr.(type) {
 	case *ast.Ident:
@@ -166,7 +185,7 @@ func eventConst(pass *analysis.Pass, expr ast.Expr) (string, bool) {
 	default:
 		return "", false
 	}
-	c, ok := pass.TypesInfo.Uses[id].(*types.Const)
+	c, ok := info.Uses[id].(*types.Const)
 	if !ok {
 		return "", false
 	}
@@ -178,34 +197,196 @@ func eventConst(pass *analysis.Pass, expr ast.Expr) (string, bool) {
 }
 
 // render produces a stable textual form of an expression for pairing keys.
-func render(e ast.Expr) string {
+func render(e ast.Expr) string { return renderWith(e, nil) }
+
+// renderWith renders an expression, diverting identifiers through resolve
+// first (used to stamp parameter placeholders into summary templates).
+func renderWith(e ast.Expr, resolve func(*ast.Ident) (string, bool)) string {
 	switch x := e.(type) {
 	case *ast.Ident:
+		if resolve != nil {
+			if s, ok := resolve(x); ok {
+				return s
+			}
+		}
 		return x.Name
 	case *ast.SelectorExpr:
-		return render(x.X) + "." + x.Sel.Name
+		return renderWith(x.X, resolve) + "." + x.Sel.Name
 	case *ast.CallExpr:
-		s := render(x.Fun) + "("
+		s := renderWith(x.Fun, resolve) + "("
 		for i, a := range x.Args {
 			if i > 0 {
 				s += ","
 			}
-			s += render(a)
+			s += renderWith(a, resolve)
 		}
 		return s + ")"
 	case *ast.IndexExpr:
-		return render(x.X) + "[" + render(x.Index) + "]"
+		return renderWith(x.X, resolve) + "[" + renderWith(x.Index, resolve) + "]"
 	case *ast.BasicLit:
 		return x.Value
 	case *ast.UnaryExpr:
-		return x.Op.String() + render(x.X)
+		return x.Op.String() + renderWith(x.X, resolve)
 	case *ast.StarExpr:
-		return "*" + render(x.X)
+		return "*" + renderWith(x.X, resolve)
 	case *ast.ParenExpr:
-		return render(x.X)
+		return renderWith(x.X, resolve)
 	default:
 		return fmt.Sprintf("<%T>", e)
 	}
+}
+
+// emission is one summarized unconditional event call of a program function:
+// the event name plus a pairing-key template in which references to the
+// function's own parameters appear as placeholders.
+type emission struct {
+	event string
+	key   string
+}
+
+// placeholder is the template token for parameter i. NUL bytes cannot occur
+// in rendered source text, so substitution is collision-free.
+func placeholder(i int) string {
+	return "\x00" + fmt.Sprint(i) + "\x00"
+}
+
+// emissionSummaries computes (once per program, cached) each function's
+// unconditional emissions. Bottom-up over the SCCs so a helper that wraps
+// another helper composes; callees inside the same (recursive) component are
+// skipped — their summaries are not final, and dropping them only loses
+// events, never invents them.
+func emissionSummaries(prog *program.Program) map[*program.Func][]emission {
+	return prog.Cache("eventpair.emissions", func() any {
+		sums := make(map[*program.Func][]emission)
+		done := make(map[*program.Func]bool)
+		for _, scc := range prog.SCCs() {
+			for _, fn := range scc {
+				if ems := summarize(prog, fn, sums, done); len(ems) > 0 {
+					sums[fn] = ems
+				}
+			}
+			for _, fn := range scc {
+				done[fn] = true
+			}
+		}
+		return sums
+	}).(map[*program.Func][]emission)
+}
+
+// summarize scans fn's top-level statements for event calls and calls to
+// already-summarized helpers. The scan stops at the first statement that is
+// neither an expression-statement call nor a defer: anything else (an if, a
+// loop, an early return) could make later emissions conditional, and the
+// summary must only promise events that happen on every path.
+func summarize(prog *program.Program, fn *program.Func, sums map[*program.Func][]emission, done map[*program.Func]bool) []emission {
+	info := fn.Pkg.Info
+	params := program.ParamObjects(fn)
+	paramIdx := make(map[types.Object]int, len(params))
+	for i, o := range params {
+		paramIdx[o] = i
+	}
+	resolve := func(id *ast.Ident) (string, bool) {
+		obj := info.Uses[id]
+		if obj == nil {
+			obj = info.Defs[id]
+		}
+		if i, ok := paramIdx[obj]; ok {
+			return placeholder(i), true
+		}
+		return "", false
+	}
+
+	var out []emission
+	addCall := func(call *ast.CallExpr) {
+		if ec, ok := classifyWith(info, call, resolve); ok {
+			out = append(out, emission{event: ec.event, key: ec.key})
+			return
+		}
+		callee := prog.Callee(info, call)
+		if callee == nil || !done[callee] || len(sums[callee]) == 0 {
+			return
+		}
+		// Inline the helper's summary, substituting its placeholders with
+		// this call's arguments rendered in fn's own template language —
+		// composition keeps fn's parameters as placeholders.
+		args := program.CallArgExprs(info, call, callee)
+		for _, em := range sums[callee] {
+			key := em.key
+			ok := true
+			for i, arg := range args {
+				if !strings.Contains(key, placeholder(i)) {
+					continue
+				}
+				if arg == nil {
+					ok = false
+					break
+				}
+				key = strings.ReplaceAll(key, placeholder(i), renderWith(arg, resolve))
+			}
+			if ok {
+				out = append(out, emission{event: em.event, key: key})
+			}
+		}
+	}
+
+	for _, s := range fn.Decl.Body.List {
+		switch x := s.(type) {
+		case *ast.ExprStmt:
+			if call, ok := x.X.(*ast.CallExpr); ok {
+				addCall(call)
+				continue
+			}
+		case *ast.DeferStmt:
+			// A defer directly in the body runs by the time fn returns, so
+			// from the caller's view it is as unconditional as a plain call.
+			addCall(x.Call)
+			continue
+		}
+		break
+	}
+	return out
+}
+
+// expand returns the event calls a call expression performs: its own
+// classification, or — when the callee is a program function with a
+// nonempty emission summary — the summarized events with this call's
+// arguments substituted into the pairing keys and positions anchored at the
+// call site.
+func expand(pass *analysis.Pass, call *ast.CallExpr) []eventCall {
+	if ec, ok := classify(pass.TypesInfo, call); ok {
+		return []eventCall{ec}
+	}
+	if pass.Prog == nil {
+		return nil
+	}
+	callee := pass.Prog.Callee(pass.TypesInfo, call)
+	if callee == nil {
+		return nil
+	}
+	sums := emissionSummaries(pass.Prog)[callee]
+	if len(sums) == 0 {
+		return nil
+	}
+	args := program.CallArgExprs(pass.TypesInfo, call, callee)
+	out := make([]eventCall, 0, len(sums))
+	for _, em := range sums {
+		key := em.key
+		ok := true
+		for i, arg := range args {
+			if !strings.Contains(key, placeholder(i)) {
+				continue
+			}
+			if arg == nil {
+				ok = false
+				break
+			}
+			key = strings.ReplaceAll(key, placeholder(i), render(arg))
+		}
+		if ok {
+			out = append(out, eventCall{key: key, event: em.event, pos: call.Pos()})
+		}
+	}
+	return out
 }
 
 // walker tracks open (unclosed) enforced pairs along control-flow paths.
@@ -266,7 +447,7 @@ func (w *walker) exprEvents(e ast.Expr, open map[string]token.Pos) {
 	}
 	inspectSkipFuncLits(e, func(n ast.Node) {
 		if call, ok := n.(*ast.CallExpr); ok {
-			if ec, ok := classify(w.pass, call); ok {
+			for _, ec := range expand(w.pass, call) {
 				w.apply(ec, open)
 			}
 		}
@@ -335,7 +516,7 @@ func (w *walker) stmt(s ast.Stmt, open map[string]token.Pos) (map[string]token.P
 		}
 	case *ast.DeferStmt:
 		// defer emit(Unhold) — the closer runs at every subsequent exit.
-		if ec, ok := classify(w.pass, x.Call); ok {
+		if ec, ok := classify(w.pass.TypesInfo, x.Call); ok {
 			w.deferred = append(w.deferred, ec)
 			return open, false
 		}
@@ -344,13 +525,21 @@ func (w *walker) stmt(s ast.Stmt, open map[string]token.Pos) (map[string]token.P
 		if fl, ok := x.Call.Fun.(*ast.FuncLit); ok {
 			inspectSkipFuncLits(fl.Body, func(n ast.Node) {
 				if call, ok := n.(*ast.CallExpr); ok {
-					if ec, ok := classify(w.pass, call); ok {
+					for _, ec := range expand(w.pass, call) {
 						if _, isCloser := closers[ec.event]; isCloser {
 							w.deferred = append(w.deferred, ec)
 						}
 					}
 				}
 			})
+			return open, false
+		}
+		// defer helper() where helper has an emission summary: its closers
+		// run at every subsequent exit, like a direct deferred closer.
+		for _, ec := range expand(w.pass, x.Call) {
+			if _, isCloser := closers[ec.event]; isCloser {
+				w.deferred = append(w.deferred, ec)
+			}
 		}
 	case *ast.ReturnStmt:
 		for _, e := range x.Results {

@@ -10,3 +10,10 @@ import (
 func TestEventPair(t *testing.T) {
 	linttest.Run(t, linttest.TestData(t), "eventpair", eventpair.Analyzer)
 }
+
+// TestEventPairCrossPackage emits Hold/Unhold through xeventdeps wrappers;
+// the emission summaries expand at the call sites with substituted
+// arguments.
+func TestEventPairCrossPackage(t *testing.T) {
+	linttest.Run(t, linttest.TestData(t), "xeventpair", eventpair.Analyzer)
+}

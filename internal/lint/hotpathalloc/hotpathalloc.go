@@ -26,13 +26,13 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"strings"
 
 	"pbox/internal/lint/analysis"
+	"pbox/internal/lint/program"
 )
 
 // Marker is the doc-comment annotation that opts a function into the check.
-const Marker = "//pbox:hotpath"
+const Marker = program.MarkerHotPath
 
 // Analyzer is the hotpathalloc pass.
 var Analyzer = &analysis.Analyzer{
@@ -55,17 +55,7 @@ func run(pass *analysis.Pass) (any, error) {
 }
 
 // annotated reports whether the function's doc comment carries the marker.
-func annotated(fd *ast.FuncDecl) bool {
-	if fd.Doc == nil {
-		return false
-	}
-	for _, c := range fd.Doc.List {
-		if strings.HasPrefix(c.Text, Marker) {
-			return true
-		}
-	}
-	return false
-}
+func annotated(fd *ast.FuncDecl) bool { return program.Marked(fd, Marker) }
 
 func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
 	name := fd.Name.Name

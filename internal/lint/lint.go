@@ -4,11 +4,13 @@ package lint
 
 import (
 	"pbox/internal/lint/analysis"
+	"pbox/internal/lint/atomicpublish"
 	"pbox/internal/lint/eventpair"
 	"pbox/internal/lint/hotpathalloc"
 	"pbox/internal/lint/lockorder"
 	"pbox/internal/lint/reentry"
 	"pbox/internal/lint/snapshotreader"
+	"pbox/internal/lint/viewimmut"
 	"pbox/internal/lint/waitloop"
 )
 
@@ -17,11 +19,13 @@ import (
 // and is excluded; select it explicitly with -passes waitloop.
 func Default() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		atomicpublish.Analyzer,
 		eventpair.Analyzer,
 		hotpathalloc.Analyzer,
 		lockorder.Analyzer,
 		reentry.Analyzer,
 		snapshotreader.Analyzer,
+		viewimmut.Analyzer,
 	}
 }
 

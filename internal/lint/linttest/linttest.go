@@ -49,22 +49,27 @@ func TestData(t *testing.T) string {
 	return root
 }
 
-// Run loads fixture package pkg under srcRoot, applies the analyzers
+// Run loads fixture package pkg under srcRoot — plus every sibling fixture
+// package its imports pull in, so multi-package fixtures exercise the
+// whole-program engine exactly as production runs do — applies the analyzers
 // through the production driver, and diffs surviving diagnostics against
-// the fixture's want comments.
+// the want comments of every loaded fixture file.
 func Run(t *testing.T, srcRoot, pkg string, analyzers ...*analysis.Analyzer) *driver.Result {
 	t.Helper()
 	fset := token.NewFileSet()
-	p, err := loader.CheckSource(srcRoot, filepath.Join(srcRoot, filepath.FromSlash(pkg)), fset)
+	_, all, err := loader.CheckSourceDeps(srcRoot, filepath.Join(srcRoot, filepath.FromSlash(pkg)), fset)
 	if err != nil {
 		t.Fatalf("loading fixture %s: %v", pkg, err)
 	}
-	res, err := driver.Run([]*loader.Package{p}, analyzers)
+	res, err := driver.Run(all, analyzers)
 	if err != nil {
 		t.Fatalf("running analyzers on %s: %v", pkg, err)
 	}
 
-	expects := collectWants(t, p)
+	var expects []*expectation
+	for _, p := range all {
+		expects = append(expects, collectWants(t, p)...)
+	}
 	for _, d := range res.Diagnostics {
 		pos := fset.Position(d.Pos)
 		if !claim(expects, pos.Filename, pos.Line, d.Message) {

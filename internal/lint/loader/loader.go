@@ -168,6 +168,17 @@ var stdExports = make(map[string]string)
 // first (GOPATH-style: import "x" loads srcRoot/x), then against the
 // standard library via on-demand `go list -export`.
 func CheckSource(srcRoot, pkgDir string, fset *token.FileSet) (*Package, error) {
+	target, _, err := CheckSourceDeps(srcRoot, pkgDir, fset)
+	return target, err
+}
+
+// CheckSourceDeps is CheckSource for multi-package fixtures: it returns the
+// target package plus every sibling fixture package loaded to satisfy its
+// imports (the target included, deterministic order), so the golden harness
+// can hand the driver the same whole-program view production runs get.
+// Unlike the export-data path of Load, fixture dependencies are type-checked
+// from source and share object identity with the target's view of them.
+func CheckSourceDeps(srcRoot, pkgDir string, fset *token.FileSet) (*Package, []*Package, error) {
 	loading := make(map[string]bool)
 	pkgs := make(map[string]*Package)
 	var load func(dir, path string) (*Package, error)
@@ -220,7 +231,20 @@ func CheckSource(srcRoot, pkgDir string, fset *token.FileSet) (*Package, error) 
 	if err != nil {
 		rel = filepath.Base(pkgDir)
 	}
-	return load(pkgDir, filepath.ToSlash(rel))
+	target, err := load(pkgDir, filepath.ToSlash(rel))
+	if err != nil {
+		return nil, nil, err
+	}
+	paths := make([]string, 0, len(pkgs))
+	for path := range pkgs {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	all := make([]*Package, 0, len(pkgs))
+	for _, path := range paths {
+		all = append(all, pkgs[path])
+	}
+	return target, all, nil
 }
 
 // importFunc adapts a function to types.Importer.

@@ -20,11 +20,14 @@
 // shard.namesMu, traceRing.mu, eventSpool.mu).
 // A linear abstract interpretation tracks the held-set through each
 // function body (branches merge by union, early returns leave the merge),
-// and a fixpoint over same-package calls summarizes which classes each
-// function may acquire, so "Freeze calls takeActionVerdict while holding
-// pbox.mu" is checked against everything takeActionVerdict transitively
-// locks. Unknown mutexes (types outside the configured table) are ignored:
-// the order is a contract between the manager's own locks.
+// and a whole-program fixpoint over the call graph (SCC-ordered, DESIGN.md
+// §14) summarizes which classes each function may acquire — directly or
+// through calls that cross package boundaries — so "Freeze calls
+// takeActionVerdict while holding pbox.mu" is checked against everything
+// takeActionVerdict transitively locks, and a telemetry or capture helper
+// that re-enters internal/core under a lock is seen from its caller.
+// Unknown mutexes (types outside the configured table) are ignored: the
+// order is a contract between the manager's own locks.
 package lockorder
 
 import (
@@ -33,6 +36,7 @@ import (
 	"go/types"
 
 	"pbox/internal/lint/analysis"
+	"pbox/internal/lint/program"
 )
 
 // Analyzer is the lockorder pass.
@@ -109,8 +113,8 @@ type lockOp struct {
 func run(pass *analysis.Pass) (any, error) {
 	st := &state{
 		pass:      pass,
-		decls:     make(map[*types.Func]*ast.FuncDecl),
-		summaries: make(map[*types.Func]map[lockClass]bool),
+		info:      pass.TypesInfo,
+		summaries: summaries(pass.Prog),
 	}
 	for _, f := range pass.Files {
 		for _, d := range f.Decls {
@@ -118,84 +122,72 @@ func run(pass *analysis.Pass) (any, error) {
 			if !ok || fd.Body == nil {
 				continue
 			}
-			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
-				st.decls[fn] = fd
+			w := &walker{st: st}
+			w.block(fd.Body.List, newHeld())
+			for _, fl := range w.funcLits {
+				inner := &walker{st: st}
+				inner.block(fl.Body.List, newHeld())
 			}
-		}
-	}
-	st.summarize()
-	for fn, fd := range st.decls {
-		_ = fn
-		w := &walker{st: st}
-		w.block(fd.Body.List, newHeld())
-		for _, fl := range w.funcLits {
-			inner := &walker{st: st}
-			inner.block(fl.Body.List, newHeld())
 		}
 	}
 	return nil, nil
 }
 
-// state is the per-package analysis state.
+// state is the per-package walking state: the shared whole-program
+// acquisition summaries plus the current package's type information (lock
+// calls in this package's files resolve through it).
 type state struct {
 	pass      *analysis.Pass
-	decls     map[*types.Func]*ast.FuncDecl
-	summaries map[*types.Func]map[lockClass]bool
+	info      *types.Info
+	summaries map[*program.Func]map[lockClass]bool
 }
 
-// summarize computes, to a fixpoint, the set of lock classes each function
-// may acquire directly or through same-package calls.
-func (st *state) summarize() {
-	for fn := range st.decls {
-		st.summaries[fn] = make(map[lockClass]bool)
-	}
-	for changed := true; changed; {
-		changed = false
-		for fn, fd := range st.decls {
-			sum := st.summaries[fn]
-			before := len(sum)
-			ast.Inspect(fd.Body, func(n ast.Node) bool {
-				call, ok := n.(*ast.CallExpr)
-				if !ok {
-					return true
-				}
-				if op, ok := st.classifyLockCall(call); ok && op.acquire {
-					sum[op.class] = true
-					return true
-				}
-				if callee := st.callee(call); callee != nil {
-					for c := range st.summaries[callee] {
-						sum[c] = true
+// summaries computes — once per program, cached — the set of lock classes
+// every function may acquire, directly or transitively through calls that
+// may cross package boundaries. Bottom-up over the call-graph SCCs with a
+// fixpoint inside each component.
+func summaries(prog *program.Program) map[*program.Func]map[lockClass]bool {
+	return prog.Cache("lockorder.summaries", func() any {
+		sums := make(map[*program.Func]map[lockClass]bool, len(prog.Funcs()))
+		for _, fn := range prog.Funcs() {
+			sums[fn] = make(map[lockClass]bool)
+		}
+		for _, scc := range prog.SCCs() {
+			for changed := true; changed; {
+				changed = false
+				for _, fn := range scc {
+					sum := sums[fn]
+					before := len(sum)
+					info := fn.Pkg.Info
+					ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+						call, ok := n.(*ast.CallExpr)
+						if !ok {
+							return true
+						}
+						if op, ok := classifyLockCall(info, call); ok && op.acquire {
+							sum[op.class] = true
+							return true
+						}
+						if callee := prog.Callee(info, call); callee != nil {
+							for c := range sums[callee] {
+								sum[c] = true
+							}
+						}
+						return true
+					})
+					if len(sum) != before {
+						changed = true
 					}
 				}
-				return true
-			})
-			if len(sum) != before {
-				changed = true
 			}
 		}
-	}
+		return sums
+	}).(map[*program.Func]map[lockClass]bool)
 }
 
-// callee resolves a call to a same-package declared function, or nil.
-func (st *state) callee(call *ast.CallExpr) *types.Func {
-	var obj types.Object
-	switch fun := call.Fun.(type) {
-	case *ast.Ident:
-		obj = st.pass.TypesInfo.Uses[fun]
-	case *ast.SelectorExpr:
-		obj = st.pass.TypesInfo.Uses[fun.Sel]
-	default:
-		return nil
-	}
-	fn, ok := obj.(*types.Func)
-	if !ok {
-		return nil
-	}
-	if _, have := st.decls[fn]; !have {
-		return nil
-	}
-	return fn
+// callee resolves a call to a program function with a known summary, or nil.
+func (st *state) callee(call *ast.CallExpr) *program.Func {
+	return st.pass.Prog.Callee(st.info, call)
 }
 
 // syncLockMethods are the mutex methods the pass models. TryLock is treated
@@ -206,8 +198,9 @@ var syncLockMethods = map[string]bool{
 }
 
 // classifyLockCall recognizes expr as a Lock/Unlock-family call on a
-// configured lock class.
-func (st *state) classifyLockCall(call *ast.CallExpr) (lockOp, bool) {
+// configured lock class, resolving names through the type info of the
+// package the call appears in.
+func classifyLockCall(info *types.Info, call *ast.CallExpr) (lockOp, bool) {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
 		return lockOp{}, false
@@ -218,7 +211,7 @@ func (st *state) classifyLockCall(call *ast.CallExpr) (lockOp, bool) {
 	}
 	// The method must come from package sync (Mutex/RWMutex, possibly via
 	// embedding).
-	obj := st.pass.TypesInfo.Uses[sel.Sel]
+	obj := info.Uses[sel.Sel]
 	fn, ok := obj.(*types.Func)
 	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
 		return lockOp{}, false
@@ -230,7 +223,7 @@ func (st *state) classifyLockCall(call *ast.CallExpr) (lockOp, bool) {
 	if !ok {
 		return lockOp{}, false
 	}
-	ownerType := st.pass.TypesInfo.Types[base.X].Type
+	ownerType := info.Types[base.X].Type
 	if ownerType == nil {
 		return lockOp{}, false
 	}
@@ -326,7 +319,7 @@ func (w *walker) exprCalls(e ast.Expr, h held) {
 			w.funcLits = append(w.funcLits, x)
 			return false
 		case *ast.CallExpr:
-			if op, ok := w.st.classifyLockCall(x); ok {
+			if op, ok := classifyLockCall(w.st.info, x); ok {
 				if op.acquire {
 					w.checkAcquire(x.Pos(), op.class, h, "")
 					h[op.class] = x.Pos()
@@ -385,7 +378,7 @@ func (w *walker) stmt(s ast.Stmt, h held) (held, bool) {
 		// A deferred Unlock keeps the lock held for the remainder of the
 		// body (correct: later acquisitions happen under it). A deferred
 		// anonymous function is analyzed separately.
-		if op, ok := w.st.classifyLockCall(x.Call); ok && op.acquire {
+		if op, ok := classifyLockCall(w.st.info, x.Call); ok && op.acquire {
 			// defer mu.Lock() — acquisition at exit; check against the
 			// current held-set as an approximation.
 			w.checkAcquire(x.Call.Pos(), op.class, h, "deferred ")

@@ -10,3 +10,9 @@ import (
 func TestLockOrder(t *testing.T) {
 	linttest.Run(t, linttest.TestData(t), "lockorder", lockorder.Analyzer)
 }
+
+// TestLockOrderCrossPackage holds local locks while calling xlockdeps
+// helpers whose whole-program acquisition summaries take other classes.
+func TestLockOrderCrossPackage(t *testing.T) {
+	linttest.Run(t, linttest.TestData(t), "xlockorder", lockorder.Analyzer)
+}

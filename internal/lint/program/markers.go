@@ -1,0 +1,41 @@
+// Marker annotations shared across passes. A marker is a doc-comment line
+// beginning with a //pbox: directive; it opts the function into (or out of)
+// a contract that more than one pass consults, so the recognized set and the
+// matching logic live here rather than being re-declared per pass.
+package program
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// The recognized //pbox: function markers.
+const (
+	// MarkerHotPath promises the function is statically allocation-free
+	// (enforced by hotpathalloc).
+	MarkerHotPath = "//pbox:hotpath"
+	// MarkerSnapshotReader promises the function serves observability reads
+	// from the published view and atomics alone (enforced by snapshotreader).
+	MarkerSnapshotReader = "//pbox:snapshotreader"
+	// MarkerSnapshotBuilder names the sanctioned snapshot-rebuild escalation:
+	// snapshotreader stops its walk there, and viewimmut permits StatusView
+	// mutation only inside builder context.
+	MarkerSnapshotBuilder = "//pbox:snapshotbuilder"
+)
+
+// Marked reports whether the function declaration's doc comment carries the
+// marker.
+func Marked(fd *ast.FuncDecl, marker string) bool {
+	if fd == nil || fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(c.Text, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// MarkedAs is Marked lifted to a program function.
+func (f *Func) MarkedAs(marker string) bool { return Marked(f.Decl, marker) }

@@ -1,0 +1,165 @@
+package program_test
+
+import (
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"testing"
+
+	"pbox/internal/lint/loader"
+	"pbox/internal/lint/program"
+)
+
+// buildFixture loads a testdata/src fixture package (and the sibling
+// packages its imports pull in) and builds the whole-program index.
+func buildFixture(t *testing.T, pkg string) *program.Program {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("..", "testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	_, all, err := loader.CheckSourceDeps(root, filepath.Join(root, pkg), fset)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkg, err)
+	}
+	return program.Build(all)
+}
+
+// findFunc locates a program function by bare name.
+func findFunc(t *testing.T, prog *program.Program, name string) *program.Func {
+	t.Helper()
+	for _, fn := range prog.Funcs() {
+		if fn.Name() == name {
+			return fn
+		}
+	}
+	t.Fatalf("function %s not indexed; have %d funcs", name, len(prog.Funcs()))
+	return nil
+}
+
+// TestCrossPackageCallGraph checks that Build links static calls across the
+// fixture package boundary in both directions.
+func TestCrossPackageCallGraph(t *testing.T) {
+	prog := buildFixture(t, "xreentry")
+	collect := findFunc(t, prog, "Collect")
+	collectAll := findFunc(t, prog, "CollectAll")
+
+	hasCallee := false
+	for _, c := range collectAll.Callees {
+		if c == collect {
+			hasCallee = true
+		}
+	}
+	if !hasCallee {
+		t.Errorf("CollectAll.Callees missing Collect: %v", names(collectAll.Callees))
+	}
+	hasCaller := false
+	for _, c := range collect.Callers {
+		if c == collectAll {
+			hasCaller = true
+		}
+	}
+	if !hasCaller {
+		t.Errorf("Collect.Callers missing CollectAll: %v", names(collect.Callers))
+	}
+	if got := prog.FuncOf(collect.Obj); got != collect {
+		t.Errorf("FuncOf(Collect.Obj) = %v, want the indexed Func", got)
+	}
+}
+
+// TestSCCsBottomUp checks the summary-order invariant every pass relies on:
+// a callee's component appears before its caller's.
+func TestSCCsBottomUp(t *testing.T) {
+	prog := buildFixture(t, "xreentry")
+	collect := findFunc(t, prog, "Collect")
+	collectAll := findFunc(t, prog, "CollectAll")
+
+	pos := map[*program.Func]int{}
+	for i, scc := range prog.SCCs() {
+		if len(scc) == 0 {
+			t.Fatalf("SCC %d is empty", i)
+		}
+		for _, fn := range scc {
+			pos[fn] = i
+		}
+	}
+	if len(pos) != len(prog.Funcs()) {
+		t.Errorf("SCCs cover %d funcs, program has %d", len(pos), len(prog.Funcs()))
+	}
+	if pos[collect] >= pos[collectAll] {
+		t.Errorf("Collect's SCC (%d) must precede CollectAll's (%d)", pos[collect], pos[collectAll])
+	}
+}
+
+// TestCacheMemoizes checks that Cache builds once per key.
+func TestCacheMemoizes(t *testing.T) {
+	prog := buildFixture(t, "xreentry")
+	builds := 0
+	build := func() any { builds++; return builds }
+	if v := prog.Cache("test.key", build); v.(int) != 1 {
+		t.Errorf("first Cache call = %v, want 1", v)
+	}
+	if v := prog.Cache("test.key", build); v.(int) != 1 {
+		t.Errorf("second Cache call = %v, want the memoized 1", v)
+	}
+	if builds != 1 {
+		t.Errorf("build ran %d times, want 1", builds)
+	}
+}
+
+// TestMutationSummaries checks the ParamMask dataflow on the xviewdeps
+// fixture: Reset writes through its only parameter, Epoch does not.
+func TestMutationSummaries(t *testing.T) {
+	prog := buildFixture(t, "xviewimmut")
+	sums := prog.MutationSummaries()
+
+	reset := findFunc(t, prog, "Reset")
+	if !sums[reset].Has(0) {
+		t.Errorf("Reset's summary %b should mark parameter 0 written", sums[reset])
+	}
+	epoch := findFunc(t, prog, "Epoch")
+	if sums[epoch] != 0 {
+		t.Errorf("Epoch's summary = %b, want empty (it only reads)", sums[epoch])
+	}
+	if params := program.ParamObjects(reset); len(params) != 1 || params[0].Name() != "v" {
+		t.Errorf("ParamObjects(Reset) = %v, want [v]", params)
+	}
+}
+
+// TestRootIdent checks access-path peeling.
+func TestRootIdent(t *testing.T) {
+	cases := []struct {
+		expr   string
+		root   string
+		peeled bool
+	}{
+		{"v", "v", false},
+		{"v.Counts", "v", true},
+		{"v.Counts[0]", "v", true},
+		{"(*v).Epoch", "v", true},
+		{"1 + 2", "", false},
+	}
+	for _, c := range cases {
+		e, err := parser.ParseExpr(c.expr)
+		if err != nil {
+			t.Fatalf("parsing %q: %v", c.expr, err)
+		}
+		id, peeled := program.RootIdent(e)
+		got := ""
+		if id != nil {
+			got = id.Name
+		}
+		if got != c.root || peeled != c.peeled {
+			t.Errorf("RootIdent(%q) = (%q, %v), want (%q, %v)", c.expr, got, peeled, c.root, c.peeled)
+		}
+	}
+}
+
+func names(fns []*program.Func) []string {
+	out := make([]string, len(fns))
+	for i, f := range fns {
+		out[i] = f.Name()
+	}
+	return out
+}

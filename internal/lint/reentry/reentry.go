@@ -9,19 +9,29 @@
 // LifecycleObserver (looked up in the package itself and its direct
 // imports), takes each callback method as an entry
 // point — except PenaltyServed and PenaltyServedFor, which the contract
-// runs outside all locks — and walks the same-package static call closure.
-// Any reachable call to a method on the Manager type is a finding unless
-// the method is one of the documented lock-free accessors: ResourceName,
-// Crossings, ShardCount. Calls through non-Manager interfaces (e.g. a
-// ResourceNamer field) are not flagged: the indirection is exactly how
-// observers are supposed to defer manager access to safe contexts.
+// runs outside all locks — and walks the static call closure. Within the
+// package the walk is direct; at a call that crosses into another program
+// package it consults the whole-program reach summary (DESIGN.md §14):
+// every function's set of transitively reachable Manager lock-taking
+// methods, computed bottom-up over the call-graph SCCs. A capture or
+// telemetry helper that re-enters internal/core is therefore a finding at
+// the crossing call site, anchored in the observer's own package where a
+// suppression can be written. Any reachable call to a method on the
+// Manager type is a finding unless the method is one of the documented
+// lock-free accessors: ResourceName, Crossings, ShardCount. Calls through
+// non-Manager interfaces (e.g. a ResourceNamer field) are not flagged: the
+// indirection is exactly how observers are supposed to defer manager
+// access to safe contexts.
 package reentry
 
 import (
 	"go/ast"
 	"go/types"
+	"sort"
+	"strings"
 
 	"pbox/internal/lint/analysis"
+	"pbox/internal/lint/program"
 )
 
 // Analyzer is the reentry pass.
@@ -104,7 +114,7 @@ func run(pass *analysis.Pass) (any, error) {
 				if _, have := decls[entry]; !have {
 					continue // promoted from an embedded external type
 				}
-				check(pass, decls, entry, named.Obj().Name()+"."+m.Name())
+				check(pass, decls, reachSummaries(pass.Prog), entry, named.Obj().Name()+"."+m.Name())
 			}
 		}
 	}
@@ -131,9 +141,71 @@ func observerIfaces(pkg *types.Package) []*types.Interface {
 	return out
 }
 
-// check walks the same-package call closure from entry, flagging reachable
-// Manager method calls.
-func check(pass *analysis.Pass, decls map[*types.Func]*ast.FuncDecl, entry *types.Func, callback string) {
+// reachSummaries computes — once per program, cached — the set of Manager
+// lock-taking method names each function transitively reaches, bottom-up
+// over the call-graph SCCs. The lock-free accessors are excluded at the
+// source, so a nonempty summary always names a violation.
+func reachSummaries(prog *program.Program) map[*program.Func]map[string]bool {
+	return prog.Cache("reentry.reach", func() any {
+		sums := make(map[*program.Func]map[string]bool, len(prog.Funcs()))
+		add := func(fn *program.Func, name string) bool {
+			if sums[fn] == nil {
+				sums[fn] = make(map[string]bool)
+			}
+			if sums[fn][name] {
+				return false
+			}
+			sums[fn][name] = true
+			return true
+		}
+		for _, scc := range prog.SCCs() {
+			for changed := true; changed; {
+				changed = false
+				for _, fn := range scc {
+					info := fn.Pkg.Info
+					ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+						call, ok := n.(*ast.CallExpr)
+						if !ok {
+							return true
+						}
+						if obj := program.CalleeObj(info, call); obj != nil {
+							if isManagerMethod(obj) && !lockFree[obj.Name()] {
+								if add(fn, obj.Name()) {
+									changed = true
+								}
+							} else if callee := prog.FuncOf(obj); callee != nil {
+								for name := range sums[callee] {
+									if add(fn, name) {
+										changed = true
+									}
+								}
+							}
+						}
+						return true
+					})
+				}
+			}
+		}
+		return sums
+	}).(map[*program.Func]map[string]bool)
+}
+
+// reachedNames renders a summary as a sorted Manager.X list for messages.
+func reachedNames(sum map[string]bool) string {
+	names := make([]string, 0, len(sum))
+	for n := range sum {
+		names = append(names, "Manager."+n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// check walks the static call closure from entry, flagging reachable
+// Manager method calls. Same-package callees are walked directly (findings
+// anchor at the offending call); callees in other program packages are
+// judged by their whole-program reach summary, with the finding anchored at
+// the crossing call site.
+func check(pass *analysis.Pass, decls map[*types.Func]*ast.FuncDecl, reach map[*program.Func]map[string]bool, entry *types.Func, callback string) {
 	seen := map[*types.Func]bool{}
 	var visit func(fn *types.Func, via string)
 	visit = func(fn *types.Func, via string) {
@@ -166,6 +238,16 @@ func check(pass *analysis.Pass, decls map[*types.Func]*ast.FuncDecl, entry *type
 					next = " (via " + callee.Name() + ")"
 				}
 				visit(callee, next)
+				return true
+			}
+			// A call that leaves the package: the whole-program summary
+			// says whether the callee's closure re-enters the manager.
+			if pfn := pass.Prog.FuncOf(callee); pfn != nil {
+				if sum := reach[pfn]; len(sum) > 0 {
+					pass.Reportf(call.Pos(),
+						"observer callback %s%s calls %s, which reaches %s — manager locks are already held at the callback site",
+						callback, via, callee.Name(), reachedNames(sum))
+				}
 			}
 			return true
 		})

@@ -10,3 +10,10 @@ import (
 func TestReentry(t *testing.T) {
 	linttest.Run(t, linttest.TestData(t), "reentry", reentry.Analyzer)
 }
+
+// TestReentryCrossPackage re-enters the manager through xreentrydeps
+// helpers; the whole-program reach summaries carry the violation across the
+// package boundary and anchor the finding at the crossing call.
+func TestReentryCrossPackage(t *testing.T) {
+	linttest.Run(t, linttest.TestData(t), "xreentry", reentry.Analyzer)
+}

@@ -5,9 +5,8 @@
 //
 // in their doc comment promise to serve observability reads from the
 // published epoch view and lock-free atomics alone: they must not stop the
-// world. The pass walks the same-package static call closure of every
-// annotated function and flags anything that would re-introduce
-// reader-induced interference:
+// world. The pass walks the static call closure of every annotated function
+// and flags anything that would re-introduce reader-induced interference:
 //
 //   - acquiring a shard lock (any Lock/RLock/TryLock on a shard.mu field —
 //     the stop-the-world sweep's unit of interference)
@@ -16,26 +15,37 @@
 //     worker's spool buffer from under it)
 //   - calling flush on an eventSpool (the single-spool variant)
 //
+// The walk crosses package boundaries through the whole-program engine
+// (DESIGN.md §14): every program function carries an interference summary —
+// the stop-the-world operations its own call closure performs, computed
+// bottom-up over the call-graph SCCs — and a call that leaves the package is
+// judged by the callee's summary, with the finding anchored at the crossing
+// call site in the reader's own package. A telemetry wrapper that sweeps
+// core's spools is therefore flagged inside the annotated reader that calls
+// it.
+//
 // The sanctioned escalation — the rebuild that a stale reader triggers — is
-// annotated //pbox:snapshotbuilder; the walk stops at such functions, so
-// StatusView may call rebuildView without a finding while a reader that
-// sweeps spools directly is flagged. Suppress intentional exceptions with
-// //pboxlint:ignore snapshotreader <reason>.
+// annotated //pbox:snapshotbuilder; the walk (and the summary propagation)
+// stops at such functions, so StatusView may call rebuildView without a
+// finding while a reader that sweeps spools directly is flagged. Suppress
+// intentional exceptions with //pboxlint:ignore snapshotreader <reason>.
 package snapshotreader
 
 import (
 	"go/ast"
 	"go/types"
+	"sort"
 	"strings"
 
 	"pbox/internal/lint/analysis"
+	"pbox/internal/lint/program"
 )
 
 // ReaderMarker opts a function into the check; BuilderMarker exempts the
 // sanctioned rebuild escalation from the closure walk.
 const (
-	ReaderMarker  = "//pbox:snapshotreader"
-	BuilderMarker = "//pbox:snapshotbuilder"
+	ReaderMarker  = program.MarkerSnapshotReader
+	BuilderMarker = program.MarkerSnapshotBuilder
 )
 
 // Analyzer is the snapshotreader pass.
@@ -82,10 +92,10 @@ func run(pass *analysis.Pass) (any, error) {
 				continue
 			}
 			decls[fn] = fd
-			if marked(fd, BuilderMarker) {
+			if program.Marked(fd, BuilderMarker) {
 				builders[fn] = true
 			}
-			if marked(fd, ReaderMarker) {
+			if program.Marked(fd, ReaderMarker) {
 				entries = append(entries, fn)
 			}
 		}
@@ -96,21 +106,73 @@ func run(pass *analysis.Pass) (any, error) {
 	return nil, nil
 }
 
-// marked reports whether the function's doc comment carries the marker.
-func marked(fd *ast.FuncDecl, marker string) bool {
-	if fd.Doc == nil {
-		return false
-	}
-	for _, c := range fd.Doc.List {
-		if strings.HasPrefix(c.Text, marker) {
+// interferenceSummaries computes — once per program, cached — the sorted set
+// of stop-the-world operation descriptions each function's call closure
+// performs, bottom-up over the SCCs. Builder-annotated functions keep an
+// empty summary (the sanctioned escalation does not taint its callers), and
+// the union rule therefore stops at them exactly as the direct walk does.
+func interferenceSummaries(prog *program.Program) map[*program.Func]map[string]bool {
+	return prog.Cache("snapshotreader.interference", func() any {
+		sums := make(map[*program.Func]map[string]bool)
+		add := func(fn *program.Func, desc string) bool {
+			if sums[fn] == nil {
+				sums[fn] = make(map[string]bool)
+			}
+			if sums[fn][desc] {
+				return false
+			}
+			sums[fn][desc] = true
 			return true
 		}
-	}
-	return false
+		for _, scc := range prog.SCCs() {
+			for changed := true; changed; {
+				changed = false
+				for _, fn := range scc {
+					if fn.MarkedAs(BuilderMarker) {
+						continue
+					}
+					info := fn.Pkg.Info
+					ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+						call, ok := n.(*ast.CallExpr)
+						if !ok {
+							return true
+						}
+						if desc, flagged := classify(info, call); flagged {
+							if add(fn, desc) {
+								changed = true
+							}
+							return true
+						}
+						if callee := prog.Callee(info, call); callee != nil {
+							for desc := range sums[callee] {
+								if add(fn, desc) {
+									changed = true
+								}
+							}
+						}
+						return true
+					})
+				}
+			}
+		}
+		return sums
+	}).(map[*program.Func]map[string]bool)
 }
 
-// check walks the same-package static call closure from entry, flagging
-// stop-the-world operations. Builder-annotated callees terminate the walk.
+// describeSummary renders a summary as a sorted, semicolon-joined list.
+func describeSummary(sum map[string]bool) string {
+	descs := make([]string, 0, len(sum))
+	for d := range sum {
+		descs = append(descs, d)
+	}
+	sort.Strings(descs)
+	return strings.Join(descs, "; ")
+}
+
+// check walks the static call closure from entry, flagging stop-the-world
+// operations. Builder-annotated callees terminate the walk; callees in other
+// program packages are judged by their whole-program interference summary,
+// with the finding anchored at the crossing call site.
 func check(pass *analysis.Pass, decls map[*types.Func]*ast.FuncDecl, builders map[*types.Func]bool, entry *types.Func) {
 	seen := map[*types.Func]bool{}
 	var visit func(fn *types.Func, via string)
@@ -128,7 +190,7 @@ func check(pass *analysis.Pass, decls map[*types.Func]*ast.FuncDecl, builders ma
 			if !ok {
 				return true
 			}
-			if what, flagged := classify(pass, call); flagged {
+			if what, flagged := classify(pass.TypesInfo, call); flagged {
 				pass.Reportf(call.Pos(),
 					"snapshot reader %s%s %s: //pbox:snapshotreader functions serve from the published view and atomics only",
 					entry.Name(), via, what)
@@ -144,6 +206,16 @@ func check(pass *analysis.Pass, decls map[*types.Func]*ast.FuncDecl, builders ma
 					next = " (via " + callee.Name() + ")"
 				}
 				visit(callee, next)
+				return true
+			}
+			// Crossing into another program package: consult the callee's
+			// whole-program interference summary.
+			if pfn := pass.Prog.FuncOf(callee); pfn != nil && !pfn.MarkedAs(BuilderMarker) {
+				if sum := interferenceSummaries(pass.Prog)[pfn]; len(sum) > 0 {
+					pass.Reportf(call.Pos(),
+						"snapshot reader %s%s calls %s, whose call closure %s: //pbox:snapshotreader functions serve from the published view and atomics only",
+						entry.Name(), via, callee.Name(), describeSummary(sum))
+				}
 			}
 			return true
 		})
@@ -153,8 +225,8 @@ func check(pass *analysis.Pass, decls map[*types.Func]*ast.FuncDecl, builders ma
 
 // classify reports whether call is a flagged stop-the-world operation and
 // describes it.
-func classify(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
-	callee := calleeFunc(pass, call)
+func classify(info *types.Info, call *ast.CallExpr) (string, bool) {
+	callee := calleeObj(info, call)
 	if callee != nil {
 		if why, ok := flushCalls[callee.Name()]; ok {
 			return "calls " + callee.Name() + ", which " + why, true
@@ -168,7 +240,7 @@ func classify(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
 	if !ok || !lockMethods[sel.Sel.Name] {
 		return "", false
 	}
-	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
 	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
 		return "", false
 	}
@@ -176,7 +248,7 @@ func classify(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
 	if !ok {
 		return "", false
 	}
-	if ownerNamed(pass.TypesInfo.Types[base.X].Type) == shardTypeName {
+	if ownerNamed(info.Types[base.X].Type) == shardTypeName {
 		return "acquires a shard lock (" + shardTypeName + "." + base.Sel.Name + "." + sel.Sel.Name + ")", true
 	}
 	return "", false
@@ -184,12 +256,17 @@ func classify(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
 
 // calleeFunc resolves the static callee of a call, if any.
 func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	return calleeObj(pass.TypesInfo, call)
+}
+
+// calleeObj is calleeFunc against a bare types.Info.
+func calleeObj(info *types.Info, call *ast.CallExpr) *types.Func {
 	var obj types.Object
 	switch fun := call.Fun.(type) {
 	case *ast.Ident:
-		obj = pass.TypesInfo.Uses[fun]
+		obj = info.Uses[fun]
 	case *ast.SelectorExpr:
-		obj = pass.TypesInfo.Uses[fun.Sel]
+		obj = info.Uses[fun.Sel]
 	default:
 		return nil
 	}

@@ -1,0 +1,20 @@
+// Fixture dependency for the cross-package mixed atomic/plain access test:
+// this package accesses Stats.N exclusively through the sync/atomic free
+// functions, which places the field in the program-wide atomic set.
+package xatomicdeps
+
+import "sync/atomic"
+
+type Stats struct {
+	N int64
+}
+
+// Bump increments atomically; the &s.N operand is sanctioned address-taking.
+func Bump(s *Stats) {
+	atomic.AddInt64(&s.N, 1)
+}
+
+// Read loads atomically.
+func Read(s *Stats) int64 {
+	return atomic.LoadInt64(&s.N)
+}

@@ -1,0 +1,23 @@
+// Fixture for the atomicpublish mixed-access rule across packages: Stats.N
+// is accessed with sync/atomic in xatomicdeps, so plain reads and writes
+// here — a different package, invisible to any per-package walk — race with
+// those atomics and must be flagged.
+package xatomicmixed
+
+import "xatomicdeps"
+
+// badRead reads the atomically-accessed field plainly.
+func badRead(s *xatomicdeps.Stats) int64 {
+	return s.N // want `plain access to xatomicdeps\.Stats\.N`
+}
+
+// badWrite stores plainly.
+func badWrite(s *xatomicdeps.Stats) {
+	s.N = 0 // want `plain access to xatomicdeps\.Stats\.N`
+}
+
+// goodAtomic stays on the atomic API.
+func goodAtomic(s *xatomicdeps.Stats) int64 {
+	xatomicdeps.Bump(s)
+	return xatomicdeps.Read(s)
+}

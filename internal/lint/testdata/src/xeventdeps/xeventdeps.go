@@ -1,0 +1,44 @@
+// Fixture dependency for the cross-package eventpair test: the EventType
+// constants, a recorder, and wrapper helpers whose §14 emission summaries
+// carry their unconditional event calls — with parameters as placeholders —
+// to call sites in other packages.
+package xeventdeps
+
+type EventType int
+
+const (
+	Prepare EventType = iota
+	Enter
+	Hold
+	Unhold
+)
+
+type Recorder struct{}
+
+func (r *Recorder) Emit(id int, e EventType) {}
+
+// EmitHold emits unconditionally; its summary is Hold with the recorder and
+// id slots as placeholders.
+func EmitHold(r *Recorder, id int) {
+	r.Emit(id, Hold)
+}
+
+// EmitHoldFor wraps EmitHold: summaries compose bottom-up, so this carries
+// the same Hold emission one hop further.
+func EmitHoldFor(r *Recorder, id int) {
+	EmitHold(r, id)
+}
+
+// EmitUnhold is the closing wrapper.
+func EmitUnhold(r *Recorder, id int) {
+	r.Emit(id, Unhold)
+}
+
+// MaybeEmitHold branches before emitting: the conservative top-level scan
+// stops at the if, so its summary is empty and call sites are not treated
+// as emissions.
+func MaybeEmitHold(r *Recorder, id int, ok bool) {
+	if ok {
+		r.Emit(id, Hold)
+	}
+}

@@ -1,0 +1,60 @@
+// Fixture for cross-package eventpair findings: Hold is emitted through
+// xeventdeps wrapper helpers. The §14 emission summaries expand those calls
+// at the call site with this package's arguments substituted into the
+// pairing keys, so an early return between the wrapped Hold and its Unhold
+// is flagged exactly as if the events were inlined.
+package xeventpair
+
+import "xeventdeps"
+
+// badEarlyReturn opens through the wrapper and closes explicitly — but not
+// on the error path.
+func badEarlyReturn(r *xeventdeps.Recorder, id int, fail bool) bool {
+	xeventdeps.EmitHold(r, id) // want `Hold emitted here is not matched by Unhold on every path`
+	if fail {
+		return false
+	}
+	r.Emit(id, xeventdeps.Unhold)
+	return true
+}
+
+// badWrappedBoth opens and closes through wrappers two hops deep; the early
+// return still leaks the hold.
+func badWrappedBoth(r *xeventdeps.Recorder, id int, fail bool) bool {
+	xeventdeps.EmitHoldFor(r, id) // want `Hold emitted here is not matched by Unhold on every path`
+	if fail {
+		return false
+	}
+	xeventdeps.EmitUnhold(r, id)
+	return true
+}
+
+// goodPaired closes on the only path.
+func goodPaired(r *xeventdeps.Recorder, id int) {
+	xeventdeps.EmitHold(r, id)
+	r.Emit(id, xeventdeps.Unhold)
+}
+
+// goodDeferredClose closes via a deferred wrapper: the summary's closer
+// applies at every exit.
+func goodDeferredClose(r *xeventdeps.Recorder, id int, fail bool) bool {
+	xeventdeps.EmitHold(r, id)
+	defer xeventdeps.EmitUnhold(r, id)
+	if fail {
+		return false
+	}
+	return true
+}
+
+// goodSplitPhase only opens: pairing is enforced only when a function holds
+// both sides of a pair, so the split-phase API shape stays clean.
+func goodSplitPhase(r *xeventdeps.Recorder, id int) {
+	xeventdeps.EmitHold(r, id)
+}
+
+// goodConditionalHelper calls a wrapper whose emission is conditional; the
+// conservative summary is empty, so no pairing is assumed or enforced.
+func goodConditionalHelper(r *xeventdeps.Recorder, id int, ok bool) {
+	xeventdeps.MaybeEmitHold(r, id, ok)
+	r.Emit(id, xeventdeps.Unhold)
+}

@@ -1,0 +1,36 @@
+// Fixture dependency for the cross-package lockorder test: helpers in this
+// package acquire ranked manager locks, and the importing package calls them
+// with other locks held. The whole-program summaries (DESIGN.md §14) must
+// carry the acquired classes across the package boundary.
+package xlockdeps
+
+import "sync"
+
+type Manager struct {
+	snap      sync.Mutex
+	reg       sync.Mutex
+	verdictMu sync.Mutex
+}
+
+// TakeRegistry acquires the registry lock: its summary is {Manager.reg}.
+func TakeRegistry(m *Manager) {
+	m.reg.Lock()
+	m.reg.Unlock()
+}
+
+// TakeVerdict acquires the verdict lock through one more hop, so the
+// summary propagation is transitive.
+func TakeVerdict(m *Manager) {
+	takeVerdictInner(m)
+}
+
+func takeVerdictInner(m *Manager) {
+	m.verdictMu.Lock()
+	m.verdictMu.Unlock()
+}
+
+// TakeSnap acquires the outermost rank — safe to call with nothing held.
+func TakeSnap(m *Manager) {
+	m.snap.Lock()
+	m.snap.Unlock()
+}

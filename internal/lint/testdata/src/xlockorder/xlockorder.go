@@ -1,0 +1,52 @@
+// Fixture for cross-package lockorder findings: this package holds ranked
+// locks of its own and calls into xlockdeps helpers whose whole-program
+// summaries acquire other classes. A per-package walk sees none of this;
+// the §14 engine must.
+package xlockorder
+
+import (
+	"sync"
+
+	"xlockdeps"
+)
+
+type shard struct {
+	mu sync.Mutex
+}
+
+type PBox struct {
+	actMu sync.Mutex
+}
+
+// badCrossRegistry inverts the order across the package boundary: shard.mu
+// is held when the callee acquires Manager.reg.
+func badCrossRegistry(m *xlockdeps.Manager, s *shard) {
+	s.mu.Lock()
+	xlockdeps.TakeRegistry(m) // want `call to TakeRegistry acquires Manager\.reg while holding shard\.mu`
+	s.mu.Unlock()
+}
+
+// badCrossTransitive reaches the verdict lock through two cross-package
+// hops with a terminal leaf held.
+func badCrossTransitive(m *xlockdeps.Manager, p *PBox) {
+	p.actMu.Lock()
+	xlockdeps.TakeVerdict(m) // want `call to TakeVerdict acquires Manager\.verdictMu while holding leaf lock PBox\.actMu`
+	p.actMu.Unlock()
+}
+
+// badCrossSnap: even the outermost rank may not be acquired under an
+// event-path lock.
+func badCrossSnap(m *xlockdeps.Manager, s *shard) {
+	s.mu.Lock()
+	xlockdeps.TakeSnap(m) // want `call to TakeSnap acquires Manager\.snap while holding shard\.mu`
+	s.mu.Unlock()
+}
+
+// goodCrossCalls: the same helpers called with nothing held are clean.
+func goodCrossCalls(m *xlockdeps.Manager, s *shard) {
+	xlockdeps.TakeSnap(m)
+	xlockdeps.TakeRegistry(m)
+	s.mu.Lock()
+	s.mu.Unlock()
+	xlockdeps.TakeVerdict(m)
+}

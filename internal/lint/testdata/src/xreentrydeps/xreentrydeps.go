@@ -1,0 +1,29 @@
+// Fixture dependency for the cross-package reentry test: a Manager with
+// lock-taking and lock-free methods, plus helpers whose whole-program reach
+// summaries carry the re-entry across the package boundary.
+package xreentrydeps
+
+type Manager struct{}
+
+// Status takes manager locks (by the pass's contract: any Manager method
+// not on the documented lock-free list).
+func (m *Manager) Status() int { return 0 }
+
+// ResourceName is one of the documented lock-free accessors.
+func (m *Manager) ResourceName(k uintptr) string { return "" }
+
+// Collect re-enters the manager; its reach summary is {Status}.
+func Collect(m *Manager) int {
+	return m.Status()
+}
+
+// CollectAll reaches Status through one more hop — the summaries compose
+// bottom-up over the call graph.
+func CollectAll(m *Manager) int {
+	return Collect(m)
+}
+
+// SafeName touches only the lock-free accessor; its summary is empty.
+func SafeName(m *Manager) string {
+	return m.ResourceName(0)
+}

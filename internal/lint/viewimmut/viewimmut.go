@@ -1,0 +1,335 @@
+// Package viewimmut enforces the deep immutability of published snapshots
+// (DESIGN.md §12, §14): everything reachable from a StatusView a function
+// *obtained* — from StatusView()/RefreshStatusView(), an atomic load, a
+// field, a parameter — is read-only. Readers may hold a view indefinitely
+// and concurrently; one write to a held view's Resources slice or embedded
+// Status corrupts every other reader with no race-detector guarantee of
+// being caught.
+//
+// The pass taints, per function, every variable of type *StatusView that
+// was not provably constructed locally (&StatusView{...} and
+// new(StatusView) are the builder's own fresh value — writes to it before
+// publication are the point; atomicpublish covers the post-publication
+// half). Taint propagates to reference-like locals assigned from paths
+// rooted at a tainted variable (b := v.Resources, p := &v.Status). A write
+// through any tainted root is a finding: field stores, element stores,
+// copy() into it, and calls that pass a tainted path into a parameter the
+// callee's whole-program mutation summary (DESIGN.md §14 ParamMask) marks
+// as written.
+//
+// The sanctioned exception is builder context: functions marked
+// //pbox:snapshotbuilder, plus functions whose every caller (computed on
+// the whole-program call graph, greatest fixpoint so builder-only cycles
+// qualify) is itself builder-context — the helpers a rebuild delegates to
+// may fill in a view that is not yet published. Value copies are exempt by
+// construction: sv := *v copies the struct, and writes to sv's scalar
+// fields touch nothing shared (writes into sv's reference fields still
+// alias the view — a documented false negative, per the suite's
+// no-false-positives stance, DESIGN.md §9). Suppress intentional
+// exceptions with //pboxlint:ignore viewimmut <reason>.
+package viewimmut
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"pbox/internal/lint/analysis"
+	"pbox/internal/lint/program"
+)
+
+// Analyzer is the viewimmut pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "viewimmut",
+	Doc: "anything reachable from an obtained StatusView is read-only " +
+		"outside //pbox:snapshotbuilder context",
+	Run: run,
+}
+
+// viewTypeName is the published snapshot type. Matching by name keeps
+// fixtures self-contained (the pattern of the other passes); core.StatusView
+// is the only such type in the module.
+const viewTypeName = "StatusView"
+
+func run(pass *analysis.Pass) (any, error) {
+	builders := builderContext(pass.Prog)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			if pfn := pass.Prog.FuncOf(obj); pfn != nil && builders[pfn] {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil, nil
+}
+
+// builderContext computes the functions allowed to mutate a view: the
+// //pbox:snapshotbuilder-marked ones and those reachable only from builder
+// context. Greatest fixpoint: start from "every function with callers could
+// qualify" and strike out functions with a non-builder caller until stable,
+// so helpers shared between the rebuild and an ordinary reader do not
+// qualify.
+func builderContext(prog *program.Program) map[*program.Func]bool {
+	return prog.Cache("viewimmut.builders", func() any {
+		ctx := make(map[*program.Func]bool)
+		for _, fn := range prog.Funcs() {
+			ctx[fn] = fn.MarkedAs(program.MarkerSnapshotBuilder) || len(fn.Callers) > 0
+		}
+		for changed := true; changed; {
+			changed = false
+			for _, fn := range prog.Funcs() {
+				if !ctx[fn] || fn.MarkedAs(program.MarkerSnapshotBuilder) {
+					continue
+				}
+				for _, caller := range fn.Callers {
+					if !ctx[caller] {
+						ctx[fn] = false
+						changed = true
+						break
+					}
+				}
+			}
+		}
+		return ctx
+	}).(map[*program.Func]bool)
+}
+
+// isViewPtr reports whether t is *StatusView (through named pointer types
+// too).
+func isViewPtr(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	p, ok := t.Underlying().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := p.Elem().(*types.Named)
+	return ok && named.Obj().Name() == viewTypeName
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+
+	// Locally constructed views are the builder's fresh value, not an
+	// obtained one: a variable every one of whose initializations is
+	// &StatusView{...} or new(StatusView) is exempt from seeding.
+	constructed := map[types.Object]bool{}
+	obtained := map[types.Object]bool{}
+	noteViewVar := func(id *ast.Ident, rhs ast.Expr) {
+		obj := varObj(info, id)
+		if obj == nil || !isViewPtr(obj.Type()) {
+			return
+		}
+		if rhs != nil && isFreshView(info, rhs) {
+			if !obtained[obj] {
+				constructed[obj] = true
+			}
+			return
+		}
+		obtained[obj] = true
+		delete(constructed, obj)
+	}
+
+	// Seed: parameters and receivers of type *StatusView are always
+	// obtained — the caller may hand in a published view.
+	if fd.Recv != nil {
+		for _, field := range fd.Recv.List {
+			for _, name := range field.Names {
+				noteViewVar(name, nil)
+			}
+		}
+	}
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			for _, name := range field.Names {
+				noteViewVar(name, nil)
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			if len(x.Lhs) == len(x.Rhs) {
+				for i, lhs := range x.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						noteViewVar(id, x.Rhs[i])
+					}
+				}
+			} else {
+				for _, lhs := range x.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						noteViewVar(id, nil) // multi-value: assume obtained
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range x.Names {
+				var rhs ast.Expr
+				if i < len(x.Values) {
+					rhs = x.Values[i]
+				} else if x.Values == nil {
+					// var v *StatusView — nil until assigned; the assignment
+					// will classify it.
+					continue
+				}
+				noteViewVar(name, rhs)
+			}
+		case *ast.RangeStmt:
+			if id, ok := x.Value.(*ast.Ident); ok {
+				noteViewVar(id, nil)
+			}
+		}
+		return true
+	})
+
+	// Taint: obtained view variables, plus reference-like locals assigned
+	// from a path rooted at a tainted variable.
+	tainted := map[types.Object]bool{}
+	for obj := range obtained {
+		tainted[obj] = true
+	}
+	rootTainted := func(e ast.Expr) (types.Object, bool) {
+		ex := ast.Unparen(e)
+		if u, ok := ex.(*ast.UnaryExpr); ok && u.Op == token.AND {
+			ex = u.X
+		}
+		id, peeled := program.RootIdent(ex)
+		if id == nil {
+			return nil, false
+		}
+		obj := varObj(info, id)
+		if obj == nil || !tainted[obj] {
+			return nil, false
+		}
+		return obj, peeled
+	}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := varObj(info, id)
+				if obj == nil || tainted[obj] || !program.ReferenceLike(obj.Type()) {
+					continue
+				}
+				if ro, _ := rootTainted(as.Rhs[i]); ro != nil {
+					// A value copy (x := *v) produces a non-reference type
+					// and never lands here; reaching expressions do.
+					tainted[obj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+	if len(tainted) == 0 {
+		return
+	}
+
+	report := func(pos token.Pos, how string, obj types.Object) {
+		pass.Reportf(pos,
+			"%s %s, which reaches an obtained StatusView — published snapshots are deeply read-only outside //pbox:snapshotbuilder context",
+			how, obj.Name())
+	}
+	flagWrite := func(lhs ast.Expr, pos token.Pos) {
+		obj, peeled := rootTainted(lhs)
+		if obj == nil || !peeled {
+			return // rebinding the local is not a write into the view
+		}
+		report(pos, "write through", obj)
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				flagWrite(lhs, x.Pos())
+			}
+		case *ast.IncDecStmt:
+			flagWrite(x.X, x.Pos())
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && isBuiltin(info, id, "copy") {
+				if len(x.Args) >= 1 {
+					if obj, _ := rootTainted(x.Args[0]); obj != nil {
+						report(x.Pos(), "copy into", obj)
+					}
+				}
+				return true
+			}
+			callee := pass.Prog.Callee(info, x)
+			if callee == nil || callee.MarkedAs(program.MarkerSnapshotBuilder) {
+				return true
+			}
+			msum := pass.Prog.MutationSummaries()[callee]
+			if msum == 0 {
+				return true
+			}
+			for pi, argExpr := range program.CallArgExprs(info, x, callee) {
+				if argExpr == nil || !msum.Has(pi) {
+					continue
+				}
+				if obj, _ := rootTainted(argExpr); obj != nil {
+					report(x.Pos(), "call to "+callee.Name()+" (which writes through its parameter) passing", obj)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isFreshView reports whether rhs constructs a new StatusView:
+// &StatusView{...} or new(StatusView).
+func isFreshView(info *types.Info, rhs ast.Expr) bool {
+	e := ast.Unparen(rhs)
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		if cl, ok := ast.Unparen(u.X).(*ast.CompositeLit); ok {
+			if named, ok := info.Types[cl].Type.(*types.Named); ok {
+				return named.Obj().Name() == viewTypeName
+			}
+		}
+		return false
+	}
+	if call, ok := e.(*ast.CallExpr); ok {
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && isBuiltin(info, id, "new") && len(call.Args) == 1 {
+			if named, ok := info.Types[call.Args[0]].Type.(*types.Named); ok {
+				return named.Obj().Name() == viewTypeName
+			}
+		}
+	}
+	return false
+}
+
+// varObj resolves an identifier to its variable object.
+func varObj(info *types.Info, id *ast.Ident) types.Object {
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	if v, ok := obj.(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+// isBuiltin reports whether id resolves to the predeclared builtin name
+// (not a shadowing user declaration).
+func isBuiltin(info *types.Info, id *ast.Ident, name string) bool {
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}

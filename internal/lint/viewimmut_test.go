@@ -1,0 +1,18 @@
+package lint_test
+
+import (
+	"testing"
+
+	"pbox/internal/lint/linttest"
+	"pbox/internal/lint/viewimmut"
+)
+
+func TestViewImmut(t *testing.T) {
+	linttest.Run(t, linttest.TestData(t), "viewimmut", viewimmut.Analyzer)
+}
+
+// TestViewImmutCrossPackage obtains views from xviewdeps and mutates them in
+// xviewimmut; the mutation summaries cross the package boundary.
+func TestViewImmutCrossPackage(t *testing.T) {
+	linttest.Run(t, linttest.TestData(t), "xviewimmut", viewimmut.Analyzer)
+}
