@@ -16,10 +16,13 @@
 // disjoint vs. contended keys, 1/4/NumCPU goroutines) to BENCH_core.json,
 // scale-json sweeps GOMAXPROCS × goroutines × shard count × spool size ×
 // padding × adaptive topology to BENCH_scale.json (with per-row host
-// provenance and scaling-efficiency summaries), and record-cases runs cases
-// with a capture recorder attached and writes one replayable event-log
-// directory per case (pboxreplay consumes them). -out overrides the default
-// output path of all four.
+// provenance and scaling-efficiency summaries), daemon-json measures the
+// daemon's two network front doors — minikv text protocol vs. the batched
+// binary wire protocol — plus resident-vs-hibernated bytes per pBox, writing
+// BENCH_daemon.json (exit 1 if the wire speedup or hibernation bounds fail),
+// and record-cases runs cases with a capture recorder attached and writes one
+// replayable event-log directory per case (pboxreplay consumes them). -out
+// overrides the default output path of all five.
 package main
 
 import (
@@ -36,7 +39,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (fig1..fig16, table3..table5, mistakes, ablate, cases-json, core-json, scale-json, record-cases, all)")
+	exp := flag.String("exp", "all", "experiment id (fig1..fig16, table3..table5, mistakes, ablate, cases-json, core-json, scale-json, daemon-json, record-cases, all)")
 	caseList := flag.String("cases", "", "comma-separated case ids to restrict to")
 	duration := flag.Duration("duration", 0, "per-run measurement duration (default 300ms)")
 	caseDuration := flag.Duration("caseduration", 0, "pin every case's run length exactly, overriding -duration and per-case variance adjustments; recorded in BENCH_cases.json")
@@ -298,6 +301,47 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Printf("baseline %s: within tolerance\n", *baseline)
+		}
+		return
+	}
+	if *exp == "daemon-json" {
+		path := *out
+		if path == "" {
+			path = "BENCH_daemon.json"
+		}
+		doc := experiments.DaemonBench(cfg)
+		if err := experiments.WriteDaemonBench(path, doc); err != nil {
+			fmt.Fprintln(os.Stderr, "daemon-json:", err)
+			os.Exit(1)
+		}
+		for _, r := range doc.Rows {
+			fmt.Printf("%-5s conns=%-3d %12.0f events/s  p99=%-12v batch=%d events\n",
+				r.Protocol, r.Conns, r.EventsPerSec, time.Duration(r.P99IngestNs), r.BatchEvents)
+		}
+		fmt.Printf("wire speedup: %.2fx\n", doc.WireSpeedup)
+		fmt.Printf("bytes/pBox (%d pboxes): resident %.0f, hibernated %.0f\n",
+			doc.HibernatePBoxes, doc.ResidentBytesPerPBox, doc.HibernatedBytesPerPBox)
+		fmt.Printf("wrote %s\n", path)
+		failed := false
+		if err := experiments.CheckDaemonBench(doc); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			failed = true
+		}
+		if *baseline != "" {
+			base, err := experiments.ReadDaemonBench(*baseline)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "baseline:", err)
+				os.Exit(1)
+			}
+			if err := experiments.CompareDaemonBench(base, doc); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				failed = true
+			} else {
+				fmt.Printf("baseline %s: within tolerance\n", *baseline)
+			}
+		}
+		if failed {
+			os.Exit(1)
 		}
 		return
 	}

@@ -77,7 +77,8 @@ func usage() {
 commands:
   top        live culprit ranking from the snapshot's attribution matrix
              (watch mode; -once for a single sample, -interval for the rate)
-  pboxes     per-pBox defer ratios, goals, and penalties
+  pboxes     per-pBox defer ratios, goals, and penalties (-hibernated
+             shows only hibernated pBoxes; the footer always counts them)
   self       manager self-telemetry: snapshot, spool, contention, lock rates
   incidents  list | show <id> — flight-recorder bundles
   dump       freeze an incident bundle now (-reason "...", -precise for an
@@ -269,6 +270,13 @@ func cmdSelf(args []string) error {
 	for _, d := range st.TopologyDecisions {
 		fmt.Printf("  at=%-12d %-6s %4d -> %-4d %s\n", d.AtNs, d.Kind, d.From, d.To, d.Reason)
 	}
+	fmt.Printf("hibernation hibernations=%d wakes=%d hibernated=%d\n",
+		st.Hibernations, st.Wakes, st.Hibernated)
+	if st.Wire != nil {
+		fmt.Printf("wire        conns=%d/%d frames=%d events=%d shed_conn=%d shed_global=%d bind_refused=%d errors=%d\n",
+			st.Wire.ConnsActive, st.Wire.ConnsTotal, st.Wire.Frames, st.Wire.Events,
+			st.Wire.ShedConn, st.Wire.ShedGlobal, st.Wire.BindRefused, st.Wire.Errors)
+	}
 	fmt.Printf("crossings   %d\n", st.Crossings)
 	fmt.Printf("verdicts    count=%d sum=%s\n", st.VerdictLatency.Count, st.VerdictLatency.Sum)
 	for _, b := range st.VerdictLatency.Buckets {
@@ -279,6 +287,7 @@ func cmdSelf(args []string) error {
 
 func cmdPBoxes(args []string) error {
 	fs, addr := flagSet("pboxes")
+	hibOnly := fs.Bool("hibernated", false, "show only hibernated pBoxes")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -286,13 +295,22 @@ func cmdPBoxes(args []string) error {
 	if err := getJSON(*addr, "/pboxes", &statuses); err != nil {
 		return err
 	}
-	fmt.Printf("%-5s %-16s %-9s %-6s %-10s %-12s %-5s %s\n",
+	hibernated := 0
+	fmt.Printf("%-5s %-16s %-10s %-6s %-10s %-12s %-5s %s\n",
 		"ID", "LABEL", "STATE", "GOAL", "RATIO", "DEFER", "PEN", "SERVED")
 	for _, s := range statuses {
-		fmt.Printf("%-5d %-16s %-9s %-6.2f %-10.3f %-12s %-5d %s\n",
+		hib := s.State == "hibernated"
+		if hib {
+			hibernated++
+		}
+		if *hibOnly && !hib {
+			continue
+		}
+		fmt.Printf("%-5d %-16s %-10s %-6.2f %-10.3f %-12s %-5d %s\n",
 			s.ID, s.Label, s.State, s.Goal, s.DeferRatio, s.TotalDefer,
 			s.PenaltiesReceived, s.PenaltyServed)
 	}
+	fmt.Printf("%d pboxes, %d hibernated\n", len(statuses), hibernated)
 	return nil
 }
 

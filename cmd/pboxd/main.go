@@ -35,6 +35,7 @@ import (
 	"pbox/internal/isolation"
 	"pbox/internal/stats"
 	"pbox/internal/telemetry"
+	"pbox/internal/wire"
 	"pbox/internal/workload"
 )
 
@@ -54,6 +55,12 @@ func main() {
 		victims   = flag.Int("victims", 2, "victim get-clients in -demo mode")
 		incidents = flag.String("incidents", "incidents", "flight-recorder incidents directory (empty disables)")
 		record    = flag.String("record", "", "capture full replayable event log into this directory (pboxreplay consumes it)")
+
+		wireAddr   = flag.String("wire", "127.0.0.1:7272", "TCP listen address for the batched binary ingestion protocol (empty disables)")
+		wireRate   = flag.Float64("wire-rate", 0, "per-connection wire event admission rate (events/sec, 0 = unlimited)")
+		wireBurst  = flag.Int("wire-burst", 0, "per-connection wire admission bucket depth (0 = default)")
+		wireGRate  = flag.Float64("wire-global-rate", 0, "global wire event-rate ceiling across all connections (events/sec, 0 = unlimited)")
+		wireGBurst = flag.Int("wire-global-burst", 0, "global wire admission bucket depth (0 = default)")
 	)
 	flag.Parse()
 
@@ -128,11 +135,38 @@ func main() {
 	log.Printf("pboxd: serving minikv on %s (capacity=%d evict-scan=%d goal=%.2f shards=%d spool=%d topology=%s)",
 		ln.Addr(), cfg.Capacity, cfg.EvictScanItems, rule.Level, mgr.ShardCount(), mgr.SpoolCapacity(), topoMode)
 
+	// The wire front door: the batched binary ingestion protocol for
+	// external feeders (DESIGN.md §15), served alongside minikv on its own
+	// listener, with admission control at the socket.
+	var wireSrv *wire.Server
+	if *wireAddr != "" {
+		wireSrv = wire.NewServer(mgr, wire.Config{
+			PerConnRate:  *wireRate,
+			PerConnBurst: *wireBurst,
+			GlobalRate:   *wireGRate,
+			GlobalBurst:  *wireGBurst,
+		})
+		wln, err := net.Listen("tcp", *wireAddr)
+		if err != nil {
+			log.Fatalf("pboxd: wire listen %s: %v", *wireAddr, err)
+		}
+		go func() {
+			if err := wireSrv.Serve(wln); err != nil {
+				log.Printf("pboxd: wire server: %v", err)
+			}
+		}()
+		log.Printf("pboxd: wire ingestion on %s (per-conn rate=%.0f global rate=%.0f, 0 = unlimited)",
+			wln.Addr(), *wireRate, *wireGRate)
+	}
+
 	var httpSrv *http.Server
 	if *httpAddr != "" {
 		exp := telemetry.NewExporter(reg, mgr)
 		if rec != nil {
 			exp.AttachFlightRecorder(rec)
+		}
+		if wireSrv != nil {
+			exp.AttachWire(wireSrv)
 		}
 		httpSrv = &http.Server{Addr: *httpAddr, Handler: exp.Handler()}
 		hln, err := net.Listen("tcp", *httpAddr)
@@ -168,9 +202,20 @@ func main() {
 	}
 
 	srv.Close()
+	if wireSrv != nil {
+		// Close waits for every connection handler to drain its worker
+		// spool, so wire tail events reach the books before the recorders
+		// close.
+		wireSrv.Close()
+	}
 	if httpSrv != nil {
 		httpSrv.Close()
 	}
+	// Final drain: sweep every worker spool (flush-on-read) so Tier-A tail
+	// events still buffered at shutdown are replayed into the manager — and
+	// through it into the capture recorder — before the recorders flush and
+	// close. Without this, SIGTERM could drop spooled events on the floor.
+	_ = mgr.Snapshots()
 	if rec != nil {
 		rec.Close()
 	}

@@ -324,12 +324,11 @@ func (m *Manager) Create(rule IsolationRule) (*PBox, error) {
 		return nil, fmt.Errorf("pbox: invalid isolation rule %+v", rule)
 	}
 	m.crossings.Add(1)
-	p := &PBox{
-		rule:      rule,
-		mgr:       m,
-		holders:   make(map[ResourceKey]holdInfo),
-		preparing: make(map[ResourceKey]int),
-	}
+	// The event-structural maps are allocated lazily at the first Activate
+	// (the same point a hibernated pBox re-inflates), so a registered-but-
+	// idle pBox costs only the struct itself — the million-registered,
+	// few-active regime Manager.Hibernate exists for.
+	p := &PBox{rule: rule, mgr: m}
 	m.reg.Lock()
 	m.reg.nextID++
 	p.id = m.reg.nextID
@@ -355,6 +354,9 @@ func (m *Manager) Release(p *PBox) error {
 	if p.stateIs(StateDestroyed) {
 		p.mu.Unlock()
 		return ErrReleased
+	}
+	if p.stateIs(StateHibernated) {
+		m.self.hibernated.Add(-1)
 	}
 	p.setState(StateDestroyed)
 	for key := range p.preparing {
@@ -419,6 +421,20 @@ func (m *Manager) Activate(p *PBox) {
 	defer p.mu.Unlock()
 	if p.stateIs(StateDestroyed) {
 		return
+	}
+	if p.stateIs(StateHibernated) {
+		// Transparent wake: hibernation is invisible to callers because
+		// Activate — the only entry into an active window — restores
+		// everything Hibernate compacted before tracing resumes.
+		m.self.wakes.Add(1)
+		m.self.hibernated.Add(-1)
+		m.traceEvent(p, 0, "wake", 0)
+	}
+	if p.holders == nil {
+		p.holders = make(map[ResourceKey]holdInfo)
+	}
+	if p.preparing == nil {
+		p.preparing = make(map[ResourceKey]int)
 	}
 	p.setState(StateActive)
 	now := m.opts.Now()

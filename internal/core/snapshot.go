@@ -228,6 +228,9 @@ type selfCounters struct {
 	spoolOverflows       atomic.Int64
 	contentionClaims     atomic.Int64
 	contentionRevokes    atomic.Int64
+	hibernations         atomic.Int64
+	wakes                atomic.Int64
+	hibernated           atomic.Int64 // gauge: currently hibernated pBoxes
 	verdictLatency       latencyHist
 }
 
@@ -323,6 +326,13 @@ type SelfStats struct {
 	SpoolResizes      int64              // spool-capacity retunes performed
 	TopologyDecisions []TopologyDecision // bounded recent decision log
 
+	// Hibernation (DESIGN.md §15): registered-but-idle pBoxes compacted to
+	// their minimal footprint by Manager.Hibernate and woken transparently
+	// by Activate.
+	Hibernations int64 // pBoxes compacted by Manager.Hibernate
+	Wakes        int64 // hibernated pBoxes transparently woken by Activate
+	Hibernated   int64 // pBoxes currently hibernated (gauge)
+
 	// VerdictLatency distributes the wall-clock length of the verdictMu
 	// critical sections (lock wait + detection + action scheduling).
 	VerdictLatency LatencyHistogram
@@ -347,6 +357,9 @@ func (m *Manager) SelfStats() SelfStats {
 		SpoolOverflows:        m.self.spoolOverflows.Load(),
 		ContentionClaims:      m.self.contentionClaims.Load(),
 		ContentionRevocations: m.self.contentionRevokes.Load(),
+		Hibernations:          m.self.hibernations.Load(),
+		Wakes:                 m.self.wakes.Load(),
+		Hibernated:            m.self.hibernated.Load(),
 		VerdictLatency:        m.self.verdictLatency.snapshot(),
 		Crossings:             m.crossings.Load(),
 		AdaptiveTopology:      m.opts.AdaptiveTopology,

@@ -1,0 +1,417 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pbox/internal/apps/minikv"
+	"pbox/internal/core"
+	"pbox/internal/isolation"
+	"pbox/internal/wire"
+	"pbox/internal/workload"
+)
+
+// Daemon ingestion benchmark: how many manager events per second pboxd's two
+// network front doors sustain on the same host, and what a pBox costs in
+// bytes when it is resident versus hibernated. The "text" row drives the
+// minikv line protocol with closed-loop clients — one request/response round
+// trip per operation, a handful of manager events each — which is the
+// ingestion discipline pboxd had before the wire tier. The "wire" row drives
+// the batched binary protocol (internal/wire): each client streams frames of
+// delta-encoded events through a per-connection Worker (the Tier-A spool fast
+// path, the design target for external feeders) and uses ping — a full
+// ingestion barrier — as the closed-loop response. Both rows count events at
+// the same place, the manager's EventFilter, so the comparison measures the
+// protocols, not the counters. WireSpeedup is the headline number of the
+// ingestion tier (acceptance: ≥ 5× on the same host); the hibernation figures
+// are the memory half of the million-pBox goal (acceptance: ≤ 512 bytes per
+// hibernated pBox).
+
+// DaemonBenchRow is one (protocol, connection-count) ingestion measurement.
+type DaemonBenchRow struct {
+	// Protocol is "text" (minikv line protocol, one round trip per op) or
+	// "wire" (batched binary protocol, ping-barriered frames).
+	Protocol string `json:"protocol"`
+	Conns    int    `json:"conns"`
+	// Events is how many state events the manager's EventFilter counted.
+	Events       int64   `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	// P99IngestNs is the p99 closed-loop ingest latency in nanoseconds:
+	// for text, one op round trip; for wire, one batch flush + ping barrier
+	// (the events are on the manager's books when the pong arrives).
+	P99IngestNs int64 `json:"p99_ingest_ns"`
+	// BatchEvents is the events per closed-loop round trip (1 op ≈ a few
+	// events for text; the frame batch size for wire) — the context for
+	// reading P99IngestNs.
+	BatchEvents int `json:"batch_events"`
+}
+
+// DaemonBenchFile is the BENCH_daemon.json document.
+type DaemonBenchFile struct {
+	GOMAXPROCS int `json:"gomaxprocs"`
+	NumCPU     int `json:"numcpu"`
+	Conns      int `json:"conns"`
+	DurationMs int `json:"duration_ms"`
+	// Rows holds the text and wire ingestion measurements.
+	Rows []DaemonBenchRow `json:"rows"`
+	// WireSpeedup is wire events/sec ÷ text events/sec at the same
+	// connection count — the headline number of the batched binary
+	// ingestion tier (acceptance: ≥ 5).
+	WireSpeedup float64 `json:"wire_speedup"`
+	// HibernatePBoxes is how many pBoxes the memory sweep registered.
+	HibernatePBoxes int `json:"hibernate_pboxes"`
+	// ResidentBytesPerPBox and HibernatedBytesPerPBox are HeapAlloc deltas
+	// per pBox (runtime.MemStats, after runtime.GC) for pBoxes that each ran
+	// one real activity: first frozen-resident, then hibernated
+	// (acceptance: hibernated ≤ 512).
+	ResidentBytesPerPBox   float64 `json:"resident_bytes_per_pbox"`
+	HibernatedBytesPerPBox float64 `json:"hibernated_bytes_per_pbox"`
+}
+
+// daemonBenchConns is the closed-loop client pool: fixed (not NumCPU-scaled)
+// so BENCH_daemon.json rows compare across hosts.
+const daemonBenchConns = 4
+
+// daemonBenchPairs is the wire row's batch size in hold/unhold pairs per
+// ping-barriered frame.
+const daemonBenchPairs = 1024
+
+// daemonCounting returns manager options for an ingestion row: penalties
+// swallowed (the benchmark measures the protocols, not the clock) and every
+// event counted at the EventFilter — the one point both protocols cross.
+func daemonCounting(events *atomic.Int64) core.Options {
+	return core.Options{
+		Sleep: func(time.Duration) {},
+		EventFilter: func(core.ResourceKey, core.EventType) bool {
+			events.Add(1)
+			return true
+		},
+	}
+}
+
+// p99 returns the 99th-percentile of the samples (nanoseconds); 0 when empty.
+func p99(samples []time.Duration) int64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	return samples[len(samples)*99/100].Nanoseconds()
+}
+
+// runDaemonText measures the minikv text protocol: conns closed-loop clients
+// alternating get/set over real sockets for dur, events counted at the
+// manager.
+func runDaemonText(conns int, dur time.Duration) DaemonBenchRow {
+	var events atomic.Int64
+	mgr := core.NewManager(daemonCounting(&events))
+	ctrl := isolation.NewPBox(mgr, core.DefaultRule())
+	kv := minikv.New(minikv.DefaultConfig())
+	srv := minikv.NewServer(kv, ctrl)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+	addr := ln.Addr().String()
+
+	var (
+		quit    atomic.Bool
+		wg      sync.WaitGroup
+		sampMu  sync.Mutex
+		samples []time.Duration
+	)
+	t0 := time.Now()
+	for i := 0; i < conns; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := workload.DialKV(addr, fmt.Sprintf("bench-%d", i))
+			if err != nil {
+				panic(err)
+			}
+			defer c.Close()
+			local := make([]time.Duration, 0, 1<<16)
+			for n := 0; !quit.Load(); n++ {
+				key := n % 1024
+				s0 := time.Now()
+				if n%2 == 0 {
+					err = c.Set(key)
+				} else {
+					_, err = c.Get(key)
+				}
+				local = append(local, time.Since(s0))
+				if err != nil {
+					panic(err)
+				}
+			}
+			sampMu.Lock()
+			samples = append(samples, local...)
+			sampMu.Unlock()
+		}(i)
+	}
+	time.Sleep(dur)
+	quit.Store(true)
+	wg.Wait()
+	elapsed := time.Since(t0)
+
+	row := DaemonBenchRow{Protocol: "text", Conns: conns, Events: events.Load()}
+	if sec := elapsed.Seconds(); sec > 0 {
+		row.EventsPerSec = float64(row.Events) / sec
+	}
+	row.P99IngestNs = p99(samples)
+	if n := int64(len(samples)); n > 0 {
+		row.BatchEvents = int(row.Events / n)
+	}
+	return row
+}
+
+// runDaemonWire measures the batched binary protocol: conns clients each
+// streaming daemonBenchPairs hold/unhold pairs per frame against their own
+// tenant and resource key (the Tier-A fast path), with a ping barrier closing
+// each loop iteration so the latency sample covers decode, admission, and the
+// worker flush.
+func runDaemonWire(conns int, dur time.Duration) DaemonBenchRow {
+	var events atomic.Int64
+	mgr := core.NewManager(daemonCounting(&events))
+	s := wire.NewServer(mgr, wire.Config{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	go s.Serve(ln)
+	defer s.Close()
+	addr := ln.Addr().String()
+
+	var (
+		quit    atomic.Bool
+		wg      sync.WaitGroup
+		sampMu  sync.Mutex
+		samples []time.Duration
+	)
+	t0 := time.Now()
+	for i := 0; i < conns; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := wire.Dial(addr)
+			if err != nil {
+				panic(err)
+			}
+			defer c.Close()
+			tenant := uint64(i + 1)
+			c.Register(tenant, core.DefaultRule(), fmt.Sprintf("bench-%d", i))
+			c.Activate(tenant)
+			c.Select(tenant)
+			key := core.ResourceKey(0x1000 + i)
+			local := make([]time.Duration, 0, 1<<12)
+			var seq uint64
+			for !quit.Load() {
+				s0 := time.Now()
+				for n := 0; n < daemonBenchPairs; n++ {
+					c.Event(key, core.Hold)
+					c.Event(key, core.Unhold)
+				}
+				seq++
+				if _, err := c.Ping(seq); err != nil {
+					panic(err)
+				}
+				local = append(local, time.Since(s0))
+			}
+			sampMu.Lock()
+			samples = append(samples, local...)
+			sampMu.Unlock()
+		}(i)
+	}
+	time.Sleep(dur)
+	quit.Store(true)
+	wg.Wait()
+	elapsed := time.Since(t0)
+
+	row := DaemonBenchRow{
+		Protocol:    "wire",
+		Conns:       conns,
+		Events:      events.Load(),
+		BatchEvents: 2 * daemonBenchPairs,
+	}
+	if sec := elapsed.Seconds(); sec > 0 {
+		row.EventsPerSec = float64(row.Events) / sec
+	}
+	row.P99IngestNs = p99(samples)
+	return row
+}
+
+// measureHibernation registers n pBoxes that each run one real activity
+// (hold/unhold on a bounded key space, then freeze) and reports the HeapAlloc
+// delta per pBox resident and after hibernating all of them. The key space is
+// bounded because per-resource shard-side state is charged to resources, not
+// tenants — the bound under test is bytes per pBox.
+func measureHibernation(n int) (resident, hibernated float64) {
+	var clock atomic.Int64
+	mgr := core.NewManager(core.Options{
+		Sleep: func(time.Duration) {},
+		Now:   clock.Load,
+	})
+	heap := func() int64 {
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return int64(ms.HeapAlloc)
+	}
+	before := heap()
+	pboxes := make([]*core.PBox, n)
+	for i := range pboxes {
+		p, err := mgr.Create(core.DefaultRule())
+		if err != nil {
+			panic(err)
+		}
+		mgr.Activate(p)
+		key := core.ResourceKey(1 + i%4096)
+		mgr.Update(p, key, core.Hold)
+		clock.Add(int64(10 * time.Microsecond))
+		mgr.Update(p, key, core.Unhold)
+		mgr.Freeze(p)
+		pboxes[i] = p
+	}
+	resident = float64(heap()-before) / float64(n)
+	for _, p := range pboxes {
+		if err := mgr.Hibernate(p); err != nil {
+			panic(err)
+		}
+	}
+	hibernated = float64(heap()-before) / float64(n)
+	runtime.KeepAlive(pboxes)
+	return resident, hibernated
+}
+
+// DaemonBench runs both ingestion rows and the hibernation memory sweep.
+// Quick mode cuts the measurement duration and the sweep size for smoke
+// tests.
+func DaemonBench(cfg Config) DaemonBenchFile {
+	dur := 2 * time.Second
+	hibN := 100_000
+	if cfg.Quick {
+		dur = 500 * time.Millisecond
+		hibN = 20_000
+	}
+	doc := DaemonBenchFile{
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		NumCPU:          runtime.NumCPU(),
+		Conns:           daemonBenchConns,
+		DurationMs:      int(dur.Milliseconds()),
+		HibernatePBoxes: hibN,
+	}
+	text := runDaemonText(daemonBenchConns, dur)
+	wireRow := runDaemonWire(daemonBenchConns, dur)
+	doc.Rows = []DaemonBenchRow{text, wireRow}
+	if text.EventsPerSec > 0 {
+		doc.WireSpeedup = wireRow.EventsPerSec / text.EventsPerSec
+	}
+	doc.ResidentBytesPerPBox, doc.HibernatedBytesPerPBox = measureHibernation(hibN)
+	return doc
+}
+
+// Daemon bench acceptance bounds (checked on every fresh run, baseline or
+// not): the wire tier must ingest at least daemonBenchMinSpeedup× the text
+// protocol's events/sec on the same host, and a hibernated pBox must fit in
+// daemonBenchMaxHibernatedBytes bytes.
+const (
+	daemonBenchMinSpeedup         = 5.0
+	daemonBenchMaxHibernatedBytes = 512.0
+)
+
+// CheckDaemonBench enforces the fresh-run acceptance bounds on a document.
+func CheckDaemonBench(doc DaemonBenchFile) error {
+	var failures []string
+	if doc.WireSpeedup < daemonBenchMinSpeedup {
+		failures = append(failures, fmt.Sprintf(
+			"wire speedup %.2fx < %.1fx required", doc.WireSpeedup, daemonBenchMinSpeedup))
+	}
+	if doc.HibernatedBytesPerPBox > daemonBenchMaxHibernatedBytes {
+		failures = append(failures, fmt.Sprintf(
+			"hibernated bytes/pBox %.0f > %.0f allowed",
+			doc.HibernatedBytesPerPBox, daemonBenchMaxHibernatedBytes))
+	}
+	if doc.HibernatedBytesPerPBox >= doc.ResidentBytesPerPBox {
+		failures = append(failures, fmt.Sprintf(
+			"hibernation did not shrink the footprint: resident %.0f, hibernated %.0f",
+			doc.ResidentBytesPerPBox, doc.HibernatedBytesPerPBox))
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("daemon bench acceptance:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
+// daemonBenchRegressionTolerance is how much slower (events/sec) a protocol
+// row may measure against the committed baseline before CompareDaemonBench
+// fails. Wide, because both rows cross real sockets on a shared CI host and
+// the text row is dominated by round-trip scheduling.
+const daemonBenchRegressionTolerance = 1.6
+
+// CompareDaemonBench checks a fresh run against a committed baseline: each
+// protocol row present in both documents (matched on protocol and connection
+// count) must not regress more than the tolerance in events/sec. The
+// acceptance bounds of CheckDaemonBench are enforced separately and always.
+func CompareDaemonBench(baseline, current DaemonBenchFile) error {
+	type rowKey struct {
+		protocol string
+		conns    int
+	}
+	base := map[rowKey]DaemonBenchRow{}
+	for _, r := range baseline.Rows {
+		base[rowKey{r.Protocol, r.Conns}] = r
+	}
+	var failures []string
+	for _, r := range current.Rows {
+		b, ok := base[rowKey{r.Protocol, r.Conns}]
+		if !ok || b.EventsPerSec <= 0 || r.EventsPerSec <= 0 {
+			continue
+		}
+		if r.EventsPerSec < b.EventsPerSec/daemonBenchRegressionTolerance {
+			failures = append(failures, fmt.Sprintf(
+				"%s @%d conns: %.0f events/s vs baseline %.0f events/s (%.2fx slower > %.2fx allowed)",
+				r.Protocol, r.Conns, r.EventsPerSec, b.EventsPerSec,
+				b.EventsPerSec/r.EventsPerSec, daemonBenchRegressionTolerance))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("daemon bench regression:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
+// ReadDaemonBench loads a committed BENCH_daemon.json.
+func ReadDaemonBench(path string) (DaemonBenchFile, error) {
+	var doc DaemonBenchFile
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return doc, err
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return doc, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return doc, nil
+}
+
+// WriteDaemonBench writes the document at path (write-then-rename, so a
+// concurrent reader never sees a torn file).
+func WriteDaemonBench(path string, doc DaemonBenchFile) error {
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

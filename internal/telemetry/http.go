@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"pbox/internal/core"
+	"pbox/internal/wire"
 )
 
 // maxTraceWait bounds how long a /trace long-poll may block.
@@ -132,6 +133,10 @@ type Exporter struct {
 	reg *Registry
 	mgr *core.Manager
 	mux *http.ServeMux
+	// wireSrv is the attached wire-ingestion server (AttachWire); its
+	// counters render as the pbox_self_wire_* series and the /self "wire"
+	// section.
+	wireSrv *wire.Server
 }
 
 // NewExporter builds the exporter. reg may be nil when only /pboxes and
@@ -184,6 +189,9 @@ func (e *Exporter) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	if e.mgr != nil {
 		writeSelfMetrics(w, e.mgr.SelfStats())
+	}
+	if e.wireSrv != nil {
+		writeWireMetrics(w, e.wireSrv.Stats())
 	}
 }
 

@@ -140,9 +140,17 @@ type SelfResponse struct {
 	SpoolResizes      int64              `json:"spool_resizes"`
 	TopologyDecisions []TopologyDecision `json:"topology_decisions,omitempty"`
 
+	Hibernations int64 `json:"hibernations"`
+	Wakes        int64 `json:"wakes"`
+	Hibernated   int64 `json:"hibernated"`
+
 	Crossings int64 `json:"crossings"`
 
 	VerdictLatency VerdictLatencyStatus `json:"verdict_latency"`
+
+	// Wire is the attached wire-ingestion server's counters (absent when no
+	// wire server is attached).
+	Wire *WireSelf `json:"wire,omitempty"`
 }
 
 // TopologyDecision is the wire form of one adaptive-sizer (or manual)
@@ -186,6 +194,10 @@ func selfResponse(st core.SelfStats) SelfResponse {
 		ShardResizes:     st.ShardResizes,
 		SpoolResizes:     st.SpoolResizes,
 
+		Hibernations: st.Hibernations,
+		Wakes:        st.Wakes,
+		Hibernated:   st.Hibernated,
+
 		Crossings: st.Crossings,
 
 		VerdictLatency: VerdictLatencyStatus{
@@ -214,7 +226,11 @@ func (e *Exporter) handleSelf(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "manager not attached", http.StatusNotFound)
 		return
 	}
-	writeJSON(w, selfResponse(e.mgr.SelfStats()))
+	resp := selfResponse(e.mgr.SelfStats())
+	if e.wireSrv != nil {
+		resp.Wire = wireSelf(e.wireSrv.Stats())
+	}
+	writeJSON(w, resp)
 }
 
 // writeSelfMetrics renders SelfStats as the pbox_self_* Prometheus series.
@@ -253,6 +269,10 @@ func writeSelfMetrics(w io.Writer, st core.SelfStats) {
 	writeSelfCounter(w, "pbox_self_topology_ticks_total", "Adaptive-sizer evaluation ticks.", st.TopologyTicks)
 	writeSelfCounter(w, "pbox_self_topology_shard_resizes_total", "Shard stripe-set migrations (adaptive or manual).", st.ShardResizes)
 	writeSelfCounter(w, "pbox_self_topology_spool_resizes_total", "Spool-capacity retunes (adaptive or manual).", st.SpoolResizes)
+
+	writeSelfCounter(w, "pbox_self_hibernations_total", "pBoxes compacted by Manager.Hibernate.", st.Hibernations)
+	writeSelfCounter(w, "pbox_self_wakes_total", "Hibernated pBoxes transparently woken by Activate.", st.Wakes)
+	writeSelfGauge(w, "pbox_self_hibernated", "pBoxes currently hibernated.", st.Hibernated)
 
 	writeSelfCounter(w, "pbox_self_crossings_total", "Conceptual user/kernel boundary crossings.", st.Crossings)
 

@@ -1,0 +1,79 @@
+package wire
+
+import "sync"
+
+// Admission control (DESIGN.md §15): the wire front door is the one place an
+// external, possibly misbehaving feeder meets the manager, so it carries its
+// own load shedding — a token bucket per connection plus a global event-rate
+// ceiling across all connections. Only event ops are metered; registration
+// and lifecycle ops are rare, cheap, and semantically load-bearing (shedding
+// a freeze would corrupt the tenant's activity accounting, shedding an event
+// only loses one sample). A shed event is dropped before any manager work —
+// no slot, spool, or shard traffic — and counted, never blocked on.
+
+// bucket is a classic token bucket. Not safe for concurrent use; the
+// per-connection instance is owned by its connection goroutine.
+type bucket struct {
+	rate   float64 // tokens per second; <= 0 disables the bucket
+	burst  float64 // bucket depth
+	tokens float64
+	lastNs int64
+}
+
+func newBucket(rate float64, burst int, nowNs int64) bucket {
+	if burst <= 0 {
+		// Default depth: 100ms of line rate, floored so tiny rates still
+		// admit bursts of a sane size.
+		burst = int(rate / 10)
+		if burst < 1024 {
+			burst = 1024
+		}
+	}
+	return bucket{rate: rate, burst: float64(burst), tokens: float64(burst), lastNs: nowNs}
+}
+
+// take grants up to n tokens at time nowNs and returns how many were
+// granted. A disabled bucket grants everything.
+func (b *bucket) take(nowNs int64, n int) int {
+	if b.rate <= 0 {
+		return n
+	}
+	if dt := nowNs - b.lastNs; dt > 0 {
+		b.tokens += b.rate * float64(dt) / 1e9
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+		b.lastNs = nowNs
+	}
+	g := n
+	if g > int(b.tokens) {
+		g = int(b.tokens)
+	}
+	if g > 0 {
+		b.tokens -= float64(g)
+	}
+	return g
+}
+
+// globalBucket is the cross-connection event-rate ceiling. Connections take
+// tokens in chunks (globalChunk) into a connection-local reserve, so the
+// shared mutex is touched once per chunk rather than once per event; the
+// ceiling can transiently overshoot by one chunk per connection, which is
+// the usual chunked-limiter trade.
+type globalBucket struct {
+	mu sync.Mutex
+	b  bucket
+}
+
+const globalChunk = 64
+
+func (g *globalBucket) enabled() bool { return g.b.rate > 0 }
+
+func (g *globalBucket) take(nowNs int64, n int) int {
+	if !g.enabled() {
+		return n
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.b.take(nowNs, n)
+}

@@ -1,0 +1,436 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"pbox/internal/core"
+	"pbox/internal/exec"
+)
+
+// Config tunes a wire Server. The zero value admits everything.
+type Config struct {
+	// PerConnRate is the event-admission rate (events/sec) of each
+	// connection's token bucket; <= 0 disables per-connection shedding.
+	PerConnRate float64
+	// PerConnBurst is the per-connection bucket depth; <= 0 selects a
+	// default of 100ms of PerConnRate (floored at 1024).
+	PerConnBurst int
+	// GlobalRate is the event-admission ceiling (events/sec) across all
+	// connections; <= 0 disables global shedding.
+	GlobalRate float64
+	// GlobalBurst is the global bucket depth; <= 0 selects the default.
+	GlobalBurst int
+	// Now supplies the admission clock (ns). Defaults to exec.Now; tests
+	// inject a fake clock to drive the buckets deterministically.
+	Now func() int64
+}
+
+// Stats is a point-in-time snapshot of the server's counters, exported on
+// /metrics as the pbox_self_wire_* series and printed by `pboxctl self`.
+type Stats struct {
+	ConnsTotal  int64 // connections accepted over the server's life
+	ConnsActive int64 // connections currently open (gauge)
+	Frames      int64 // frames decoded
+	Events      int64 // event ops admitted and applied
+	ShedConn    int64 // event ops shed by a per-connection bucket
+	ShedGlobal  int64 // event ops shed by the global ceiling
+	Registers   int64 // tenants registered
+	Pings       int64 // ping ops answered
+	BindRefused int64 // tenant selects refused by a shared-thread penalty
+	Errors      int64 // protocol errors (connection torn down)
+}
+
+// Server accepts wire-protocol connections and fans their batched events
+// into the manager's Tier-A spool fast path: each connection owns one
+// core.Worker (the protocol is sequential per connection, matching Worker's
+// thread-local contract), so a single-tenant event run decodes straight into
+// the worker spool with zero allocations per batch.
+type Server struct {
+	mgr    *core.Manager
+	cfg    Config
+	global globalBucket
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	connsTotal  atomic.Int64
+	connsActive atomic.Int64
+	frames      atomic.Int64
+	events      atomic.Int64
+	shedConn    atomic.Int64
+	shedGlobal  atomic.Int64
+	registers   atomic.Int64
+	pings       atomic.Int64
+	bindRefused atomic.Int64
+	errors      atomic.Int64
+}
+
+// NewServer creates a wire server feeding mgr.
+func NewServer(mgr *core.Manager, cfg Config) *Server {
+	if cfg.Now == nil {
+		cfg.Now = exec.Now
+	}
+	s := &Server{mgr: mgr, cfg: cfg, conns: make(map[net.Conn]struct{})}
+	if cfg.GlobalRate > 0 {
+		s.global.b = newBucket(cfg.GlobalRate, cfg.GlobalBurst, cfg.Now())
+	}
+	return s
+}
+
+// Stats returns the current counter snapshot (atomics only, safe to poll).
+func (s *Server) Stats() Stats {
+	return Stats{
+		ConnsTotal:  s.connsTotal.Load(),
+		ConnsActive: s.connsActive.Load(),
+		Frames:      s.frames.Load(),
+		Events:      s.events.Load(),
+		ShedConn:    s.shedConn.Load(),
+		ShedGlobal:  s.shedGlobal.Load(),
+		Registers:   s.registers.Load(),
+		Pings:       s.pings.Load(),
+		BindRefused: s.bindRefused.Load(),
+		Errors:      s.errors.Load(),
+	}
+}
+
+// Serve accepts connections on l until Close. It returns nil after Close,
+// or the first accept error otherwise.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		l.Close()
+		return errors.New("wire: server closed")
+	}
+	s.ln = l
+	s.mu.Unlock()
+	for {
+		nc, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			nc.Close()
+			return nil
+		}
+		s.conns[nc] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		s.connsTotal.Add(1)
+		s.connsActive.Add(1)
+		go s.serveConn(nc)
+	}
+}
+
+// Close stops accepting, closes every live connection, and waits for their
+// handlers to finish draining (each handler flushes its worker spool on the
+// way out, so no spooled tail event is lost — DESIGN.md §15).
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+}
+
+func (s *Server) dropConn(nc net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, nc)
+	s.mu.Unlock()
+	nc.Close()
+	s.connsActive.Add(-1)
+}
+
+// serveConn runs one connection's decode loop. The frame buffer is reused
+// across frames and ops decode in place, so a steady-state event batch costs
+// zero allocations in the server.
+func (s *Server) serveConn(nc net.Conn) {
+	defer s.wg.Done()
+	defer s.dropConn(nc)
+	br := bufio.NewReaderSize(nc, 64<<10)
+	bw := bufio.NewWriterSize(nc, 4<<10)
+
+	pre := make([]byte, len(Magic)+1)
+	if _, err := io.ReadFull(br, pre); err != nil ||
+		string(pre[:len(Magic)]) != Magic || pre[len(Magic)] != Version {
+		s.errors.Add(1)
+		return
+	}
+
+	w := s.mgr.NewWorker()
+	tenants := make(map[uint64]*core.PBox)
+	defer func() {
+		// Teardown drains before it tears down: spooled tail events reach
+		// the books, then every tenant this connection registered goes away.
+		w.Flush()
+		for _, p := range tenants {
+			s.mgr.Release(p)
+		}
+	}()
+
+	c := connState{
+		bkt: newBucket(s.cfg.PerConnRate, s.cfg.PerConnBurst, s.cfg.Now()),
+	}
+	var frame []byte
+	for {
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			if err != io.EOF {
+				s.errors.Add(1)
+			}
+			return
+		}
+		if n > MaxFrame {
+			s.errors.Add(1)
+			return
+		}
+		if uint64(cap(frame)) < n {
+			frame = make([]byte, n)
+		}
+		frame = frame[:n]
+		if _, err := io.ReadFull(br, frame); err != nil {
+			s.errors.Add(1)
+			return
+		}
+		s.frames.Add(1)
+		if err := s.applyFrame(frame, w, tenants, &c, bw); err != nil {
+			s.errors.Add(1)
+			return
+		}
+		if c.wrotePong {
+			c.wrotePong = false
+			if err := bw.Flush(); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// connState is the per-connection decode state owned by the connection
+// goroutine (no locks).
+type connState struct {
+	bkt       bucket
+	reserve   int  // chunked tokens taken from the global bucket
+	skip      bool // selected tenant refused (shared-thread penalty): drop events
+	wrotePong bool
+}
+
+var errProto = errors.New("wire: protocol error")
+
+// applyFrame decodes and applies one frame payload. The event-key delta
+// chain resets here, at the frame boundary.
+func (s *Server) applyFrame(frame []byte, w *core.Worker, tenants map[uint64]*core.PBox, c *connState, bw *bufio.Writer) error {
+	nowNs := s.cfg.Now()
+	var lastKey int64
+	off := 0
+	// Local uvarint reader against the frame buffer (no allocation).
+	u := func() (uint64, bool) {
+		v, n := binary.Uvarint(frame[off:])
+		if n <= 0 {
+			return 0, false
+		}
+		off += n
+		return v, true
+	}
+	for off < len(frame) {
+		op := frame[off]
+		off++
+		if op >= opEventBase && op <= opEventMax {
+			d, n := binary.Varint(frame[off:])
+			if n <= 0 {
+				return errProto
+			}
+			off += n
+			lastKey += d
+			if c.skip {
+				continue
+			}
+			// Admission: per-connection bucket first, then a chunk of the
+			// global ceiling into the connection-local reserve.
+			if s.cfg.PerConnRate > 0 && c.bkt.take(nowNs, 1) == 0 {
+				s.shedConn.Add(1)
+				continue
+			}
+			if s.global.enabled() {
+				if c.reserve == 0 {
+					c.reserve = s.global.take(nowNs, globalChunk)
+				}
+				if c.reserve == 0 {
+					s.shedGlobal.Add(1)
+					continue
+				}
+				c.reserve--
+			}
+			s.events.Add(1)
+			w.Update(core.ResourceKey(lastKey), core.EventType(op-opEventBase))
+			continue
+		}
+		switch op {
+		case opRegister:
+			tenant, ok1 := u()
+			rt, ok2 := u()
+			metric, ok3 := u()
+			levelBits, ok4 := u()
+			labelLen, ok5 := u()
+			if !ok1 || !ok2 || !ok3 || !ok4 || !ok5 || uint64(len(frame)-off) < labelLen {
+				return errProto
+			}
+			label := string(frame[off : off+int(labelLen)])
+			off += int(labelLen)
+			if _, dup := tenants[tenant]; dup {
+				return fmt.Errorf("wire: tenant %d already registered", tenant)
+			}
+			rule := core.IsolationRule{
+				Type:   core.RuleType(rt),
+				Level:  math.Float64frombits(levelBits),
+				Metric: core.Metric(metric),
+			}
+			p, err := s.mgr.Create(rule)
+			if err != nil {
+				return err
+			}
+			if label != "" {
+				s.mgr.SetLabel(p, label)
+			}
+			tenants[tenant] = p
+			s.registers.Add(1)
+		case opRelease:
+			p, err := tenantArg(u, tenants)
+			if err != nil {
+				return err
+			}
+			if w.Current() == p {
+				c.skip = true // selection is gone with the tenant
+			}
+			for t, q := range tenants {
+				if q == p {
+					delete(tenants, t)
+				}
+			}
+			s.mgr.Release(p)
+		case opActivate:
+			p, err := tenantArg(u, tenants)
+			if err != nil {
+				return err
+			}
+			s.mgr.Activate(p)
+		case opFreeze:
+			p, err := tenantArg(u, tenants)
+			if err != nil {
+				return err
+			}
+			s.mgr.Freeze(p)
+		case opShared:
+			p, err := tenantArg(u, tenants)
+			if err != nil {
+				return err
+			}
+			flag, ok := u()
+			if !ok {
+				return errProto
+			}
+			s.mgr.SetShared(p, flag != 0)
+		case opSelect:
+			p, err := tenantArg(u, tenants)
+			if err != nil {
+				return err
+			}
+			if err := w.BindDirect(p); err != nil {
+				// Shared-thread penalty: the tenant must stay queued, so
+				// its events are dropped until a later select succeeds.
+				s.bindRefused.Add(1)
+				c.skip = true
+				continue
+			}
+			c.skip = false
+		case opHibernate:
+			p, err := tenantArg(u, tenants)
+			if err != nil {
+				return err
+			}
+			// Refusals (mid-activity, cross-activity holds) are advisory:
+			// hibernation is a storage hint, not a lifecycle edge.
+			_ = s.mgr.Hibernate(p)
+		case opPing:
+			seq, ok := u()
+			if !ok {
+				return errProto
+			}
+			// The reply is written only after every earlier op in the frame
+			// has been applied — and the worker spool is drained so the
+			// events are in the books, making a ping round-trip a full
+			// ingestion barrier.
+			w.Flush()
+			s.pings.Add(1)
+			var pong [6 * binary.MaxVarintLen64]byte
+			body := pong[binary.MaxVarintLen64:binary.MaxVarintLen64]
+			body = append(body, opPong)
+			body = binary.AppendUvarint(body, seq)
+			body = binary.AppendUvarint(body, uint64(s.events.Load()))
+			body = binary.AppendUvarint(body, uint64(s.shedConn.Load()))
+			body = binary.AppendUvarint(body, uint64(s.shedGlobal.Load()))
+			hdr := binary.AppendUvarint(pong[:0], uint64(len(body)))
+			if _, err := bw.Write(hdr); err != nil {
+				return err
+			}
+			if _, err := bw.Write(body); err != nil {
+				return err
+			}
+			c.wrotePong = true
+		default:
+			return errProto
+		}
+	}
+	return nil
+}
+
+// opPong is the server→client reply kind (same value space as the ops).
+const opPong = opPing
+
+// tenantArg decodes a tenant id and resolves it, failing the connection on
+// an unknown id (a desynchronized feeder must not be misattributed).
+func tenantArg(u func() (uint64, bool), tenants map[uint64]*core.PBox) (*core.PBox, error) {
+	t, ok := u()
+	if !ok {
+		return nil, errProto
+	}
+	p := tenants[t]
+	if p == nil {
+		return nil, fmt.Errorf("wire: unknown tenant %d", t)
+	}
+	return p, nil
+}
